@@ -1,0 +1,40 @@
+# pblocks — development targets
+
+GO ?= go
+
+.PHONY: all build test race bench repro lint fmt vet cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper figure/listing/result as text.
+repro:
+	$(GO) run ./cmd/snapbench
+
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/snaplint projects/concession.sblk
+	$(GO) run ./cmd/snaplint projects/concession-parallel.xml
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+cover:
+	$(GO) test -cover ./internal/...
+
+clean:
+	rm -f test_output.txt bench_output.txt

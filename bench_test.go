@@ -1,0 +1,378 @@
+package repro
+
+// The benchmark harness: one benchmark per figure/table of the paper (the
+// E-numbers of DESIGN.md's experiment index) plus the ablation benches for
+// the design choices DESIGN.md calls out. Absolute numbers are
+// host-dependent; the assertions that the *values* match the paper live in
+// the package test suites — these benches time the reproduction paths and
+// print the derived quantities (timesteps, imbalance, speedup) once per
+// run.
+
+import (
+	"fmt"
+	"strings"
+
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/blocks"
+	"repro/internal/codegen"
+	"repro/internal/demos"
+	"repro/internal/dist"
+	"repro/internal/interp"
+	"repro/internal/mapreduce"
+	"repro/internal/noaa"
+	"repro/internal/omp"
+	"repro/internal/value"
+	"repro/internal/workers"
+)
+
+// BenchmarkE1SeqMap times Figure 4's sequential map block.
+func BenchmarkE1SeqMap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := demos.EvalBlock(demos.Fig4SeqMap()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2ParallelMap times the parallelMap block of Figures 5–6 across
+// worker counts.
+func BenchmarkE2ParallelMap(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			blk := demos.Fig5ParallelMap(
+				blocks.Numbers(blocks.Num(1), blocks.Num(200)),
+				blocks.Num(float64(w)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := demos.EvalBlock(blk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3ConcessionParallel runs the Figure 9 parallel concession
+// stand; the metric "timesteps" must be 3.
+func BenchmarkE3ConcessionParallel(b *testing.B) {
+	var timer int64
+	for i := 0; i < b.N; i++ {
+		res, err := demos.RunConcession(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		timer = res.Timer
+	}
+	b.ReportMetric(float64(timer), "timesteps")
+}
+
+// BenchmarkE4ConcessionSequential runs the Figure 10 sequential stand; the
+// metric must be 12.
+func BenchmarkE4ConcessionSequential(b *testing.B) {
+	var timer int64
+	for i := 0; i < b.N; i++ {
+		res, err := demos.RunConcession(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		timer = res.Timer
+	}
+	b.ReportMetric(float64(timer), "timesteps")
+}
+
+// BenchmarkE5WordCount times the Figures 11–12 word count, block and
+// engine paths.
+func BenchmarkE5WordCount(b *testing.B) {
+	b.Run("block", func(b *testing.B) {
+		blk := demos.WordCountBlock("the quick brown fox jumps over the lazy dog the end")
+		for i := 0; i < b.N; i++ {
+			if _, err := demos.EvalBlock(blk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	words := value.FromStrings(strings.Fields(strings.Repeat("alpha beta gamma delta beta ", 200)))
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("engine/words=1000/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mapreduce.Run(words, mapreduce.WordCount,
+					mapreduce.SumReduce, mapreduce.Config{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6Climate times the Figure 13 climate averaging over NOAA-scale
+// data.
+func BenchmarkE6Climate(b *testing.B) {
+	for _, readings := range []int{1000, 10000} {
+		days := readings / 10
+		ds := noaa.Generate(noaa.Config{
+			Stations: 10, StartYear: 2000, EndYear: 2000,
+			DaysPerYear: days, Seed: 3,
+		})
+		temps := ds.TempsF()
+		b.Run(fmt.Sprintf("readings=%d", temps.Len()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mapreduce.Run(temps, mapreduce.FahrenheitToCelsius,
+					mapreduce.AvgReduce, mapreduce.Config{Workers: 4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7Listing5 times the Snap!→C translation of Figure 16.
+func BenchmarkE7Listing5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := codegen.Listing5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8OpenMPGen times the mapReduce→OpenMP artifact generation of
+// Figures 18–20.
+func BenchmarkE8OpenMPGen(b *testing.B) {
+	blk := blocks.MapReduce(
+		blocks.RingOf(blocks.Quotient(
+			blocks.Product(blocks.Num(5), blocks.Difference(blocks.Empty(), blocks.Num(32))),
+			blocks.Num(9))),
+		blocks.RingOf(blocks.Quotient(
+			blocks.Combine(blocks.Empty(), blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Empty()))),
+			blocks.LengthOf(blocks.Empty()))),
+		blocks.ListOf(blocks.Num(32), blocks.Num(212)))
+	for i := 0; i < b.N; i++ {
+		if _, err := codegen.MapReduceFiles(blk, []float64{32, 212}, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9Survey times the §5 tabulation.
+func BenchmarkE9Survey(b *testing.B) {
+	out, err := bench.E9()
+	if err != nil || out == "" {
+		b.Fatal(err)
+	}
+	e, _ := bench.Lookup("e9")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10Scaling measures the worker pool under skewed element costs
+// for each assignment policy, reporting virtual speedup (total cost over
+// the busiest worker) as the policy-quality metric.
+func BenchmarkE10Scaling(b *testing.B) {
+	const n = 2000
+	in := value.Range(1, n, 1)
+	burn := func(v value.Value) (value.Value, error) {
+		x, _ := value.ToNumber(v)
+		acc := 0.0
+		for i := 0; i < int(x); i++ {
+			acc += float64(i)
+		}
+		_ = acc
+		return x, nil
+	}
+	cost := func(i int) int64 { return int64(i + 1) }
+	for _, policy := range []workers.Assignment{workers.Block, workers.Interleaved, workers.Dynamic} {
+		for _, w := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", policy, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p := workers.New(in, workers.Options{
+						MaxWorkers: w, Assignment: policy, Cost: cost,
+					})
+					if _, err := p.Map(burn).Wait(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				max, costs := workers.VirtualMakespan(n, w, policy, cost)
+				var total int64
+				for _, c := range costs {
+					total += c
+				}
+				b.ReportMetric(float64(total)/float64(max), "vspeedup")
+			})
+		}
+	}
+}
+
+// BenchmarkE11Schedules ablates the omp loop schedules on skewed work.
+func BenchmarkE11Schedules(b *testing.B) {
+	const n, threads = 2000, 4
+	for _, cfg := range []omp.ForConfig{
+		{Threads: threads, Schedule: omp.Static},
+		{Threads: threads, Schedule: omp.Static, Chunk: 64},
+		{Threads: threads, Schedule: omp.Dynamic, Chunk: 16},
+		{Threads: threads, Schedule: omp.Guided},
+	} {
+		name := cfg.Schedule.String()
+		if cfg.Chunk > 0 {
+			name = fmt.Sprintf("%s_chunk%d", name, cfg.Chunk)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				omp.For(n, cfg, func(i, tid int) {
+					acc := 0.0
+					for k := 0; k < i; k++ {
+						acc += float64(k)
+					}
+					_ = acc
+				})
+			}
+			max, costs := omp.SimulateMakespan(n, cfg, func(i int) int64 { return int64(i) })
+			var total int64
+			for _, c := range costs {
+				total += c
+			}
+			b.ReportMetric(float64(total)/float64(max), "vspeedup")
+		})
+	}
+}
+
+// BenchmarkE12Batch times the batch workflow of §6.3.
+func BenchmarkE12Batch(b *testing.B) {
+	e, _ := bench.Lookup("e12")
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE13Interleaving times the §2 concurrency demonstration.
+func BenchmarkE13Interleaving(b *testing.B) {
+	e, _ := bench.Lookup("e13")
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE14DistMapReduce times the inter-node MapReduce across node
+// counts, reporting shuffle volume.
+func BenchmarkE14DistMapReduce(b *testing.B) {
+	in := value.FromStrings(strings.Fields(strings.Repeat("alpha beta gamma delta ", 250)))
+	for _, nodes := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			var shuffled int64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, stats, err := dist.MapReduce(in, mapreduce.WordCount,
+					mapreduce.SumReduce, dist.Config{Nodes: nodes, WorkersPerNode: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				shuffled = stats.ShuffleMessages
+			}
+			b.ReportMetric(float64(shuffled), "shuffled")
+		})
+	}
+}
+
+// BenchmarkE15Contrast times the three-dialect generation of §6.1.
+func BenchmarkE15Contrast(b *testing.B) {
+	e, _ := bench.Lookup("e15")
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE16Scheduling times the FIFO vs backfill job-mix comparison.
+func BenchmarkE16Scheduling(b *testing.B) {
+	e, _ := bench.Lookup("e16")
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSliceLength ablates the interpreter's time-slice length (the
+// DefaultSliceOps design choice): longer slices amortize scheduling but
+// coarsen interleaving.
+func BenchmarkSliceLength(b *testing.B) {
+	build := func() *interp.Machine {
+		p := blocks.NewProject("slice")
+		p.Globals["n"] = value.Number(0)
+		for s := 0; s < 4; s++ {
+			sp := p.AddSprite(blocks.NewSprite(fmt.Sprintf("S%d", s)))
+			sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+				blocks.Repeat(blocks.Num(200), blocks.Body(
+					blocks.ChangeVar("n", blocks.Num(1)))),
+			))
+		}
+		return interp.NewMachine(p, nil)
+	}
+	for _, slice := range []int{10, 100, 1000, 10000} {
+		b.Run(fmt.Sprintf("sliceOps=%d", slice), func(b *testing.B) {
+			var rounds int64
+			for i := 0; i < b.N; i++ {
+				m := build()
+				m.SliceOps = slice
+				m.GreenFlag()
+				if err := m.Run(0); err != nil {
+					b.Fatal(err)
+				}
+				rounds = m.Round()
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkInterpreterThroughput measures raw evaluator speed: block
+// operations per second on a tight counting loop.
+func BenchmarkInterpreterThroughput(b *testing.B) {
+	script := blocks.NewScript(
+		blocks.DeclareLocal("n"),
+		blocks.SetVar("n", blocks.Num(0)),
+		blocks.Repeat(blocks.Num(1000), blocks.Body(
+			blocks.ChangeVar("n", blocks.Num(1)))),
+		blocks.Report(blocks.Var("n")),
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := interp.NewMachine(blocks.NewProject("tp"), nil)
+		v, err := m.RunScript(script)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v.String() != "1000" {
+			b.Fatalf("loop result %s", v)
+		}
+	}
+}
+
+// BenchmarkMapReduceEngine scales the engine across input sizes and worker
+// counts.
+func BenchmarkMapReduceEngine(b *testing.B) {
+	for _, n := range []int{100, 10000} {
+		in := value.Range(1, float64(n), 1)
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := mapreduce.Run(in, mapreduce.FahrenheitToCelsius,
+						mapreduce.AvgReduce, mapreduce.Config{Workers: w}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

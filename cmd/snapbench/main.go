@@ -1,0 +1,51 @@
+// Command snapbench regenerates every figure, listing, and result of the
+// paper's evaluation as text. Run with no flags to reproduce everything,
+// or -exp e3 for a single experiment (ids in DESIGN.md's index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (e1..e13) or 'all'")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	run := func(e bench.Experiment) int {
+		fmt.Printf("=== %s: %s ===\n", strings.ToUpper(e.ID), e.Title)
+		out, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			return 1
+		}
+		fmt.Println(out)
+		return 0
+	}
+
+	if *exp == "all" {
+		status := 0
+		for _, e := range bench.All() {
+			status |= run(e)
+		}
+		os.Exit(status)
+	}
+	e, ok := bench.Lookup(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+	os.Exit(run(e))
+}

@@ -1,0 +1,61 @@
+// Command snapfmt converts project files between the XML and textual
+// representations (and normalizes textual formatting):
+//
+//	snapfmt project.xml            # print the textual form
+//	snapfmt -xml project.sblk      # print the XML form
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/blocks"
+	_ "repro/internal/core" // registered opcodes
+	"repro/internal/parse"
+	"repro/internal/xmlio"
+)
+
+func main() {
+	args := os.Args[1:]
+	toXML := false
+	if len(args) > 0 && args[0] == "-xml" {
+		toXML = true
+		args = args[1:]
+	}
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: snapfmt [-xml] <project.xml|project.sblk>")
+		os.Exit(2)
+	}
+	p, err := load(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if toXML {
+		if err := xmlio.EncodeProject(os.Stdout, p); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	text, err := parse.PrintProject(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(text)
+}
+
+func load(path string) (*blocks.Project, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "(") || strings.HasPrefix(trimmed, ";") {
+		return parse.Project(string(data))
+	}
+	return xmlio.DecodeProject(bytes.NewReader(data))
+}

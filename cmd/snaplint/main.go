@@ -1,0 +1,56 @@
+// Command snaplint statically checks a project file (XML or textual) and
+// prints its findings: undefined variables, unknown broadcast messages,
+// arity mistakes, worker-capture errors. Exit status 1 when any finding is
+// an error.
+//
+//	snaplint projects/concession.sblk
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/blocks"
+	_ "repro/internal/core" // registered opcodes
+	"repro/internal/lint"
+	"repro/internal/parse"
+	"repro/internal/xmlio"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: snaplint <project.xml|project.sblk>")
+		os.Exit(2)
+	}
+	p, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	findings := lint.Project(p)
+	status := 0
+	for _, f := range findings {
+		fmt.Println(f)
+		if f.Severity == lint.Error {
+			status = 1
+		}
+	}
+	if len(findings) == 0 {
+		fmt.Printf("%s: clean (%d sprites)\n", p.Name, len(p.Sprites))
+	}
+	os.Exit(status)
+}
+
+func load(path string) (*blocks.Project, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "(") || strings.HasPrefix(trimmed, ";") {
+		return parse.Project(string(data))
+	}
+	return xmlio.DecodeProject(bytes.NewReader(data))
+}

@@ -1,0 +1,145 @@
+// Command snaprepl is a textual read-eval-print loop over the block
+// language: each line (or -e argument) is parsed as an expression or
+// command sequence, lowered to blocks, and run on a persistent machine —
+// the textual side of "parallel programming with pictures".
+//
+//	$ snaprepl -e '(parallelmap (ring (* _ 10)) (list 3 7 8) 4)'
+//	[30 70 80]
+//
+//	$ snaprepl
+//	> (set x 5)            ; variables persist across lines
+//	> (+ $x 37)
+//	42
+//
+// Use -ops to print the operator vocabulary.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/blocks"
+	_ "repro/internal/core" // parallel blocks
+	"repro/internal/interp"
+	"repro/internal/parse"
+	"repro/internal/stage"
+	"repro/internal/value"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "-ops" {
+		for _, op := range parse.Ops() {
+			fmt.Println(op)
+		}
+		return
+	}
+	session := newSession()
+	if len(args) > 1 && args[0] == "-e" {
+		out, err := session.eval(strings.Join(args[1:], " "))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if out != "" {
+			fmt.Println(out)
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	interactive := fileIsTTY(os.Stdin)
+	if interactive {
+		fmt.Print("> ")
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			out, err := session.eval(line)
+			switch {
+			case err != nil:
+				fmt.Fprintln(os.Stderr, "error:", err)
+			case out != "":
+				fmt.Println(out)
+			}
+		}
+		if interactive {
+			fmt.Print("> ")
+		}
+	}
+}
+
+func fileIsTTY(f *os.File) bool {
+	info, err := f.Stat()
+	return err == nil && info.Mode()&os.ModeCharDevice != 0
+}
+
+// session keeps one machine alive across inputs so variables persist.
+type session struct {
+	m     *interp.Machine
+	sp    *blocks.Sprite
+	actor *stage.Actor
+}
+
+func newSession() *session {
+	m := interp.NewMachine(blocks.NewProject("repl"), nil)
+	return &session{
+		m:     m,
+		sp:    blocks.NewSprite("repl"),
+		actor: m.Stage.AddActor("repl", 0, 0),
+	}
+}
+
+// eval parses one input line and runs it. Reporters print their value;
+// command sequences run for effect. Variables assigned at the top level
+// are declared in the session's global scope so they persist across lines.
+func (s *session) eval(src string) (string, error) {
+	script, err := parse.Script(src)
+	if err != nil {
+		return "", err
+	}
+	s.hoistAssignments(script)
+	// A single reporter form becomes (report <form>) so its value
+	// prints.
+	if len(script.Blocks) == 1 && isReporter(script.Blocks[0].Op) {
+		script = blocks.NewScript(blocks.Report(script.Blocks[0]))
+	}
+	proc := s.m.SpawnScript(s.sp, s.actor, script)
+	if err := s.m.Run(0); err != nil {
+		return "", err
+	}
+	if v := proc.Result(); !value.IsNothing(v) {
+		return v.String(), nil
+	}
+	return "", nil
+}
+
+// isReporter distinguishes value-producing forms from commands.
+func isReporter(op string) bool {
+	return strings.HasPrefix(op, "report") && op != "doReport" ||
+		op == "evaluate" || op == "getTimer" || op == "reportMyName"
+}
+
+// hoistAssignments declares every top-level set/declare target in the
+// global frame (if new), so `(set x 5)` on one line is visible on the
+// next.
+func (s *session) hoistAssignments(script *blocks.Script) {
+	g := s.m.GlobalFrame()
+	for _, b := range script.Blocks {
+		switch b.Op {
+		case "doSetVar", "doDeclareVariables":
+			for i, in := range b.Inputs {
+				if b.Op == "doSetVar" && i > 0 {
+					break
+				}
+				if lit, ok := in.(blocks.Literal); ok {
+					name := lit.Val.String()
+					if _, err := g.Get(name); err != nil {
+						g.Declare(name, value.Nothing{})
+					}
+				}
+			}
+		}
+	}
+}

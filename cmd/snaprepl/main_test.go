@@ -1,0 +1,82 @@
+package main
+
+import "testing"
+
+func TestSessionExpression(t *testing.T) {
+	s := newSession()
+	out, err := s.eval("(parallelmap (ring (* _ 10)) (list 3 7 8) 4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "[30 70 80]" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestSessionVariablePersistence(t *testing.T) {
+	s := newSession()
+	if _, err := s.eval("(set x 5)"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.eval("(+ $x 37)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "42" {
+		t.Errorf("out = %q", out)
+	}
+	// Re-assignment updates the same variable.
+	if _, err := s.eval("(set x 100)"); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = s.eval("$x")
+	_ = out // a bare $x is not a block form; next assertion uses (+)
+	out, err = s.eval("(+ $x 0)")
+	if err != nil || out != "100" {
+		t.Errorf("after reassign: %q, %v", out, err)
+	}
+}
+
+func TestSessionMultiStatementLine(t *testing.T) {
+	s := newSession()
+	out, err := s.eval("(set n 0) (repeat 5 (do (change n 1))) (report $n)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "5" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestSessionCommandProducesNoOutput(t *testing.T) {
+	s := newSession()
+	out, err := s.eval(`(say "hello")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "" {
+		t.Errorf("command printed %q", out)
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	s := newSession()
+	if _, err := s.eval("(+ 1"); err == nil {
+		t.Error("parse error should surface")
+	}
+	if _, err := s.eval("(/ 1 0)"); err == nil {
+		t.Error("runtime error should surface")
+	}
+	if _, err := s.eval("(+ $ghost 1)"); err == nil {
+		t.Error("unknown variable should surface")
+	}
+}
+
+func TestIsReporter(t *testing.T) {
+	if !isReporter("reportSum") || !isReporter("evaluate") || !isReporter("getTimer") {
+		t.Error("reporter classification")
+	}
+	if isReporter("doReport") || isReporter("doSetVar") || isReporter("bubble") {
+		t.Error("command classification")
+	}
+}

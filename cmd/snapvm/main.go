@@ -1,0 +1,110 @@
+// Command snapvm runs a pblocks project: it loads a Snap!-style XML
+// project file (or a named built-in demo), clicks the green flag, runs the
+// scheduler to completion, and prints the stage trace — a headless Snap!.
+//
+//	snapvm -demo concession-parallel
+//	snapvm project.xml
+//	snapvm -key "right arrow" dragon.xml
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/blocks"
+	"repro/internal/demos"
+	"repro/internal/interp"
+	"repro/internal/parse"
+	"repro/internal/vclock"
+	"repro/internal/xmlio"
+)
+
+func main() {
+	demo := flag.String("demo", "", "run a built-in demo: concession-parallel, concession-sequential, dragon")
+	key := flag.String("key", "", "press this key after the green-flag scripts finish")
+	rounds := flag.Int("rounds", 0, "scheduler round limit (0 = default)")
+	interfere := flag.Bool("interference", true, "model footnote-5 browser interference on the clock")
+	traceBlocks := flag.Bool("traceblocks", false, "print every block application (watch the blocks run)")
+	view := flag.Bool("view", false, "draw the final stage as ASCII art")
+	flag.Parse()
+
+	project, err := loadProject(*demo, flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	clock := vclock.New()
+	if *interfere {
+		clock = vclock.NewPaperInterference()
+	}
+	m := interp.NewMachine(project, clock)
+	if *traceBlocks {
+		m.TraceBlock = func(p *interp.Process, b *blocks.Block) {
+			who := "?"
+			if p.Actor != nil {
+				who = p.Actor.Label()
+			}
+			fmt.Printf("  [block] %-12s %s\n", who, b.Describe())
+		}
+	}
+	started := m.GreenFlag()
+	fmt.Printf("project %q: %d sprite(s), green flag started %d script(s)\n",
+		project.Name, len(project.Sprites), len(started))
+	if err := m.Run(*rounds); err != nil {
+		fmt.Fprintln(os.Stderr, "run:", err)
+		os.Exit(1)
+	}
+	if *key != "" {
+		m.PressKey(*key)
+		if err := m.Run(*rounds); err != nil {
+			fmt.Fprintln(os.Stderr, "run after key press:", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Println("\nstage trace:")
+	for _, line := range m.Stage.TraceLines() {
+		fmt.Println(" ", line)
+	}
+	fmt.Println("\nfinal stage:")
+	for _, line := range m.Stage.Snapshot() {
+		fmt.Println(" ", line)
+	}
+	if *view {
+		fmt.Println("\nstage view:")
+		fmt.Print(m.Stage.Render(48, 14))
+	}
+	fmt.Printf("\ntimer: %d timesteps over %d scheduler rounds\n",
+		m.Stage.Timer.Elapsed(), m.Round())
+}
+
+func loadProject(demo, path string) (*blocks.Project, error) {
+	switch demo {
+	case "concession-parallel":
+		return demos.Concession(true), nil
+	case "concession-sequential":
+		return demos.Concession(false), nil
+	case "dragon":
+		return demos.Dragon(5), nil
+	case "":
+	default:
+		return nil, fmt.Errorf("unknown demo %q", demo)
+	}
+	if path == "" {
+		return nil, fmt.Errorf("usage: snapvm [-demo name | project.xml | project.sblk]")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	// Textual projects start with a ( form; XML projects with < .
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "(") || strings.HasPrefix(trimmed, ";") {
+		return parse.Project(string(data))
+	}
+	return xmlio.DecodeProject(bytes.NewReader(data))
+}

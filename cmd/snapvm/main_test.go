@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/demos"
+	"repro/internal/interp"
+	"repro/internal/vclock"
+	"repro/internal/xmlio"
+)
+
+func TestLoadProjectDemos(t *testing.T) {
+	for _, name := range []string{"concession-parallel", "concession-sequential", "dragon"} {
+		p, err := loadProject(name, "")
+		if err != nil || p == nil {
+			t.Errorf("demo %q: %v", name, err)
+		}
+	}
+	if _, err := loadProject("nonexistent-demo", ""); err == nil {
+		t.Error("unknown demo should error")
+	}
+	if _, err := loadProject("", ""); err == nil {
+		t.Error("no demo and no path should error")
+	}
+	if _, err := loadProject("", "/does/not/exist.xml"); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestLoadProjectFromXMLAndRun(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "concession.xml")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := xmlio.EncodeProject(f, demos.Concession(true)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	p, err := loadProject("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.NewMachine(p, vclock.NewPaperInterference())
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stage.Timer.Elapsed(); got != 3 {
+		t.Errorf("XML-loaded concession stand = %d timesteps, want 3", got)
+	}
+}
+
+func TestLoadProjectFromTextAndRun(t *testing.T) {
+	p, err := loadProject("", "../../projects/concession.sblk")
+	if err != nil {
+		t.Skipf("shipped textual project unavailable: %v", err)
+	}
+	m := interp.NewMachine(p, vclock.NewPaperInterference())
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stage.Timer.Elapsed(); got != 3 {
+		t.Errorf("textual project = %d timesteps, want 3", got)
+	}
+}

@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of "Parallel Programming
+// with Pictures is a Snap!" (Feng, Gardner, Feng): a block-based visual
+// programming system with the paper's explicit parallel blocks —
+// parallelMap, parallelForEach, and mapReduce — a cooperative Snap!-style
+// interpreter, a Web-Worker-equivalent parallel runtime, the block→text
+// code-mapping pipeline targeting OpenMP C (plus JavaScript, Python, Go),
+// and the supporting substrates: a MapReduce engine, an OpenMP-semantics
+// runtime, a batch-scheduler simulator, synthetic NOAA climate data, and
+// the paper's survey tabulation.
+//
+// The library lives under internal/ (see DESIGN.md for the system
+// inventory); cmd/ holds the tools, examples/ the runnable walkthroughs,
+// and the *_test.go benchmarks in this directory regenerate every figure
+// and listing of the paper — run `go run ./cmd/snapbench` for the full
+// reproduction, or `go test -bench=. -benchmem` to time it.
+package repro

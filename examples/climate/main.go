@@ -1,0 +1,122 @@
+// The global climate modeling exercise of §3.4 (Figure 13), end to end:
+// generate NOAA-style station data, write and re-ingest it as CSV (§6.3's
+// data-file ingestion), average each year's Fahrenheit readings in Celsius
+// with the MapReduce engine, observe the warming trend — then translate
+// the same mapReduce block to OpenMP C, generate the Makefile and batch
+// script, and run the job through the simulated cluster (§6.3's
+// supercomputer workflow).
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro/internal/blocks"
+	"repro/internal/codegen"
+	"repro/internal/mapreduce"
+	"repro/internal/noaa"
+	"repro/internal/sched"
+	"repro/internal/value"
+)
+
+func main() {
+	// 1. Synthesize and round-trip the station data.
+	ds := noaa.Generate(noaa.Config{
+		Stations: 8, StartYear: 1990, EndYear: 1999,
+		DaysPerYear: 90, TrendFPerYear: 0.4, Seed: 11,
+	})
+	var csvBuf bytes.Buffer
+	if err := ds.WriteCSV(&csvBuf); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := noaa.ReadCSV(&csvBuf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d stations, %d readings (CSV round-tripped)\n\n",
+		len(loaded.Stations), len(loaded.Readings))
+
+	// 2. Year-by-year mapReduce: F→C in the map, average in the reduce.
+	fmt.Println("year   mean °C")
+	var first, last float64
+	years := loaded.Years()
+	for _, year := range years {
+		res, err := mapreduce.Run(loaded.TempsFForYear(year),
+			mapreduce.FahrenheitToCelsius, mapreduce.AvgReduce,
+			mapreduce.Config{Workers: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, _ := value.ToNumber(res[0].Val)
+		fmt.Printf("%d   %6.2f\n", year, float64(c))
+		if year == years[0] {
+			first = float64(c)
+		}
+		last = float64(c)
+	}
+	fmt.Printf("\nwarming over the decade: %+.2f °C — \"students can attempt to\n", last-first)
+	fmt.Println("observe a mean change in the temperature of the Earth over time\" (§3.4)")
+
+	// 3. Translate the same block program to OpenMP C (Figures 18-20).
+	mapRing := blocks.RingOf(blocks.Quotient(
+		blocks.Product(blocks.Num(5), blocks.Difference(blocks.Empty(), blocks.Num(32))),
+		blocks.Num(9)))
+	reduceRing := blocks.RingOf(blocks.Quotient(
+		blocks.Combine(blocks.Empty(), blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Empty()))),
+		blocks.LengthOf(blocks.Empty())))
+	sample, _ := loaded.TempsFForYear(years[0]).Slice(1, 6)
+	data, _ := sample.Floats()
+	block := blocks.MapReduce(mapRing, reduceRing, blocks.Lit(sample))
+	files, err := codegen.MapReduceFiles(block, data, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ngenerated mapper (Figure 19 shape):")
+	for _, line := range splitAfter(files["mapreduce.c"], "int map ") {
+		fmt.Println(" ", line)
+	}
+
+	// 4. Submit to the simulated cluster and collect.
+	cluster := sched.NewCluster(4, sched.Backfill)
+	cluster.Submit(sched.JobSpec{Name: "someone-else", Nodes: 4, Walltime: 5, Duration: 5})
+	job, err := cluster.SubmitScript(files["job.sbatch"], 4, func() string {
+		res, err := mapreduce.Run(loaded.TempsF(),
+			mapreduce.FahrenheitToCelsius, mapreduce.AvgReduce,
+			mapreduce.Config{Workers: 8})
+		if err != nil {
+			return "error: " + err.Error()
+		}
+		c, _ := value.ToNumber(res[0].Val)
+		return fmt.Sprintf("decade mean: %.2f C", float64(c))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsubmitted %q to the simulated cluster (state: %s)\n",
+		job.Spec.Name, job.State)
+	if err := cluster.RunUntilDone(500); err != nil {
+		log.Fatal(err)
+	}
+	out, err := cluster.Collect(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job %s after queueing %d ticks; output: %s\n",
+		job.State, job.StartTick-job.SubmitTick, out)
+}
+
+// splitAfter returns the first four lines starting at the marker.
+func splitAfter(src, marker string) []string {
+	idx := bytes.Index([]byte(src), []byte(marker))
+	if idx < 0 {
+		return nil
+	}
+	rest := src[idx:]
+	lines := bytes.Split([]byte(rest), []byte("\n"))
+	out := []string{}
+	for i := 0; i < len(lines) && i < 4; i++ {
+		out = append(out, string(lines[i]))
+	}
+	return out
+}

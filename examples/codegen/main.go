@@ -1,0 +1,66 @@
+// Code mapping (§6): translate the Figure 16 block script to C (Listing 5),
+// JavaScript, Python, and Go; if a C compiler is on the host, compile and
+// run the generated C to prove the output is real code.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"repro/internal/codegen"
+)
+
+func main() {
+	script := codegen.Figure16Script()
+	fmt.Println("Snap! script (Figure 16):")
+	fmt.Println(" ", script.Describe())
+
+	fmt.Println("\n=== map to C (Listing 5) ===")
+	cSrc, err := codegen.Listing5()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cSrc)
+
+	for _, lang := range []string{"js", "python", "go"} {
+		tr, err := codegen.ForLang(lang)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src, err := tr.Script(script, 0)
+		if err != nil {
+			// Some opcodes are intentionally unmapped in some
+			// languages; report rather than fail.
+			fmt.Printf("\n=== map to %s ===\n(not translatable: %v)\n", lang, err)
+			continue
+		}
+		fmt.Printf("\n=== map to %s ===\n%s\n", lang, src)
+	}
+
+	cc, err := exec.LookPath("cc")
+	if err != nil {
+		fmt.Println("\n(no C compiler found; skipping compile check)")
+		return
+	}
+	dir, err := os.MkdirTemp("", "snapgen")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	cfile := filepath.Join(dir, "listing5.c")
+	bin := filepath.Join(dir, "listing5")
+	if err := os.WriteFile(cfile, []byte(cSrc), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if out, err := exec.Command(cc, "-o", bin, cfile).CombinedOutput(); err != nil {
+		log.Fatalf("compile: %v\n%s", err, out)
+	}
+	if err := exec.Command(bin).Run(); err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	fmt.Println("\ngenerated C compiled and ran cleanly (exit 0) —")
+	fmt.Println("\"ready to compile and run in traditional parallel computing environments\"")
+}

@@ -1,0 +1,168 @@
+package repro
+
+// The end-to-end integration test: one program travels the entire system —
+// written as text, linted, parsed, run under the interpreter with the
+// paper-calibrated clock, saved to XML and reloaded, translated to OpenMP
+// C, compiled (when a toolchain exists), and its batch script submitted to
+// the simulated cluster. Every stage consumes the previous stage's output.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/blocks"
+	"repro/internal/codegen"
+	_ "repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/lint"
+	"repro/internal/parse"
+	"repro/internal/sched"
+	"repro/internal/value"
+	"repro/internal/vclock"
+	"repro/internal/xmlio"
+)
+
+const pipelineProject = `
+(project "pipeline"
+  (global temps (list 32 212 122))
+  (global result 0)
+  (sprite "Scientist"
+    (when green-flag (do
+      (set result (mapreduce
+        (ring (/ (* 5 (- _ 32)) 9))
+        (ring (/ (combine _ (ring (+ _ _))) (length _)))
+        $temps))))))
+`
+
+func TestEndToEndPipeline(t *testing.T) {
+	// Stage 1: parse the textual project.
+	project, err := parse.Project(pipelineProject)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+
+	// Stage 2: lint it — must be clean.
+	if findings := lint.Project(project); len(findings) != 0 {
+		t.Fatalf("lint: %v", findings)
+	}
+
+	// Stage 3: run it; the mapReduce block computes the 50°C average.
+	m := interp.NewMachine(project, vclock.NewPaperInterference())
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	result, err := m.GlobalFrame().Get("result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.String() != "50" {
+		t.Fatalf("interpreted result = %s, want 50", result)
+	}
+
+	// Stage 4: XML round trip, then run the reloaded project.
+	var buf bytes.Buffer
+	if err := xmlio.EncodeProject(&buf, project); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	reloaded, err := xmlio.DecodeProject(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	m2 := interp.NewMachine(reloaded, nil)
+	m2.GreenFlag()
+	if err := m2.Run(0); err != nil {
+		t.Fatalf("run reloaded: %v", err)
+	}
+	result2, _ := m2.GlobalFrame().Get("result")
+	if !value.Equal(result, result2) {
+		t.Fatalf("reloaded result %s != %s", result2, result)
+	}
+
+	// Stage 5: translate the same mapReduce block to the OpenMP bundle.
+	script := reloaded.Sprites[0].Scripts[0].Script
+	setBlock := script.Blocks[0]
+	mrBlock, ok := setBlock.Input(1).(*blocks.Block)
+	if !ok || mrBlock.Op != "reportMapReduce" {
+		t.Fatalf("expected the mapReduce block, got %v", setBlock.Describe())
+	}
+	files, err := codegen.MapReduceFiles(mrBlock, []float64{32, 212, 122}, 4)
+	if err != nil {
+		t.Fatalf("codegen: %v", err)
+	}
+
+	// Stage 6: compile and run the generated OpenMP program (skipped
+	// without a toolchain); it must print the same 50.
+	if cc, err := exec.LookPath("cc"); err == nil {
+		dir := t.TempDir()
+		cfile := filepath.Join(dir, "prog.c")
+		bin := filepath.Join(dir, "prog")
+		if err := os.WriteFile(cfile, []byte(files["runnable.c"]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, err := exec.Command(cc, "-O1", "-fopenmp", "-o", bin, cfile, "-lm").CombinedOutput()
+		if err != nil {
+			if strings.Contains(string(out), "fopenmp") {
+				t.Skip("compiler lacks OpenMP")
+			}
+			t.Fatalf("compile: %v\n%s", err, out)
+		}
+		run, err := exec.Command(bin).CombinedOutput()
+		if err != nil {
+			t.Fatalf("run generated: %v", err)
+		}
+		if !strings.Contains(string(run), "50") {
+			t.Fatalf("generated program printed %q, want 50", run)
+		}
+	}
+
+	// Stage 7: submit the generated batch script to the simulated
+	// cluster and collect.
+	cluster := sched.NewCluster(2, sched.Backfill)
+	job, err := cluster.SubmitScript(files["job.sbatch"], 2, func() string {
+		return result.String() + " C"
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if err := cluster.RunUntilDone(100); err != nil {
+		t.Fatal(err)
+	}
+	out, err := cluster.Collect(job)
+	if err != nil || out != "50 C" {
+		t.Fatalf("collect = %q, %v", out, err)
+	}
+}
+
+// TestStopButtonCancelsWorkers verifies the cancellation chain at block
+// level: stopping the machine while a parallelMap grinds cancels its
+// worker job.
+func TestStopButtonCancelsWorkers(t *testing.T) {
+	script, err := parse.Script(`
+(declare out)
+(set out (parallelmap (ring (combine (numbers 1 2000) (ring (+ _ _)))) (numbers 1 2000) 2))
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := blocks.NewProject("stop")
+	sp := p.AddSprite(blocks.NewSprite("S"))
+	sp.AddScript(blocks.HatGreenFlag, "", script)
+	m := interp.NewMachine(p, nil)
+	m.GreenFlag()
+	m.Step() // kick the job off
+	m.StopAll()
+	for m.Step() {
+	}
+	// The process is gone; the job was canceled via OnDone. There is
+	// nothing externally observable beyond termination without error
+	// and no goroutine leak (the race detector and test timeout guard
+	// the latter).
+	if len(m.Errors()) != 0 {
+		t.Errorf("stop produced errors: %v", m.Errors())
+	}
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		out, err := e.Run()
+		if err != nil {
+			t.Errorf("%s (%s): %v", e.ID, e.Title, err)
+			continue
+		}
+		if strings.TrimSpace(out) == "" {
+			t.Errorf("%s produced no output", e.ID)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("e3"); !ok {
+		t.Error("e3 should exist")
+	}
+	if _, ok := Lookup("E10"); !ok {
+		t.Error("lookup should be case-insensitive")
+	}
+	if _, ok := Lookup("e99"); ok {
+		t.Error("e99 should not exist")
+	}
+}
+
+func TestExperimentLandmarks(t *testing.T) {
+	landmarks := map[string][]string{
+		"e1":  {"[30 70 80]"},
+		"e2":  {"10  20  30", "workers=8: len=100  ok"},
+		"e3":  {"timer at completion: 3 timesteps", "Cup3 full at timestep 3"},
+		"e4":  {"timer at completion: 12 timesteps", "Cup1 full at timestep 3", "Cup2 full at timestep 7", "Cup3 full at timestep 12"},
+		"e5":  {"I        4", "to       2"},
+		"e6":  {"1990", "1999", "warming recovered"},
+		"e7":  {"int a[] = {3, 7, 8};", "append((a[i - 1] * 10), b);"},
+		"e8":  {"#pragma omp parallel for", "typedef struct KVP", "--job-name=snap-mapreduce"},
+		"e9":  {"29%", "54%", "57%", "86%"},
+		"e10": {"block", "dynamic", "speedup"},
+		"e11": {"static", "guided", "dynamic,16"},
+		"e12": {"collected output", "COMPLETED"},
+		"e13": {"flap roar fly flap roar fly"},
+		"e14": {"nodes", "identical", "shuffles nothing"},
+		"e15": {"sequential C", "OpenMP C", "pthreads C", "stark contrast"},
+		"e16": {"fifo", "backfill", "makespan"},
+	}
+	for id, wants := range landmarks {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		out, err := e.Run()
+		if err != nil {
+			t.Errorf("%s: %v", id, err)
+			continue
+		}
+		for _, w := range wants {
+			if !strings.Contains(out, w) {
+				t.Errorf("%s output missing landmark %q\n--- output ---\n%s", id, w, out)
+			}
+		}
+	}
+}

@@ -1,0 +1,333 @@
+// Package blocks defines the block AST that stands in for Snap!'s visual
+// programs: blocks with input slots, scripts (vertical stacks of blocks),
+// rings (first-class procedures), custom block definitions ("Build Your Own
+// Blocks"), sprites, and projects.
+//
+// In the paper the user assembles these structures with the mouse; here they
+// are assembled with the builder API in builder.go, or loaded from the
+// Snap!-style XML supported by package xmlio. Either way the result is the
+// same data structure the interpreter executes and the code generator
+// translates, so everything the paper claims about block programs — their
+// semantics, their parallel extensions, and their translation to OpenMP —
+// is exercised without a GUI.
+package blocks
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Node is anything that can occupy an input slot of a block: another block
+// (a reporter), a literal, an empty slot, a variable reference, a ring, or
+// a nested script (a C-shaped slot).
+type Node interface {
+	// Describe renders a compact, human-readable spelling of the node,
+	// used in error messages and golden tests.
+	Describe() string
+}
+
+// Block is a single block: a command (stackable) or a reporter (oval),
+// identified by its selector ("opcode") with zero or more input slots.
+type Block struct {
+	// Op is the block selector, e.g. "reportSum" or "doSayFor". The full
+	// opcode vocabulary is defined by the interpreter and the codegen
+	// mapping tables.
+	Op string
+	// Inputs are the filled (or empty) slots, in order.
+	Inputs []Node
+}
+
+// NewBlock builds a block with the given selector and inputs.
+func NewBlock(op string, inputs ...Node) *Block {
+	return &Block{Op: op, Inputs: inputs}
+}
+
+// Describe implements Node.
+func (b *Block) Describe() string {
+	if len(b.Inputs) == 0 {
+		return b.Op
+	}
+	parts := make([]string, len(b.Inputs))
+	for i, in := range b.Inputs {
+		if in == nil {
+			parts[i] = "_"
+			continue
+		}
+		parts[i] = in.Describe()
+	}
+	return fmt.Sprintf("%s(%s)", b.Op, strings.Join(parts, ", "))
+}
+
+// Input returns the i-th (0-based) input, or an EmptySlot when the slot is
+// missing — mirroring how Snap! treats an unfilled slot.
+func (b *Block) Input(i int) Node {
+	if i < 0 || i >= len(b.Inputs) || b.Inputs[i] == nil {
+		return EmptySlot{}
+	}
+	return b.Inputs[i]
+}
+
+// Arity reports the number of declared inputs.
+func (b *Block) Arity() int { return len(b.Inputs) }
+
+// Script is a vertical stack of command blocks executed in order.
+type Script struct {
+	Blocks []*Block
+}
+
+// NewScript builds a script from the given blocks.
+func NewScript(bs ...*Block) *Script { return &Script{Blocks: bs} }
+
+// Describe implements Node.
+func (s *Script) Describe() string {
+	if s == nil || len(s.Blocks) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(s.Blocks))
+	for i, b := range s.Blocks {
+		parts[i] = b.Describe()
+	}
+	return "{" + strings.Join(parts, "; ") + "}"
+}
+
+// Len reports the number of blocks in the script.
+func (s *Script) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Blocks)
+}
+
+// Append adds blocks to the end of the script.
+func (s *Script) Append(bs ...*Block) { s.Blocks = append(s.Blocks, bs...) }
+
+// Literal is a constant dropped into a slot: a number typed into an oval,
+// text typed into a rectangle, a boolean chosen from a dropdown.
+type Literal struct {
+	Val value.Value
+}
+
+// Describe implements Node.
+func (l Literal) Describe() string {
+	if l.Val == nil {
+		return "_"
+	}
+	if l.Val.Kind() == value.KindText {
+		return fmt.Sprintf("%q", l.Val.String())
+	}
+	return l.Val.String()
+}
+
+// EmptySlot is an unfilled input. Inside a ring, empty slots are where the
+// ring's arguments are inserted at call time ("the empty input signals where
+// the list inputs are to be inserted into the function", §3.1).
+type EmptySlot struct{}
+
+// Describe implements Node.
+func (EmptySlot) Describe() string { return "_" }
+
+// VarGet reads a variable (a Snap! orange oval dropped into a slot).
+type VarGet struct {
+	Name string
+}
+
+// Describe implements Node.
+func (v VarGet) Describe() string { return v.Name }
+
+// RingNode is the gray ring: it delays evaluation of its body, so the body
+// itself — not its value — becomes the input (§3.1's discussion of why the
+// multiplication block must be ringified before being handed to map).
+// Params names the ring's formal parameters; a body may instead use empty
+// slots, which bind to arguments positionally.
+type RingNode struct {
+	// Body is either a Node (a reporter ring) or a *Script (a command
+	// ring, the "ringified" script of a C-slot).
+	Body Node
+	// Params are optional named formal parameters.
+	Params []string
+}
+
+// Describe implements Node.
+func (r RingNode) Describe() string {
+	body := "_"
+	if r.Body != nil {
+		body = r.Body.Describe()
+	}
+	if len(r.Params) > 0 {
+		return fmt.Sprintf("ring[%s](%s)", strings.Join(r.Params, " "), body)
+	}
+	return fmt.Sprintf("ring(%s)", body)
+}
+
+// ScriptNode is a C-shaped slot holding a nested script (the mouth of a
+// repeat/forever/if block, or the body of parallelForEach).
+type ScriptNode struct {
+	Script *Script
+}
+
+// Describe implements Node.
+func (s ScriptNode) Describe() string { return s.Script.Describe() }
+
+// Ring is the runtime closure a RingNode evaluates to: a first-class
+// procedure value (Snap! calls reification "ringifying"). It captures the
+// defining environment so rings are true lexical closures.
+type Ring struct {
+	// Body is the ring's body: a Node for reporter rings, a *Script for
+	// command rings.
+	Body Node
+	// Params are the formal parameter names; empty means arguments bind
+	// to empty slots positionally.
+	Params []string
+	// Env is an opaque handle to the captured environment. The
+	// interpreter owns its concrete type; codegen and the engines treat
+	// rings it did not create as opaque.
+	Env any
+	// Receiver optionally records the sprite the ring was reified in.
+	Receiver string
+}
+
+// Kind implements value.Value.
+func (*Ring) Kind() value.Kind { return value.KindRing }
+
+// String implements value.Value.
+func (r *Ring) String() string {
+	if r.Body == nil {
+		return "(ring)"
+	}
+	return "(ring " + r.Body.Describe() + ")"
+}
+
+// Clone implements value.Value. Procedures are immutable once reified, so a
+// ring clones to itself; this matches how the paper's implementation ships
+// the *source text* of the function to a Web Worker rather than the closure
+// (Listing 2 re-creates the function from mappedCode()).
+func (r *Ring) Clone() value.Value { return r }
+
+// CustomBlock is a user-defined block ("Build Your Own Blocks"), the
+// feature that gave Snap! its original name (§2).
+type CustomBlock struct {
+	// Name is the block's spec, e.g. "fahrenheit to celsius".
+	Name string
+	// Params are the formal parameter names.
+	Params []string
+	// Body is the definition script. For reporter blocks the script
+	// reports via a doReport block.
+	Body *Script
+	// IsReporter distinguishes oval (reporter) from jigsaw (command)
+	// custom blocks.
+	IsReporter bool
+}
+
+// HatKind says which event a script's hat block listens for.
+type HatKind int
+
+// The events a hat block may bind to (§2's event-driven model).
+const (
+	HatGreenFlag  HatKind = iota // "when green flag clicked"
+	HatKeyPress                  // "when <key> key pressed"
+	HatBroadcast                 // "when I receive <message>"
+	HatCloneStart                // "when I start as a clone"
+)
+
+// String names the hat kind.
+func (h HatKind) String() string {
+	switch h {
+	case HatGreenFlag:
+		return "whenGreenFlag"
+	case HatKeyPress:
+		return "whenKeyPressed"
+	case HatBroadcast:
+		return "whenIReceive"
+	case HatCloneStart:
+		return "whenCloneStarts"
+	}
+	return fmt.Sprintf("hat(%d)", int(h))
+}
+
+// HatScript is a script together with the event that launches it.
+type HatScript struct {
+	Hat HatKind
+	// Arg is the key name for HatKeyPress or the message for
+	// HatBroadcast.
+	Arg    string
+	Script *Script
+}
+
+// Sprite is a Snap! sprite: a named character with its own scripts,
+// variables and (via package stage) a position on the stage. A project's
+// sprites all run concurrently (§2: "activated scripts run concurrently,
+// both within a sprite's own collection of scripts and across all sprites").
+type Sprite struct {
+	Name    string
+	Scripts []*HatScript
+	// Variables are the sprite-local variables and their initial values.
+	Variables map[string]value.Value
+	// Customs are sprite-local custom blocks.
+	Customs map[string]*CustomBlock
+	// X, Y is the starting stage position.
+	X, Y float64
+}
+
+// NewSprite builds an empty sprite.
+func NewSprite(name string) *Sprite {
+	return &Sprite{
+		Name:      name,
+		Variables: map[string]value.Value{},
+		Customs:   map[string]*CustomBlock{},
+	}
+}
+
+// AddScript attaches a hat script to the sprite.
+func (s *Sprite) AddScript(hat HatKind, arg string, script *Script) {
+	s.Scripts = append(s.Scripts, &HatScript{Hat: hat, Arg: arg, Script: script})
+}
+
+// Project is a complete Snap! project: global variables, global custom
+// blocks, and a collection of sprites.
+type Project struct {
+	Name    string
+	Globals map[string]value.Value
+	Customs map[string]*CustomBlock
+	Sprites []*Sprite
+}
+
+// NewProject builds an empty project.
+func NewProject(name string) *Project {
+	return &Project{
+		Name:    name,
+		Globals: map[string]value.Value{},
+		Customs: map[string]*CustomBlock{},
+	}
+}
+
+// AddSprite appends a sprite and returns it for chaining.
+func (p *Project) AddSprite(s *Sprite) *Sprite {
+	p.Sprites = append(p.Sprites, s)
+	return s
+}
+
+// Sprite returns the sprite with the given name, or nil.
+func (p *Project) Sprite(name string) *Sprite {
+	for _, s := range p.Sprites {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// LookupCustom resolves a custom block by name, checking the sprite first
+// and falling back to project globals, the way Snap! scopes BYOB blocks.
+func (p *Project) LookupCustom(sprite *Sprite, name string) *CustomBlock {
+	if sprite != nil {
+		if cb, ok := sprite.Customs[name]; ok {
+			return cb
+		}
+	}
+	if p == nil {
+		return nil
+	}
+	return p.Customs[name]
+}

@@ -1,0 +1,137 @@
+package blocks
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestDescribe(t *testing.T) {
+	// The Figure 4 program: map (× _ 10) over (list 3 7 8).
+	b := Map(RingOf(Product(Empty(), Num(10))), ListOf(Num(3), Num(7), Num(8)))
+	want := "reportMap(ring(reportProduct(_, 10)), reportNewList(3, 7, 8))"
+	if got := b.Describe(); got != want {
+		t.Errorf("Describe = %q, want %q", got, want)
+	}
+}
+
+func TestDescribeEdgeCases(t *testing.T) {
+	if (Literal{}).Describe() != "_" {
+		t.Error("nil literal should describe as _")
+	}
+	if (Literal{Val: value.Text("hi")}).Describe() != `"hi"` {
+		t.Error("text literal should be quoted")
+	}
+	if NewBlock("getTimer").Describe() != "getTimer" {
+		t.Error("niladic block describe")
+	}
+	b := &Block{Op: "x", Inputs: []Node{nil}}
+	if b.Describe() != "x(_)" {
+		t.Errorf("nil input describe = %q", b.Describe())
+	}
+	var s *Script
+	if s.Describe() != "{}" {
+		t.Error("nil script describe")
+	}
+	r := RingNode{Params: []string{"n"}, Body: Var("n")}
+	if r.Describe() != "ring[n](n)" {
+		t.Errorf("ring describe = %q", r.Describe())
+	}
+	if (RingNode{}).Describe() != "ring(_)" {
+		t.Error("empty ring describe")
+	}
+	if HatGreenFlag.String() != "whenGreenFlag" || HatKind(42).String() != "hat(42)" {
+		t.Error("hat kind names")
+	}
+}
+
+func TestBlockInput(t *testing.T) {
+	b := Sum(Num(1), nil)
+	if _, ok := b.Input(1).(EmptySlot); !ok {
+		t.Error("nil input should read as EmptySlot")
+	}
+	if _, ok := b.Input(5).(EmptySlot); !ok {
+		t.Error("out-of-range input should read as EmptySlot")
+	}
+	if b.Arity() != 2 {
+		t.Error("arity")
+	}
+}
+
+func TestScript(t *testing.T) {
+	s := NewScript(SetVar("x", Num(1)))
+	s.Append(ChangeVar("x", Num(2)))
+	if s.Len() != 2 {
+		t.Error("script length")
+	}
+	var nilS *Script
+	if nilS.Len() != 0 {
+		t.Error("nil script length")
+	}
+}
+
+func TestRingValue(t *testing.T) {
+	r := &Ring{Body: Product(Empty(), Num(10))}
+	if r.Kind() != value.KindRing {
+		t.Error("ring kind")
+	}
+	if r.Clone() != value.Value(r) {
+		t.Error("ring clones to itself")
+	}
+	if r.String() == "" || (&Ring{}).String() != "(ring)" {
+		t.Error("ring string")
+	}
+	// Rings must be storable in lists (first-class procedures).
+	l := value.NewList(r)
+	if l.MustItem(1) != value.Value(r) {
+		t.Error("ring in list")
+	}
+}
+
+func TestProjectSpriteCustoms(t *testing.T) {
+	p := NewProject("demo")
+	sp := p.AddSprite(NewSprite("Dragon"))
+	sp.AddScript(HatGreenFlag, "", NewScript(Forward(Num(10))))
+	sp.AddScript(HatKeyPress, "right arrow", NewScript(TurnRight(Num(15))))
+	if p.Sprite("Dragon") != sp || p.Sprite("Missing") != nil {
+		t.Error("sprite lookup")
+	}
+	global := &CustomBlock{Name: "double", Params: []string{"n"}, IsReporter: true}
+	local := &CustomBlock{Name: "double", Params: []string{"n"}, IsReporter: true}
+	p.Customs["double"] = global
+	if p.LookupCustom(sp, "double") != global {
+		t.Error("global custom lookup")
+	}
+	sp.Customs["double"] = local
+	if p.LookupCustom(sp, "double") != local {
+		t.Error("sprite-local custom should shadow global")
+	}
+	if p.LookupCustom(nil, "nope") != nil {
+		t.Error("missing custom should be nil")
+	}
+}
+
+func TestParallelBlockShapes(t *testing.T) {
+	// parallelMap with the optional worker-count input revealed (§3.2).
+	pm := ParallelMap(RingOf(Product(Empty(), Num(10))), Var("data"), Num(4))
+	if pm.Op != "reportParallelMap" || pm.Arity() != 3 {
+		t.Error("parallelMap shape")
+	}
+	// parallelForEach in parallel mode with default parallelism (§3.3).
+	pfe := ParallelForEach("cup", Var("cups"), Empty(), Body(Say(Var("cup"))))
+	if pfe.Op != "doParallelForEach" || pfe.Arity() != 5 {
+		t.Error("parallelForEach shape")
+	}
+	if mode := pfe.Input(4).(Literal).Val.(value.Bool); !bool(mode) {
+		t.Error("parallel mode flag")
+	}
+	seq := ParallelForEachSeq("cup", Var("cups"), Body(Say(Var("cup"))))
+	if mode := seq.Input(4).(Literal).Val.(value.Bool); bool(mode) {
+		t.Error("sequential mode flag")
+	}
+	// mapReduce (§3.4).
+	mr := MapReduce(RingOf(Empty()), RingOf(Empty()), Var("data"))
+	if mr.Op != "reportMapReduce" || mr.Arity() != 3 {
+		t.Error("mapReduce shape")
+	}
+}

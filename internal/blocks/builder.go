@@ -1,0 +1,310 @@
+package blocks
+
+import "repro/internal/value"
+
+// This file is the programmatic stand-in for Snap!'s palette: one
+// constructor per block. Dragging a block from the palette and dropping a
+// value into a slot corresponds to calling the constructor with the slot's
+// Node. The constructors return *Block (commands and reporters alike);
+// reporters are dropped into other blocks' slots.
+
+// --- literals and slots ---
+
+// Num is a number typed into a slot.
+func Num(f float64) Node { return Literal{Val: value.Number(f)} }
+
+// Txt is text typed into a slot.
+func Txt(s string) Node { return Literal{Val: value.Text(s)} }
+
+// BoolLit is a boolean slot constant.
+func BoolLit(b bool) Node { return Literal{Val: value.Bool(b)} }
+
+// Lit wraps an arbitrary value as a literal.
+func Lit(v value.Value) Node { return Literal{Val: v} }
+
+// Empty is an unfilled slot.
+func Empty() Node { return EmptySlot{} }
+
+// Var reads a variable.
+func Var(name string) Node { return VarGet{Name: name} }
+
+// Reporter re-types a reporter block as a Node for dropping into a slot.
+func Reporter(b *Block) Node { return b }
+
+// RingOf ringifies a reporter body with optional named parameters
+// (the gray ring of §3.1).
+func RingOf(body Node, params ...string) Node {
+	return RingNode{Body: body, Params: params}
+}
+
+// RingScript ringifies a command script.
+func RingScript(s *Script, params ...string) Node {
+	return RingNode{Body: s, Params: params}
+}
+
+// Body wraps a script for a C-shaped slot.
+func Body(bs ...*Block) Node { return ScriptNode{Script: NewScript(bs...)} }
+
+// --- operators ---
+
+// Sum is the + block.
+func Sum(a, b Node) *Block { return NewBlock("reportSum", a, b) }
+
+// Difference is the − block.
+func Difference(a, b Node) *Block { return NewBlock("reportDifference", a, b) }
+
+// Product is the × block.
+func Product(a, b Node) *Block { return NewBlock("reportProduct", a, b) }
+
+// Quotient is the ÷ block.
+func Quotient(a, b Node) *Block { return NewBlock("reportQuotient", a, b) }
+
+// Modulus is the mod block.
+func Modulus(a, b Node) *Block { return NewBlock("reportModulus", a, b) }
+
+// Round is the round block.
+func Round(a Node) *Block { return NewBlock("reportRound", a) }
+
+// Monadic is the "sqrt/abs/floor/ceiling/sin/cos/ln/e^ of" multi-function
+// block; fn picks the function.
+func Monadic(fn string, a Node) *Block { return NewBlock("reportMonadic", Txt(fn), a) }
+
+// Random is the "pick random _ to _" block.
+func Random(a, b Node) *Block { return NewBlock("reportRandom", a, b) }
+
+// LessThan is the < predicate.
+func LessThan(a, b Node) *Block { return NewBlock("reportLessThan", a, b) }
+
+// Equals is the = predicate.
+func Equals(a, b Node) *Block { return NewBlock("reportEquals", a, b) }
+
+// GreaterThan is the > predicate.
+func GreaterThan(a, b Node) *Block { return NewBlock("reportGreaterThan", a, b) }
+
+// And is the and predicate.
+func And(a, b Node) *Block { return NewBlock("reportAnd", a, b) }
+
+// Or is the or predicate.
+func Or(a, b Node) *Block { return NewBlock("reportOr", a, b) }
+
+// Not is the not predicate.
+func Not(a Node) *Block { return NewBlock("reportNot", a) }
+
+// Join is the "join _ _" text block.
+func Join(parts ...Node) *Block { return NewBlock("reportJoinWords", parts...) }
+
+// Letter is "letter _ of _".
+func Letter(i, text Node) *Block { return NewBlock("reportLetter", i, text) }
+
+// StringSize is "length of _" (text).
+func StringSize(text Node) *Block { return NewBlock("reportStringSize", text) }
+
+// Split is "split _ by _".
+func Split(text, delim Node) *Block { return NewBlock("reportTextSplit", text, delim) }
+
+// --- variables ---
+
+// SetVar is "set _ to _".
+func SetVar(name string, val Node) *Block { return NewBlock("doSetVar", Txt(name), val) }
+
+// ChangeVar is "change _ by _".
+func ChangeVar(name string, delta Node) *Block { return NewBlock("doChangeVar", Txt(name), delta) }
+
+// DeclareLocal is "script variables _ ...".
+func DeclareLocal(names ...string) *Block {
+	ins := make([]Node, len(names))
+	for i, n := range names {
+		ins[i] = Txt(n)
+	}
+	return NewBlock("doDeclareVariables", ins...)
+}
+
+// --- lists ---
+
+// ListOf is "list _ _ ..." — builds a new list.
+func ListOf(items ...Node) *Block { return NewBlock("reportNewList", items...) }
+
+// Numbers is "numbers from _ to _".
+func Numbers(from, to Node) *Block { return NewBlock("reportNumbers", from, to) }
+
+// ItemOf is "item _ of _".
+func ItemOf(i, list Node) *Block { return NewBlock("reportListItem", i, list) }
+
+// LengthOf is "length of _" (list).
+func LengthOf(list Node) *Block { return NewBlock("reportListLength", list) }
+
+// ListContains is "_ contains _".
+func ListContains(list, item Node) *Block { return NewBlock("reportListContainsItem", list, item) }
+
+// AddToList is "add _ to _".
+func AddToList(item, list Node) *Block { return NewBlock("doAddToList", item, list) }
+
+// DeleteFromList is "delete _ of _".
+func DeleteFromList(i, list Node) *Block { return NewBlock("doDeleteFromList", i, list) }
+
+// InsertInList is "insert _ at _ of _".
+func InsertInList(item, i, list Node) *Block { return NewBlock("doInsertInList", item, i, list) }
+
+// ReplaceInList is "replace item _ of _ with _".
+func ReplaceInList(i, list, item Node) *Block { return NewBlock("doReplaceInList", i, list, item) }
+
+// --- control ---
+
+// If is "if _ { _ }".
+func If(cond Node, body Node) *Block { return NewBlock("doIf", cond, body) }
+
+// IfElse is "if _ { _ } else { _ }".
+func IfElse(cond, then, els Node) *Block { return NewBlock("doIfElse", cond, then, els) }
+
+// Repeat is "repeat _ { _ }".
+func Repeat(n Node, body Node) *Block { return NewBlock("doRepeat", n, body) }
+
+// Forever is "forever { _ }".
+func Forever(body Node) *Block { return NewBlock("doForever", body) }
+
+// Until is "repeat until _ { _ }".
+func Until(cond Node, body Node) *Block { return NewBlock("doUntil", cond, body) }
+
+// For is "for _ = _ to _ { _ }", with an upvar.
+func For(varName string, from, to Node, body Node) *Block {
+	return NewBlock("doFor", Txt(varName), from, to, body)
+}
+
+// Wait is "wait _ timesteps": it consumes n rounds of the virtual clock.
+// The concession stand's "it takes three timesteps to fill a glass" is
+// Wait(Num(3)).
+func Wait(n Node) *Block { return NewBlock("doWait", n) }
+
+// Report is "report _" — returns a value from a custom block or ring.
+func Report(v Node) *Block { return NewBlock("doReport", v) }
+
+// Stop is "stop this script".
+func Stop() *Block { return NewBlock("doStopThis") }
+
+// Warp is "warp { _ }": runs the body without yielding between blocks.
+func Warp(body Node) *Block { return NewBlock("doWarp", body) }
+
+// --- higher-order (sequential, stock Snap!) ---
+
+// Map is the stock sequential map block of Figure 4.
+func Map(ring, list Node) *Block { return NewBlock("reportMap", ring, list) }
+
+// Keep is "keep items such that _ from _".
+func Keep(ring, list Node) *Block { return NewBlock("reportKeep", ring, list) }
+
+// Combine is "combine _ using _" (a fold).
+func Combine(list, ring Node) *Block { return NewBlock("reportCombine", list, ring) }
+
+// ForEach is the stock sequential "for each _ in _ { _ }".
+func ForEach(itemVar string, list Node, body Node) *Block {
+	return NewBlock("doForEach", Txt(itemVar), list, body)
+}
+
+// --- the paper's parallel blocks (§3) ---
+
+// ParallelMap is the parallelMap block of §3.2: like Map but executed by
+// HTML5-Web-Worker-style workers. workers is the optional rightmost input;
+// pass Empty() for the default (hardware concurrency, else 4).
+func ParallelMap(ring, list, workers Node) *Block {
+	return NewBlock("reportParallelMap", ring, list, workers)
+}
+
+// ParallelForEach is the parallelForEach block of §3.3 in parallel mode:
+// clones of the running sprite each execute body on one list item.
+// parallelism is the input box right of the "in parallel" label; pass
+// Empty() to default to the length of the list.
+func ParallelForEach(itemVar string, list, parallelism Node, body Node) *Block {
+	return NewBlock("doParallelForEach", Txt(itemVar), list, parallelism, body, BoolLit(true))
+}
+
+// ParallelForEachSeq is the same block with the parallel input collapsed:
+// sequential mode, "the Pitcher sprite should execute the script as a normal
+// forEach block by looping over the input array" (§3.3).
+func ParallelForEachSeq(itemVar string, list Node, body Node) *Block {
+	return NewBlock("doParallelForEach", Txt(itemVar), list, Empty(), body, BoolLit(false))
+}
+
+// MapReduce is the mapReduce block of §3.4: mapRing maps each item to a
+// (key value) pair, reduceRing reduces the values grouped per key, list is
+// the input data.
+func MapReduce(mapRing, reduceRing, list Node) *Block {
+	return NewBlock("reportMapReduce", mapRing, reduceRing, list)
+}
+
+// --- rings as calls ---
+
+// Call is "call _ with inputs _ ..." — invokes a reporter ring.
+func Call(ring Node, args ...Node) *Block {
+	return NewBlock("evaluate", append([]Node{ring}, args...)...)
+}
+
+// Run is "run _ with inputs _ ..." — invokes a command ring.
+func Run(ring Node, args ...Node) *Block {
+	return NewBlock("doRun", append([]Node{ring}, args...)...)
+}
+
+// CallCustom invokes a custom (BYOB) block by name.
+func CallCustom(name string, args ...Node) *Block {
+	return NewBlock("evaluateCustomBlock", append([]Node{Txt(name)}, args...)...)
+}
+
+// --- events, cloning, sprites ---
+
+// Broadcast is "broadcast _".
+func Broadcast(msg Node) *Block { return NewBlock("doBroadcast", msg) }
+
+// BroadcastAndWait is "broadcast _ and wait".
+func BroadcastAndWait(msg Node) *Block { return NewBlock("doBroadcastAndWait", msg) }
+
+// CreateCloneOf is "create a clone of _"; use "myself" for self-cloning,
+// the mechanism parallelForEach uses to spawn its pitchers.
+func CreateCloneOf(name Node) *Block { return NewBlock("createClone", name) }
+
+// DeleteThisClone is "delete this clone".
+func DeleteThisClone() *Block { return NewBlock("removeClone") }
+
+// --- motion and looks (enough for the stage demos) ---
+
+// Forward is "move _ steps".
+func Forward(n Node) *Block { return NewBlock("forward", n) }
+
+// TurnRight is "turn ↻ _ degrees".
+func TurnRight(deg Node) *Block { return NewBlock("turn", deg) }
+
+// TurnLeft is "turn ↺ _ degrees".
+func TurnLeft(deg Node) *Block { return NewBlock("turnLeft", deg) }
+
+// GotoXY is "go to x: _ y: _".
+func GotoXY(x, y Node) *Block { return NewBlock("gotoXY", x, y) }
+
+// Say is "say _".
+func Say(v Node) *Block { return NewBlock("bubble", v) }
+
+// Think is "think _".
+func Think(v Node) *Block { return NewBlock("doThink", v) }
+
+// --- sensing ---
+
+// Timer is the "timer" reporter: elapsed virtual timesteps, the clock in
+// the upper-left corner of Figure 7.
+func Timer() *Block { return NewBlock("getTimer") }
+
+// ResetTimer is "reset timer".
+func ResetTimer() *Block { return NewBlock("doResetTimer") }
+
+// MyName reports the running sprite's (or clone's) name.
+func MyName() *Block { return NewBlock("reportMyName") }
+
+// --- files (§6.3 data ingestion/export) ---
+
+// ReadFile is "contents of file _".
+func ReadFile(name Node) *Block { return NewBlock("reportReadFile", name) }
+
+// FileLines is "lines of file _" — a list of the file's lines.
+func FileLines(name Node) *Block { return NewBlock("reportFileLines", name) }
+
+// WriteFile is "write _ to file _" (content, name order follows the label).
+func WriteFile(name, content Node) *Block { return NewBlock("doWriteFile", name, content) }
+
+// AppendToFile is "append _ to file _".
+func AppendToFile(name, content Node) *Block { return NewBlock("doAppendToFile", name, content) }

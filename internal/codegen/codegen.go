@@ -1,0 +1,340 @@
+// Package codegen implements Snap!'s experimental code-mapping feature as
+// used in §6 of the paper: the translation of visual block programs into
+// text-based source code — "through the use of this feature, parallel
+// programs in Snap! are translated to OpenMP code ready to compile and run
+// in traditional parallel computing environments."
+//
+// Each target language is a table of templates keyed by opcode, with
+// placeholders marking where translated inputs are spliced in — exactly
+// Figure 15's mapping constructs, where "<#1>, <#2>... signify the mapping
+// of the first location in the block to be filled in, the second, and so
+// forth. The remainder of the characters are copied to the output
+// verbatim." Because block programs nest, "the value substituted for a
+// particular placeholder may itself have resulted from the translation of
+// a nested block."
+//
+// Placeholder forms:
+//
+//	<#n>  the n-th input, translated as an expression
+//	<$n>  the n-th input rendered raw as an identifier (variable names)
+//	<&n>  the n-th input, a script body, translated as indented statements
+//
+// Mappings exist for C (c.go), OpenMP C (openmp.go), JavaScript, Python,
+// and Go (langs.go) — "currently, mappings exist for JavaScript, C,
+// Smalltalk, and Python. Code mappings for new textual languages can
+// easily be specified by the user by creating the corresponding mapping
+// block": NewLang plus template registration is that mapping block.
+package codegen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/blocks"
+	"repro/internal/value"
+)
+
+// GenFunc is a custom generator for opcodes whose translation needs more
+// than a template (variadic joins, list construction, parallel loops).
+type GenFunc func(t *Translator, b *blocks.Block, indent int) (string, error)
+
+// Lang describes one target language's mapping tables.
+type Lang struct {
+	// Name identifies the language ("c", "js", "python", "go").
+	Name string
+	// Expr maps reporter opcodes to expression templates.
+	Expr map[string]string
+	// Stmt maps command opcodes to statement templates.
+	Stmt map[string]string
+	// Custom overrides both for opcodes needing bespoke generation.
+	Custom map[string]GenFunc
+	// QuoteText renders a text literal.
+	QuoteText func(string) string
+	// BoolLit renders the two boolean literals.
+	TrueLit, FalseLit string
+	// IndentUnit is one level of indentation.
+	IndentUnit string
+	// StmtSuffix terminates a simple expression statement (";" in C).
+	StmtSuffix string
+	// EmptyBody fills an empty C-slot ("pass" in Python, "" elsewhere).
+	EmptyBody string
+	// LineComment starts a comment line.
+	LineComment string
+}
+
+// Ident sanitizes a Snap! variable name (which may contain spaces) into a
+// legal identifier.
+func Ident(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// Translator walks a block AST emitting target-language text.
+type Translator struct {
+	Lang *Lang
+	// implicits are the names bound to empty slots during ring-body
+	// translation — the textual analogue of the interpreter's implicit
+	// arguments.
+	implicits   []string
+	implicitIdx int
+}
+
+// New builds a translator for the language.
+func New(l *Lang) *Translator { return &Translator{Lang: l} }
+
+// ForLang builds a translator by language name: "c", "js", "python", "go".
+func ForLang(name string) (*Translator, error) {
+	switch strings.ToLower(name) {
+	case "c":
+		return New(CLang()), nil
+	case "js", "javascript":
+		return New(JSLang()), nil
+	case "python", "py":
+		return New(PythonLang()), nil
+	case "go", "golang":
+		return New(GoLang()), nil
+	}
+	return nil, fmt.Errorf("no code mapping for language %q", name)
+}
+
+// WithImplicits returns a child translator whose empty slots render as the
+// given parameter names — used to translate ring bodies into function
+// bodies, Listing 2's mappedCode().
+func (t *Translator) WithImplicits(names ...string) *Translator {
+	return &Translator{Lang: t.Lang, implicits: names}
+}
+
+func (t *Translator) takeImplicit() (string, error) {
+	if len(t.implicits) == 0 {
+		return "", fmt.Errorf("empty slot outside a ring has no meaning in text")
+	}
+	if len(t.implicits) == 1 {
+		return t.implicits[0], nil
+	}
+	if t.implicitIdx < len(t.implicits) {
+		name := t.implicits[t.implicitIdx]
+		t.implicitIdx++
+		return name, nil
+	}
+	return t.implicits[len(t.implicits)-1], nil
+}
+
+// Expr translates a slot node to an expression string.
+func (t *Translator) Expr(n blocks.Node) (string, error) {
+	switch x := n.(type) {
+	case blocks.Literal:
+		return t.literal(x.Val)
+	case blocks.VarGet:
+		return Ident(x.Name), nil
+	case blocks.EmptySlot:
+		return t.takeImplicit()
+	case blocks.RingNode:
+		// A bare ring in expression position translates to its body's
+		// code with its parameters as implicits.
+		sub := t.WithImplicits(x.Params...)
+		if body, ok := x.Body.(blocks.Node); ok {
+			return sub.Expr(body)
+		}
+		return "", fmt.Errorf("cannot translate a command ring as an expression")
+	case *blocks.Block:
+		return t.exprBlock(x)
+	case nil:
+		return "", fmt.Errorf("cannot translate an absent input")
+	default:
+		return "", fmt.Errorf("cannot translate %T as an expression", n)
+	}
+}
+
+func (t *Translator) literal(v value.Value) (string, error) {
+	switch x := v.(type) {
+	case nil, value.Nothing:
+		return "", fmt.Errorf("cannot translate an empty literal")
+	case value.Number:
+		return x.String(), nil
+	case value.Bool:
+		if x {
+			return t.Lang.TrueLit, nil
+		}
+		return t.Lang.FalseLit, nil
+	case value.Text:
+		return t.Lang.QuoteText(string(x)), nil
+	case *value.List:
+		parts := make([]string, x.Len())
+		for i, item := range x.Items() {
+			s, err := t.literal(item)
+			if err != nil {
+				return "", err
+			}
+			parts[i] = s
+		}
+		return "{" + strings.Join(parts, ", ") + "}", nil
+	default:
+		return "", fmt.Errorf("cannot translate a %s literal", v.Kind())
+	}
+}
+
+func (t *Translator) exprBlock(b *blocks.Block) (string, error) {
+	if gen, ok := t.Lang.Custom[b.Op]; ok {
+		return gen(t, b, 0)
+	}
+	tpl, ok := t.Lang.Expr[b.Op]
+	if !ok {
+		return "", fmt.Errorf("no %s mapping for block %q", t.Lang.Name, b.Op)
+	}
+	return t.fill(tpl, b, 0)
+}
+
+// Stmt translates one command block at the given indent.
+func (t *Translator) Stmt(b *blocks.Block, indent int) (string, error) {
+	if gen, ok := t.Lang.Custom[b.Op]; ok {
+		return gen(t, b, indent)
+	}
+	if tpl, ok := t.Lang.Stmt[b.Op]; ok {
+		return t.fill(tpl, b, indent)
+	}
+	// A reporter used as a statement (its value discarded).
+	if _, ok := t.Lang.Expr[b.Op]; ok {
+		e, err := t.exprBlock(b)
+		if err != nil {
+			return "", err
+		}
+		return t.indent(indent) + e + t.Lang.StmtSuffix, nil
+	}
+	return "", fmt.Errorf("no %s mapping for block %q", t.Lang.Name, b.Op)
+}
+
+// Script translates a script as statements at the given indent.
+func (t *Translator) Script(s *blocks.Script, indent int) (string, error) {
+	if s == nil || len(s.Blocks) == 0 {
+		if t.Lang.EmptyBody != "" {
+			return t.indent(indent) + t.Lang.EmptyBody, nil
+		}
+		return "", nil
+	}
+	lines := make([]string, 0, len(s.Blocks))
+	for _, b := range s.Blocks {
+		chunk, err := t.Stmt(b, indent)
+		if err != nil {
+			return "", err
+		}
+		if chunk != "" {
+			lines = append(lines, chunk)
+		}
+	}
+	return strings.Join(lines, "\n"), nil
+}
+
+// BodyOf translates a body input (a ScriptNode or RingNode C-slot) at the
+// given indent.
+func (t *Translator) BodyOf(n blocks.Node, indent int) (string, error) {
+	switch x := n.(type) {
+	case blocks.ScriptNode:
+		return t.Script(x.Script, indent)
+	case blocks.RingNode:
+		if s, ok := x.Body.(*blocks.Script); ok {
+			return t.Script(s, indent)
+		}
+		return "", fmt.Errorf("expected a script body")
+	case blocks.EmptySlot:
+		return t.Script(nil, indent)
+	default:
+		return "", fmt.Errorf("expected a script body, got %T", n)
+	}
+}
+
+func (t *Translator) indent(n int) string {
+	return strings.Repeat(t.Lang.IndentUnit, n)
+}
+
+// fill substitutes a template's placeholders. Template lines are indented
+// at the statement's level; a line consisting solely of a body placeholder
+// <&n> is replaced by the body translated one level deeper.
+func (t *Translator) fill(tpl string, b *blocks.Block, indent int) (string, error) {
+	lines := strings.Split(tpl, "\n")
+	out := make([]string, 0, len(lines))
+	for _, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "<&") && strings.HasSuffix(trimmed, ">") {
+			idx, err := strconv.Atoi(trimmed[2 : len(trimmed)-1])
+			if err != nil {
+				return "", fmt.Errorf("bad body placeholder %q", trimmed)
+			}
+			body, err := t.BodyOf(b.Input(idx-1), indent+1)
+			if err != nil {
+				return "", err
+			}
+			if body != "" {
+				out = append(out, body)
+			}
+			continue
+		}
+		filled, err := t.fillInline(line, b)
+		if err != nil {
+			return "", err
+		}
+		out = append(out, t.indent(indent)+filled)
+	}
+	return strings.Join(out, "\n"), nil
+}
+
+// fillInline substitutes <#n> and <$n> within a single template line.
+func (t *Translator) fillInline(line string, b *blocks.Block) (string, error) {
+	var out strings.Builder
+	for i := 0; i < len(line); {
+		if line[i] == '<' && i+3 <= len(line) && (line[i+1] == '#' || line[i+1] == '$') {
+			end := strings.IndexByte(line[i:], '>')
+			if end > 2 {
+				numStr := line[i+2 : i+end]
+				if idx, err := strconv.Atoi(numStr); err == nil {
+					in := b.Input(idx - 1)
+					var s string
+					var terr error
+					if line[i+1] == '$' {
+						s, terr = rawIdent(in)
+					} else {
+						s, terr = t.Expr(in)
+					}
+					if terr != nil {
+						return "", terr
+					}
+					out.WriteString(s)
+					i += end + 1
+					continue
+				}
+			}
+		}
+		out.WriteByte(line[i])
+		i++
+	}
+	return out.String(), nil
+}
+
+// rawIdent renders an input that names something (a variable) as an
+// identifier.
+func rawIdent(n blocks.Node) (string, error) {
+	switch x := n.(type) {
+	case blocks.Literal:
+		return Ident(x.Val.String()), nil
+	case blocks.VarGet:
+		return Ident(x.Name), nil
+	default:
+		return "", fmt.Errorf("expected a name, got %T", n)
+	}
+}

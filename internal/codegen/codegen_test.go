@@ -1,0 +1,322 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/blocks"
+	"repro/internal/value"
+)
+
+func mustExpr(t *testing.T, lang *Lang, n blocks.Node) string {
+	t.Helper()
+	s, err := New(lang).Expr(n)
+	if err != nil {
+		t.Fatalf("translate %s: %v", n.Describe(), err)
+	}
+	return s
+}
+
+func TestCExpressions(t *testing.T) {
+	cases := []struct {
+		n    blocks.Node
+		want string
+	}{
+		{blocks.Sum(blocks.Num(1), blocks.Num(2)), "(1 + 2)"},
+		{blocks.Product(blocks.Var("x"), blocks.Num(10)), "(x * 10)"},
+		{blocks.ItemOf(blocks.Var("i"), blocks.Var("a")), "a[i - 1]"},
+		{blocks.LengthOf(blocks.Var("a")), "(sizeof(a)/sizeof(a[0]))"},
+		{blocks.And(blocks.LessThan(blocks.Var("x"), blocks.Num(3)), blocks.BoolLit(true)),
+			"((x < 3) && 1)"},
+		{blocks.Monadic("sqrt", blocks.Num(2)), "sqrt(2)"},
+		{blocks.Not(blocks.Equals(blocks.Num(1), blocks.Num(2))), "(!(1 == 2))"},
+	}
+	lang := CLang()
+	for _, c := range cases {
+		if got := mustExpr(t, lang, c.n); got != c.want {
+			t.Errorf("%s -> %q, want %q", c.n.Describe(), got, c.want)
+		}
+	}
+}
+
+func TestCExpressionErrors(t *testing.T) {
+	tr := New(CLang())
+	if _, err := tr.Expr(blocks.EmptySlot{}); err == nil {
+		t.Error("bare empty slot should not translate")
+	}
+	if _, err := tr.Expr(blocks.Reporter(blocks.NewBlock("getTimer"))); err == nil {
+		t.Error("unmapped opcode should error")
+	}
+	if _, err := tr.Expr(blocks.Lit(value.Nothing{})); err == nil {
+		t.Error("empty literal should error")
+	}
+	if _, err := tr.Expr(blocks.Monadic("zorp", blocks.Num(1))); err == nil {
+		t.Error("unknown monadic function should error")
+	}
+}
+
+func TestIdentSanitization(t *testing.T) {
+	cases := map[string]string{
+		"plain":       "plain",
+		"two words":   "two_words",
+		"3rd":         "_3rd",
+		"héllo":       "h_llo",
+		"":            "_",
+		"a-b":         "a_b",
+		"CamelCase_9": "CamelCase_9",
+	}
+	for in, want := range cases {
+		if got := Ident(in); got != want {
+			t.Errorf("Ident(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestListing5Shape is experiment E7: the Figure 16 script must translate
+// to C carrying every structural landmark of the paper's Listing 5.
+func TestListing5Shape(t *testing.T) {
+	src, err := Listing5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	landmarks := []string{
+		"#include <stdio.h>",
+		"#include <stdlib.h>",
+		"typedef struct node {",
+		"struct node *next;",
+		"} node_t;",
+		"void append(int d, node_t *p) {",
+		"p->next = (node_t *) malloc(sizeof(node_t));",
+		"int main()",
+		"int a[] = {3, 7, 8};",
+		"node_t *b = (node_t *) malloc(sizeof(node_t));",
+		"(sizeof(a)/sizeof(a[0]))",
+		"int i; for (i = 1; i <= ",
+		"append((a[i - 1] * 10), b);",
+		"return (0);",
+	}
+	for _, l := range landmarks {
+		if !strings.Contains(src, l) {
+			t.Errorf("Listing 5 output missing landmark %q\n--- got ---\n%s", l, src)
+		}
+	}
+}
+
+func TestTypeInference(t *testing.T) {
+	cases := []struct {
+		n    blocks.Node
+		want CType
+	}{
+		{blocks.Num(3), CInt},
+		{blocks.Num(3.5), CDouble},
+		{blocks.Txt("hi"), CCharPtr},
+		{blocks.BoolLit(true), CBool},
+		{blocks.Sum(blocks.Num(1), blocks.Num(2)), CInt},
+		{blocks.Sum(blocks.Num(1), blocks.Num(2.5)), CDouble},
+		{blocks.Quotient(blocks.Num(4), blocks.Num(2)), CDouble},
+		{blocks.LessThan(blocks.Num(1), blocks.Num(2)), CBool},
+		{blocks.ListOf(blocks.Num(1), blocks.Num(2)), CIntArray},
+		{blocks.ListOf(blocks.Num(1.5)), CDoubleArray},
+		{blocks.ListOf(), CListPtr},
+		{blocks.ListOf(blocks.Txt("s")), CListPtr},
+		{blocks.Join(blocks.Txt("a"), blocks.Txt("b")), CCharPtr},
+		{blocks.LengthOf(blocks.Var("a")), CInt},
+		{blocks.Reporter(blocks.NewBlock("getTimer")), CUnknown},
+	}
+	for _, c := range cases {
+		if got := InferType(c.n, nil); got != c.want {
+			t.Errorf("InferType(%s) = %v, want %v", c.n.Describe(), got, c.want)
+		}
+	}
+	env := map[string]CType{"a": CIntArray}
+	if got := InferType(blocks.ItemOf(blocks.Num(1), blocks.Var("a")), env); got != CInt {
+		t.Errorf("item of int array = %v", got)
+	}
+	if got := InferType(blocks.Var("a"), env); got != CIntArray {
+		t.Errorf("var lookup = %v", got)
+	}
+}
+
+func TestCEmitterDeclarations(t *testing.T) {
+	e := NewCEmitter()
+	script := blocks.NewScript(
+		blocks.SetVar("n", blocks.Num(5)),
+		blocks.SetVar("n", blocks.Num(6)), // second assignment: no decl
+		blocks.SetVar("x", blocks.Num(1.5)),
+		blocks.SetVar("s", blocks.Txt("hi")),
+		blocks.SetVar("flag", blocks.BoolLit(true)),
+	)
+	src, err := e.Program(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"int n = 5;", "n = 6;", "double x = 1.5;", `char *s = "hi";`, "int flag = 1;",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q in:\n%s", want, src)
+		}
+	}
+	if strings.Count(src, "int n") != 1 {
+		t.Error("variable declared twice")
+	}
+}
+
+func TestCControlFlow(t *testing.T) {
+	e := NewCEmitter()
+	script := blocks.NewScript(
+		blocks.SetVar("n", blocks.Num(0)),
+		blocks.Repeat(blocks.Num(3), blocks.Body(
+			blocks.ChangeVar("n", blocks.Num(1)))),
+		blocks.If(blocks.GreaterThan(blocks.Var("n"), blocks.Num(2)), blocks.Body(
+			blocks.Say(blocks.Var("n")))),
+		blocks.IfElse(blocks.BoolLit(false),
+			blocks.Body(blocks.SetVar("n", blocks.Num(1))),
+			blocks.Body(blocks.SetVar("n", blocks.Num(2)))),
+		blocks.Until(blocks.Equals(blocks.Var("n"), blocks.Num(9)), blocks.Body(
+			blocks.ChangeVar("n", blocks.Num(1)))),
+	)
+	src, err := e.Program(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"for (int _r = 0; _r < 3; _r++) {",
+		"n += 1;",
+		"if ((n > 2)) {",
+		`printf("%g\n", (double)(n));`,
+		"} else {",
+		"while (!((n == 9))) {",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q in:\n%s", want, src)
+		}
+	}
+}
+
+func TestJSMapping(t *testing.T) {
+	lang := JSLang()
+	if got := mustExpr(t, lang, blocks.Map(
+		blocks.RingOf(blocks.Product(blocks.Empty(), blocks.Num(10))),
+		blocks.Var("data"))); got != "data.map(function (x) { return (x * 10); })" {
+		t.Errorf("js map = %q", got)
+	}
+	// parallelMap renders the Parallel.js idiom of Listing 1.
+	got := mustExpr(t, lang, blocks.ParallelMap(
+		blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Empty())),
+		blocks.Var("data"), blocks.Num(2)))
+	want := "new Parallel(data, {maxWorkers: 2}).map(function (x) { return (x + x); })"
+	if got != want {
+		t.Errorf("js parallelMap = %q, want %q", got, want)
+	}
+	// Default worker count spells out Listing 2's fallback chain.
+	got = mustExpr(t, lang, blocks.ParallelMap(
+		blocks.RingOf(blocks.Empty()), blocks.Var("d"), blocks.Empty()))
+	if !strings.Contains(got, "navigator.hardwareConcurrency || 4") {
+		t.Errorf("js parallelMap default workers = %q", got)
+	}
+	tr := New(lang)
+	stmt, err := tr.Stmt(blocks.SetVar("x", blocks.ListOf(blocks.Num(1), blocks.Num(2))), 0)
+	if err != nil || stmt != "let x = [1, 2];" {
+		t.Errorf("js setvar = %q, %v", stmt, err)
+	}
+}
+
+func TestPythonMapping(t *testing.T) {
+	tr := New(PythonLang())
+	script := blocks.NewScript(
+		blocks.SetVar("total", blocks.Num(0)),
+		blocks.For("i", blocks.Num(1), blocks.Num(10), blocks.Body(
+			blocks.ChangeVar("total", blocks.Var("i")))),
+		blocks.If(blocks.GreaterThan(blocks.Var("total"), blocks.Num(50)), blocks.Body(
+			blocks.Say(blocks.Var("total")))),
+	)
+	src, err := tr.Script(script, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"total = 0",
+		"for i in range(1, 10 + 1):",
+		"    total += i",
+		"if (total > 50):",
+		"    print(total)",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q in:\n%s", want, src)
+		}
+	}
+	// Empty bodies need pass.
+	src, err = tr.Script(blocks.NewScript(
+		blocks.If(blocks.BoolLit(true), blocks.Body())), 0)
+	if err != nil || !strings.Contains(src, "pass") {
+		t.Errorf("python empty body: %q, %v", src, err)
+	}
+	// Comprehension-style map.
+	got := mustExpr(t, PythonLang(), blocks.Map(
+		blocks.RingOf(blocks.Product(blocks.Empty(), blocks.Num(10))), blocks.Var("d")))
+	if got != "[(x * 10) for x in d]" {
+		t.Errorf("python map = %q", got)
+	}
+}
+
+func TestGoMapping(t *testing.T) {
+	tr := New(GoLang())
+	src, err := tr.Script(blocks.NewScript(
+		blocks.SetVar("xs", blocks.ListOf(blocks.Num(1), blocks.Num(2))),
+		blocks.For("i", blocks.Num(1), blocks.Num(3), blocks.Body(
+			blocks.Say(blocks.Var("i")))),
+	), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"xs := []float64{1, 2}",
+		"for i := 1; i <= 3; i++ {",
+		"fmt.Println(i)",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q in:\n%s", want, src)
+		}
+	}
+}
+
+func TestForLangLookup(t *testing.T) {
+	for _, name := range []string{"c", "js", "javascript", "python", "py", "go", "golang"} {
+		if _, err := ForLang(name); err != nil {
+			t.Errorf("ForLang(%q): %v", name, err)
+		}
+	}
+	if _, err := ForLang("smalltalk-80"); err == nil {
+		t.Error("unknown language should error")
+	}
+}
+
+func TestNamedParamRing(t *testing.T) {
+	// A ring with a named parameter translates with the parameter
+	// renamed to the implicit slot.
+	got := mustExpr(t, JSLang(), blocks.Map(
+		blocks.RingOf(blocks.Sum(blocks.Var("n"), blocks.Num(1)), "n"),
+		blocks.Var("d")))
+	if got != "d.map(function (x) { return (x + 1); })" {
+		t.Errorf("named-param ring = %q", got)
+	}
+}
+
+func TestTextQuoting(t *testing.T) {
+	if got := mustExpr(t, CLang(), blocks.Txt("he said \"hi\"\n")); got != `"he said \"hi\"\n"` {
+		t.Errorf("c quote = %q", got)
+	}
+	if got := mustExpr(t, PythonLang(), blocks.Txt("a'b")); got != `"a'b"` {
+		t.Errorf("python quote = %q", got)
+	}
+}
+
+func TestStatementFromReporter(t *testing.T) {
+	// A reporter in statement position becomes an expression statement.
+	tr := New(CLang())
+	stmt, err := tr.Stmt(blocks.Sum(blocks.Num(1), blocks.Num(2)), 1)
+	if err != nil || stmt != "    (1 + 2);" {
+		t.Errorf("reporter stmt = %q, %v", stmt, err)
+	}
+}

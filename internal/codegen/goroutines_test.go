@@ -1,0 +1,62 @@
+package codegen
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/blocks"
+)
+
+func TestGoParallelMapProgramShape(t *testing.T) {
+	src, err := GoParallelMapProgram(times10MapBlock(), []float64{3, 7, 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"package main",
+		"var in = []float64{3, 7, 8}",
+		"return (x * 10)",
+		"go func() {",
+		"var wg sync.WaitGroup",
+		"close(jobs)",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	if _, err := GoParallelMapProgram(blocks.Sum(blocks.Num(1), blocks.Num(1)), nil, 4); err == nil {
+		t.Error("non-parallelMap block should error")
+	}
+}
+
+// TestGoParallelMapProgramRuns generates Go from the block and runs it
+// with the host toolchain: blocks → Go source → go run → 30/70/80.
+func TestGoParallelMapProgramRuns(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("no go toolchain on host")
+	}
+	src, err := GoParallelMapProgram(times10MapBlock(), []float64{3, 7, 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	file := filepath.Join(dir, "main.go")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(goBin, "run", file)
+	cmd.Env = append(os.Environ(), "GOFLAGS=", "GO111MODULE=off")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run failed: %v\n%s\n--- source ---\n%s", err, out, src)
+	}
+	for _, want := range []string{"30", "70", "80"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output %q missing %s", out, want)
+		}
+	}
+}

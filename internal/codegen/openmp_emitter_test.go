@@ -1,0 +1,87 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/blocks"
+)
+
+// parallelSquares is a script using the §3.3 block: for each x of a list,
+// print x² — translated to an OpenMP parallel-for.
+func parallelSquares(parallel bool) *blocks.Script {
+	body := blocks.Body(blocks.Say(blocks.Product(blocks.Var("x"), blocks.Var("x"))))
+	var fe *blocks.Block
+	if parallel {
+		fe = blocks.ParallelForEach("x", blocks.Var("data"), blocks.Empty(), body)
+	} else {
+		fe = blocks.ParallelForEachSeq("x", blocks.Var("data"), body)
+	}
+	return blocks.NewScript(
+		blocks.SetVar("data", blocks.ListOf(blocks.Num(1), blocks.Num(2), blocks.Num(3), blocks.Num(4))),
+		fe,
+	)
+}
+
+func TestOpenMPEmitterParallelForEach(t *testing.T) {
+	src, err := NewOpenMPEmitter().Program(parallelSquares(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"#include <omp.h>",
+		"#pragma omp parallel for",
+		"for (int _i = 0; _i < (int)(sizeof(data)/sizeof(data[0])); _i++) {",
+		"double x = data[_i];",
+		`printf("%g\n", (double)((x * x)));`,
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q in:\n%s", want, src)
+		}
+	}
+}
+
+func TestOpenMPEmitterSequentialMode(t *testing.T) {
+	// Sequential mode: same loop, no pragma, no omp.h — the one-toggle
+	// contrast.
+	src, err := NewOpenMPEmitter().Program(parallelSquares(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(src, "#pragma omp") || strings.Contains(src, "omp.h") {
+		t.Errorf("sequential mode must not emit OpenMP:\n%s", src)
+	}
+	if !strings.Contains(src, "for (int _i = 0;") {
+		t.Errorf("sequential loop missing:\n%s", src)
+	}
+}
+
+func TestOpenMPEmitterErrors(t *testing.T) {
+	bad := blocks.NewScript(blocks.NewBlock("doParallelForEach",
+		blocks.Reporter(blocks.Sum(blocks.Num(1), blocks.Num(2))),
+		blocks.Var("d"), blocks.Empty(), blocks.Body(), blocks.BoolLit(true)))
+	if _, err := NewOpenMPEmitter().Program(bad); err == nil {
+		t.Error("non-name item var should error")
+	}
+}
+
+// TestOpenMPParallelForEachCompiles compiles and runs both modes; output
+// must contain the four squares (order may differ under the pragma).
+func TestOpenMPParallelForEachCompiles(t *testing.T) {
+	for _, parallel := range []bool{true, false} {
+		src, err := NewOpenMPEmitter().Program(parallelSquares(parallel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		flags := []string{}
+		if parallel {
+			flags = append(flags, "-fopenmp")
+		}
+		out := compileAndRun(t, src, flags...)
+		for _, want := range []string{"1", "4", "9", "16"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("parallel=%v: output %q missing %s", parallel, out, want)
+			}
+		}
+	}
+}

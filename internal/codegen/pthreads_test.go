@@ -1,0 +1,111 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/blocks"
+)
+
+func times10MapBlock() *blocks.Block {
+	return blocks.ParallelMap(
+		blocks.RingOf(blocks.Product(blocks.Empty(), blocks.Num(10))),
+		blocks.ListOf(blocks.Num(3), blocks.Num(7), blocks.Num(8)),
+		blocks.Num(4))
+}
+
+func TestPthreadsProgramShape(t *testing.T) {
+	src, err := PthreadsParallelMapProgram(times10MapBlock(), []float64{3, 7, 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"#include <pthread.h>",
+		"pthread_create(&threads[t], NULL, worker, &ranges[t])",
+		"pthread_join(threads[t], NULL)",
+		"return (x * 10);",
+		"typedef struct {",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	if _, err := PthreadsParallelMapProgram(blocks.Sum(blocks.Num(1), blocks.Num(1)), nil, 4); err == nil {
+		t.Error("non-parallelMap block should error")
+	}
+}
+
+func TestSequentialProgramShape(t *testing.T) {
+	src, err := SequentialMapProgram(times10MapBlock(), []float64{3, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(src, "pthread") || strings.Contains(src, "omp") {
+		t.Error("sequential program must carry no parallel machinery")
+	}
+	if !strings.Contains(src, "out[i] = f(in[i]);") {
+		t.Error("sequential loop missing")
+	}
+}
+
+// TestSection61Contrast is experiment E15: the OpenMP version should be
+// within a couple of lines of the sequential program, while the pthreads
+// version costs substantially more — §6.1's "stark contrast".
+func TestSection61Contrast(t *testing.T) {
+	blk := times10MapBlock()
+	data := []float64{3, 7, 8}
+	seq, err := SequentialMapProgram(blk, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omp, err := ParallelMapProgram(blk, data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pth, err := PthreadsParallelMapProgram(blk, data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqN, ompN, pthN := CountLines(seq), CountLines(omp), CountLines(pth)
+	if ompN-seqN > 4 {
+		t.Errorf("OpenMP adds %d lines over sequential (%d vs %d); the paper promises a small diff",
+			ompN-seqN, ompN, seqN)
+	}
+	if pthN-seqN < 15 {
+		t.Errorf("pthreads adds only %d lines (%d vs %d); expected the stark contrast",
+			pthN-seqN, pthN, seqN)
+	}
+	if pthN <= ompN {
+		t.Errorf("pthreads (%d lines) should exceed OpenMP (%d lines)", pthN, ompN)
+	}
+}
+
+func TestPthreadsAndSequentialCompile(t *testing.T) {
+	blk := times10MapBlock()
+	data := []float64{3, 7, 8}
+	seq, err := SequentialMapProgram(blk, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := compileAndRun(t, seq)
+	if !strings.Contains(out, "30") || !strings.Contains(out, "80") {
+		t.Errorf("sequential printed %q", out)
+	}
+	pth, err := PthreadsParallelMapProgram(blk, data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = compileAndRun(t, pth, "-lpthread")
+	for _, want := range []string{"30", "70", "80"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pthreads printed %q, missing %s", out, want)
+		}
+	}
+}
+
+func TestCountLines(t *testing.T) {
+	src := "/* comment */\n\nint x;\n// line comment\n  * doc\ny = 1;\n"
+	if got := CountLines(src); got != 2 {
+		t.Errorf("CountLines = %d, want 2", got)
+	}
+}

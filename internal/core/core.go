@@ -1,0 +1,305 @@
+// Package core implements the paper's primary contribution: the explicitly
+// parallel blocks added to Snap! — parallelMap (§3.2), parallelForEach in
+// its parallel and sequential modes (§3.3), and mapReduce (§3.4) — together
+// with their integration into the cooperative interpreter via the
+// poll-and-yield pattern of §4's Listing 2.
+//
+// parallelMap and mapReduce achieve true parallelism: the user's ring is
+// shipped to Web-Worker-equivalent goroutines (package workers) and runs
+// concurrently with the interpreter thread, which keeps polling the job's
+// resolved flag and yielding — keeping the "browser" responsive, the
+// paper's stated motivation for Web Workers. parallelForEach demonstrates
+// parallelism inside the stage world by spawning sprite clones that execute
+// the nested script concurrently under the scheduler.
+//
+// Importing this package (even blank) registers the blocks with the
+// interpreter.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/blocks"
+	"repro/internal/interp"
+	"repro/internal/value"
+	"repro/internal/workers"
+)
+
+func init() {
+	interp.RegisterPrimitive("reportParallelMap", primParallelMap)
+	interp.RegisterPrimitive("doParallelForEach", primParallelForEach)
+	interp.RegisterPrimitive("snapWorkerLoop", primWorkerLoop)
+}
+
+// WorkerBudget caps the evaluator steps of one function call inside a
+// worker, guarding against non-terminating user functions.
+const WorkerBudget = 1 << 20
+
+// ShipRing prepares a ring for transfer to a worker. Closures do not
+// survive a postMessage: the paper's Listing 2 rebuilds the function from
+// its mapped source code, losing the captured environment. We reproduce
+// that by stripping the environment — the shipped function sees only its
+// own parameters, exactly like a function reconstructed from source text.
+// (This is also what makes the worker share-nothing: the machine's frames
+// never cross the boundary.)
+func ShipRing(r *blocks.Ring) *blocks.Ring {
+	return &blocks.Ring{Body: r.Body, Params: r.Params}
+}
+
+// RingHandler wraps a shipped ring as a worker handler: each incoming list
+// element becomes the function's argument, Listing 2's
+// `new Function(aContext.inputs[0], body)`.
+func RingHandler(r *blocks.Ring) workers.Handler {
+	shipped := ShipRing(r)
+	return func(v value.Value) (value.Value, error) {
+		return interp.CallFunction(shipped, []value.Value{v}, WorkerBudget)
+	}
+}
+
+// workerCount resolves the optional worker-count input of parallelMap:
+// the user's number when given, else Listing 2's
+// `aCount || navigator.hardwareConcurrency || 4`.
+func workerCount(v value.Value) (int, error) {
+	if value.IsNothing(v) || v.String() == "" {
+		return workers.DefaultWorkers(), nil
+	}
+	n, err := value.ToInt(v)
+	if err != nil {
+		return 0, err
+	}
+	if n < 1 {
+		return workers.DefaultWorkers(), nil
+	}
+	return n, nil
+}
+
+// primParallelMap is Listing 2, transliterated:
+//
+//	Use the context input array to store the parallel job:
+//	  [0] - ringified reporter obj
+//	  [1] - list
+//	  [2] - number of workers (default = #CPU's or 4)
+//	  ------------------------------------------------
+//	  [3] - Parallel object
+//
+// On first entry it wraps the ring, builds the Parallel pool, kicks off the
+// map, and stashes the job at inputs[3]; on every subsequent entry it
+// checks whether the workers are done, returning the result list when so —
+// and in either case pushes a yield so the rest of the system keeps
+// running.
+func primParallelMap(p *interp.Process, ctx *interp.Context) (value.Value, interp.Control, error) {
+	const argc = 3
+	if len(ctx.Inputs) < argc+1 { // if (this.context.inputs.length < 4)
+		ring, ok := ctx.Inputs[0].(*blocks.Ring)
+		if !ok {
+			return nil, interp.Done, fmt.Errorf("parallelMap needs a ringed function, got %s", ctx.Inputs[0].Kind())
+		}
+		list, err := asList(ctx.Inputs[1])
+		if err != nil {
+			return nil, interp.Done, err
+		}
+		count, err := workerCount(ctx.Inputs[2])
+		if err != nil {
+			return nil, interp.Done, err
+		}
+		pool := workers.New(list, workers.Options{MaxWorkers: count}) // new Parallel(aList.asArray(), {maxWorkers: workers})
+		job := pool.Map(RingHandler(ring))                            // p.map(aFunction)
+		cancelOnDeath(p, job)
+		ctx.Inputs = append(ctx.Inputs, &value.Opaque{Tag: "parallelJob", Payload: job})
+	} else {
+		job := ctx.Inputs[argc].(*value.Opaque).Payload.(*workers.Job)
+		if job.Resolved() { // if (p.operation._resolved)
+			res, err := job.Wait()
+			if err != nil {
+				return nil, interp.Done, err
+			}
+			return res, interp.Done, nil // return new List(p.data)
+		}
+	}
+	p.PushYield() // this.pushContext('doYield'); this.pushContext();
+	return nil, interp.Again, nil
+}
+
+// cancelOnDeath cancels an in-flight worker job when the polling process
+// dies before the job resolves — pressing the stop button terminates the
+// workers, like Worker.terminate() in the browser. The hook chains with
+// any OnDone already installed.
+func cancelOnDeath(p *interp.Process, job *workers.Job) {
+	prev := p.OnDone
+	p.OnDone = func(pp *interp.Process) {
+		if prev != nil {
+			prev(pp)
+		}
+		job.Cancel()
+	}
+}
+
+func asList(v value.Value) (*value.List, error) {
+	if l, ok := v.(*value.List); ok {
+		return l, nil
+	}
+	return nil, fmt.Errorf("expecting a list but getting a %s", v.Kind())
+}
+
+// --- parallelForEach ---
+
+// feWork is the shared work queue a parallelForEach block's clones draw
+// from. All clones run on the single interpreter thread, so no locking is
+// needed — this is Snap!-style concurrency on the stage, not worker
+// parallelism.
+type feWork struct {
+	list    *value.List
+	next    int
+	itemVar string
+	body    *blocks.Ring
+}
+
+func (w *feWork) take() (value.Value, bool) {
+	if w.next >= w.list.Len() {
+		return nil, false
+	}
+	w.next++
+	return w.list.MustItem(w.next), true
+}
+
+type feState struct {
+	procs []*interp.Process
+}
+
+// primParallelForEach implements the block of §3.3. In parallel mode ("in
+// parallel" label visible) it spawns clones of the running sprite, each
+// executing the nested script on a different element of the input list; if
+// the parallelism input is empty "it defaults to the length of the input
+// list". In sequential mode (collapsed input) the sprite "should execute
+// the script as a normal forEach block by looping over the input array".
+func primParallelForEach(p *interp.Process, ctx *interp.Context) (value.Value, interp.Control, error) {
+	const argc = 5
+	parallel, err := value.ToBool(ctx.Inputs[4])
+	if err != nil {
+		return nil, interp.Done, err
+	}
+	if !parallel {
+		return seqForEach(p, ctx, argc)
+	}
+	if len(ctx.Inputs) <= argc {
+		if p.Machine == nil || p.Actor == nil {
+			return nil, interp.Done, errors.New("parallelForEach needs a sprite and a stage")
+		}
+		list, err := asList(ctx.Inputs[1])
+		if err != nil {
+			return nil, interp.Done, err
+		}
+		body, ok := ctx.Inputs[3].(*blocks.Ring)
+		if !ok {
+			return nil, interp.Done, errors.New("parallelForEach needs a script body")
+		}
+		clones := list.Len()
+		if !value.IsNothing(ctx.Inputs[2]) && ctx.Inputs[2].String() != "" {
+			n, err := value.ToInt(ctx.Inputs[2])
+			if err != nil {
+				return nil, interp.Done, err
+			}
+			if n > 0 {
+				clones = n
+			}
+		}
+		if clones > list.Len() {
+			clones = list.Len()
+		}
+		work := &feWork{list: list, itemVar: ctx.Inputs[0].String(), body: body}
+		st := &feState{}
+		for i := 0; i < clones; i++ {
+			cloneActor := p.Machine.CloneSilent(p.Actor)
+			f := interp.NewFrame(p.RootFrame())
+			f.Declare("__work__", &value.Opaque{Tag: "feWork", Payload: work})
+			proc := p.Machine.SpawnExpr(p.Sprite, cloneActor,
+				blocks.NewBlock("snapWorkerLoop"), f)
+			st.procs = append(st.procs, proc)
+		}
+		ctx.Inputs = append(ctx.Inputs, &value.Opaque{Tag: "feState", Payload: st})
+		p.PushYield()
+		return nil, interp.Again, nil
+	}
+	st := ctx.Inputs[argc].(*value.Opaque).Payload.(*feState)
+	for _, proc := range st.procs {
+		if !proc.Done() {
+			p.PushYield()
+			return nil, interp.Again, nil
+		}
+	}
+	for _, proc := range st.procs {
+		if proc.Err() != nil {
+			return nil, interp.Done, proc.Err()
+		}
+	}
+	return nil, interp.Done, nil
+}
+
+// seqForEach is sequential mode: the plain forEach loop, re-entrant with a
+// cursor in scratch.
+func seqForEach(p *interp.Process, ctx *interp.Context, argc int) (value.Value, interp.Control, error) {
+	type seqState struct{ i int }
+	var st *seqState
+	if len(ctx.Inputs) <= argc {
+		st = &seqState{}
+		ctx.Inputs = append(ctx.Inputs, &value.Opaque{Tag: "seqState", Payload: st})
+	} else {
+		st = ctx.Inputs[argc].(*value.Opaque).Payload.(*seqState)
+	}
+	list, err := asList(ctx.Inputs[1])
+	if err != nil {
+		return nil, interp.Done, err
+	}
+	if st.i >= list.Len() {
+		return nil, interp.Done, nil
+	}
+	body, ok := ctx.Inputs[3].(*blocks.Ring)
+	if !ok {
+		return nil, interp.Done, errors.New("parallelForEach needs a script body")
+	}
+	item := list.MustItem(st.i + 1)
+	st.i++
+	iter := interp.NewFrame(ringFrame(body, p))
+	iter.Declare(ctx.Inputs[0].String(), item)
+	if !p.Warped() {
+		p.PushYield()
+	}
+	if err := p.PushBodyInFrame(body, iter); err != nil {
+		return nil, interp.Done, err
+	}
+	return nil, interp.Again, nil
+}
+
+func ringFrame(r *blocks.Ring, p *interp.Process) *interp.Frame {
+	if f, ok := r.Env.(*interp.Frame); ok {
+		return f
+	}
+	return p.RootFrame()
+}
+
+// primWorkerLoop drives one parallelForEach clone: repeatedly take the next
+// list element, bind it, run the nested script, and when the queue drains,
+// delete the clone — "each clone of the Pitcher sprite executes the same
+// nested script on a different element of the input list".
+func primWorkerLoop(p *interp.Process, ctx *interp.Context) (value.Value, interp.Control, error) {
+	wv, err := ctx.Frame.Get("__work__")
+	if err != nil {
+		return nil, interp.Done, err
+	}
+	work := wv.(*value.Opaque).Payload.(*feWork)
+	item, ok := work.take()
+	if !ok {
+		if p.Machine != nil && p.Actor != nil && p.Actor.IsClone() {
+			p.Machine.RemoveClone(p.Actor) // stops this process too
+			return nil, interp.Replaced, nil
+		}
+		return nil, interp.Done, nil
+	}
+	iter := interp.NewFrame(ringFrame(work.body, p))
+	iter.Declare(work.itemVar, item)
+	if err := p.PushBodyInFrame(work.body, iter); err != nil {
+		return nil, interp.Done, err
+	}
+	return nil, interp.Again, nil
+}

@@ -1,0 +1,429 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blocks"
+	"repro/internal/interp"
+	"repro/internal/value"
+)
+
+func newMachine() *interp.Machine {
+	return interp.NewMachine(blocks.NewProject("core-test"), nil)
+}
+
+func times10Ring() blocks.Node {
+	return blocks.RingOf(blocks.Product(blocks.Empty(), blocks.Num(10)))
+}
+
+// TestParallelMapSection32 reproduces §3.2 / Figures 5–6: parallelMap with
+// ×10 over 1..100; the first ten outputs are 10,20,...,100.
+func TestParallelMapSection32(t *testing.T) {
+	m := newMachine()
+	v, err := m.EvalReporter(blocks.ParallelMap(
+		times10Ring(),
+		blocks.Numbers(blocks.Num(1), blocks.Num(100)),
+		blocks.Num(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := v.(*value.List)
+	if l.Len() != 100 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	for i := 1; i <= 10; i++ {
+		if got := l.MustItem(i).(value.Number); got != value.Number(10*i) {
+			t.Errorf("output %d = %v, want %d", i, got, 10*i)
+		}
+	}
+}
+
+func TestParallelMapDefaultWorkers(t *testing.T) {
+	// The optional input left empty: Listing 2's
+	// `aCount || navigator.hardwareConcurrency || 4`.
+	m := newMachine()
+	v, err := m.EvalReporter(blocks.ParallelMap(
+		times10Ring(),
+		blocks.ListOf(blocks.Num(3), blocks.Num(7), blocks.Num(8)),
+		blocks.Empty()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "[30 70 80]" {
+		t.Errorf("parallelMap = %s, want [30 70 80]", v)
+	}
+}
+
+func TestParallelMapMatchesSequentialMap(t *testing.T) {
+	// The parallel block must agree with the stock sequential map block
+	// of Figure 4 — same visual contract, parallel backend.
+	m := newMachine()
+	seq, err := m.EvalReporter(blocks.Map(times10Ring(),
+		blocks.Numbers(blocks.Num(1), blocks.Num(50))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = newMachine()
+	par, err := m.EvalReporter(blocks.ParallelMap(times10Ring(),
+		blocks.Numbers(blocks.Num(1), blocks.Num(50)), blocks.Num(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(seq, par) {
+		t.Errorf("sequential %s != parallel %s", seq, par)
+	}
+}
+
+func TestParallelMapErrors(t *testing.T) {
+	m := newMachine()
+	if _, err := m.EvalReporter(blocks.ParallelMap(
+		blocks.Num(5), blocks.ListOf(blocks.Num(1)), blocks.Empty())); err == nil {
+		t.Error("non-ring function should error")
+	}
+	m = newMachine()
+	if _, err := m.EvalReporter(blocks.ParallelMap(
+		times10Ring(), blocks.Num(5), blocks.Empty())); err == nil {
+		t.Error("non-list input should error")
+	}
+	m = newMachine()
+	if _, err := m.EvalReporter(blocks.ParallelMap(
+		times10Ring(), blocks.ListOf(blocks.Txt("pear")), blocks.Num(2))); err == nil {
+		t.Error("worker-side type error should surface on the block")
+	}
+	m = newMachine()
+	if _, err := m.EvalReporter(blocks.ParallelMap(
+		times10Ring(), blocks.ListOf(blocks.Num(1)), blocks.Num(2.5))); err == nil {
+		t.Error("fractional worker count should error")
+	}
+}
+
+func TestParallelMapWorkersCannotTouchStage(t *testing.T) {
+	// A ring that says something needs the stage; inside a worker that
+	// must fail, like DOM access from a real Web Worker.
+	m := newMachine()
+	ring := blocks.RingScript(blocks.NewScript(blocks.Say(blocks.Txt("hi"))))
+	_, err := m.EvalReporter(blocks.ParallelMap(ring,
+		blocks.ListOf(blocks.Num(1)), blocks.Num(1)))
+	if err == nil || !strings.Contains(err.Error(), "web worker") {
+		t.Errorf("err = %v, want web-worker restriction", err)
+	}
+}
+
+func TestParallelMapShipsNoClosure(t *testing.T) {
+	// Listing 2 rebuilds the function from source text, so captured
+	// variables do not transfer. Our ShipRing reproduces that: the
+	// worker must not see the machine's variables.
+	m := newMachine()
+	m.GlobalFrame().Declare("k", value.Number(5))
+	script := blocks.NewScript(
+		blocks.Report(blocks.ParallelMap(
+			blocks.RingOf(blocks.Sum(blocks.Var("k"), blocks.Empty())),
+			blocks.ListOf(blocks.Num(1)),
+			blocks.Num(1))),
+	)
+	if _, err := m.RunScript(script); err == nil {
+		t.Error("captured variable should not be visible inside the worker")
+	}
+}
+
+func TestParallelMapKeepsSchedulerAlive(t *testing.T) {
+	// While workers grind, other scripts keep running — the browser
+	// stays responsive (§4.1). A second script must make progress
+	// before the parallelMap completes... which we can at least witness
+	// as both completing without deadlock and the log containing the
+	// other script's entries.
+	p := blocks.NewProject("busy")
+	p.Globals["log"] = value.NewList()
+	p.Globals["out"] = value.Nothing{}
+	a := p.AddSprite(blocks.NewSprite("A"))
+	a.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.SetVar("out", blocks.Reporter(blocks.ParallelMap(
+			times10Ring(), blocks.Numbers(blocks.Num(1), blocks.Num(200)), blocks.Num(2)))),
+	))
+	b := p.AddSprite(blocks.NewSprite("B"))
+	b.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.Repeat(blocks.Num(5), blocks.Body(
+			blocks.AddToList(blocks.Txt("tick"), blocks.Var("log")))),
+	))
+	m := interp.NewMachine(p, nil)
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	logv, _ := m.GlobalFrame().Get("log")
+	if logv.(*value.List).Len() != 5 {
+		t.Errorf("concurrent script starved: log = %s", logv)
+	}
+	outv, _ := m.GlobalFrame().Get("out")
+	if outv.(*value.List).Len() != 200 {
+		t.Errorf("parallelMap result wrong length")
+	}
+}
+
+func TestParallelForEachParallelMode(t *testing.T) {
+	// Clones each handle one element; the shared queue covers the whole
+	// list even with fewer clones than elements.
+	p := blocks.NewProject("pfe")
+	p.Globals["acc"] = value.NewList()
+	sp := p.AddSprite(blocks.NewSprite("Pitcher"))
+	sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.ParallelForEach("item",
+			blocks.Numbers(blocks.Num(1), blocks.Num(6)),
+			blocks.Num(2), // only two clones for six items
+			blocks.Body(blocks.AddToList(blocks.Var("item"), blocks.Var("acc")))),
+	))
+	m := interp.NewMachine(p, nil)
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := m.GlobalFrame().Get("acc")
+	if acc.(*value.List).Len() != 6 {
+		t.Fatalf("acc = %s, want all six items handled", acc)
+	}
+	if m.Stage.CloneCount("Pitcher") != 0 {
+		t.Error("worker clones should delete themselves when the queue drains")
+	}
+}
+
+func TestParallelForEachDefaultsToListLength(t *testing.T) {
+	// "If empty, it defaults to the length of the input list."
+	p := blocks.NewProject("pfe")
+	p.Globals["peak"] = value.Number(0)
+	sp := p.AddSprite(blocks.NewSprite("Pitcher"))
+	sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.ParallelForEach("item",
+			blocks.Numbers(blocks.Num(1), blocks.Num(3)),
+			blocks.Empty(),
+			blocks.Body(
+				// Record the clone population while working: with
+				// default parallelism every element gets its own
+				// clone alive simultaneously.
+				blocks.Wait(blocks.Num(1)),
+			)),
+		blocks.Report(blocks.Txt("done")),
+	))
+	m := interp.NewMachine(p, nil)
+	m.GreenFlag()
+	// Step a few rounds, then observe the clone population mid-flight.
+	m.Step()
+	m.Step()
+	if got := m.Stage.CloneCount("Pitcher"); got != 3 {
+		t.Errorf("mid-run clone count = %d, want 3 (one per element)", got)
+	}
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stage.CloneCount("Pitcher") != 0 {
+		t.Error("clones should be gone at completion")
+	}
+}
+
+func TestParallelForEachSequentialMode(t *testing.T) {
+	p := blocks.NewProject("pfe-seq")
+	p.Globals["acc"] = value.NewList()
+	sp := p.AddSprite(blocks.NewSprite("Pitcher"))
+	sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.ParallelForEachSeq("item",
+			blocks.Numbers(blocks.Num(1), blocks.Num(4)),
+			blocks.Body(blocks.AddToList(blocks.Var("item"), blocks.Var("acc")))),
+	))
+	m := interp.NewMachine(p, nil)
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := m.GlobalFrame().Get("acc")
+	if acc.String() != "[1 2 3 4]" {
+		t.Errorf("sequential mode must preserve order: %s", acc)
+	}
+	if m.Stage.CloneCount("Pitcher") != 0 {
+		t.Error("sequential mode must not spawn clones")
+	}
+}
+
+func TestParallelForEachErrors(t *testing.T) {
+	run := func(b *blocks.Block) error {
+		p := blocks.NewProject("x")
+		sp := p.AddSprite(blocks.NewSprite("S"))
+		sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(b))
+		m := interp.NewMachine(p, nil)
+		m.GreenFlag()
+		return m.Run(0)
+	}
+	if err := run(blocks.ParallelForEach("i", blocks.Num(5), blocks.Empty(),
+		blocks.Body())); err == nil {
+		t.Error("non-list should error")
+	}
+	if err := run(blocks.NewBlock("doParallelForEach", blocks.Txt("i"),
+		blocks.ListOf(blocks.Num(1)), blocks.Empty(), blocks.Num(9),
+		blocks.BoolLit(true))); err == nil {
+		t.Error("non-script body should error")
+	}
+	if err := run(blocks.ParallelForEach("i", blocks.ListOf(blocks.Num(1)),
+		blocks.Txt("pear"), blocks.Body())); err == nil {
+		t.Error("bad parallelism input should error")
+	}
+}
+
+func TestParallelForEachBodyErrorSurfaces(t *testing.T) {
+	p := blocks.NewProject("x")
+	sp := p.AddSprite(blocks.NewSprite("S"))
+	sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.ParallelForEach("i", blocks.ListOf(blocks.Num(1)), blocks.Empty(),
+			blocks.Body(blocks.Say(blocks.Quotient(blocks.Num(1), blocks.Num(0))))),
+	))
+	m := interp.NewMachine(p, nil)
+	m.GreenFlag()
+	if err := m.Run(0); err == nil {
+		t.Error("clone error should surface on the block")
+	}
+}
+
+func TestMapReduceBlockWordCount(t *testing.T) {
+	// Figures 11–12: word count over a sentence; sorted unique words
+	// with counts.
+	m := newMachine()
+	mapRing := blocks.RingOf(blocks.ListOf(blocks.Empty(), blocks.Num(1)))
+	reduceRing := blocks.RingOf(blocks.Combine(
+		blocks.Empty(), blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Empty()))))
+	v, err := m.EvalReporter(blocks.MapReduce(mapRing, reduceRing,
+		blocks.Split(blocks.Txt("b a b c a b"), blocks.Txt(" "))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "[[a 2] [b 3] [c 1]]" {
+		t.Errorf("word count = %s, want [[a 2] [b 3] [c 1]]", v)
+	}
+}
+
+func TestMapReduceBlockClimate(t *testing.T) {
+	// Figure 13: F→C conversion in the map ring, average in the reduce
+	// ring; scalar mappers share one key so the block reports the lone
+	// average.
+	m := newMachine()
+	mapRing := blocks.RingOf(
+		blocks.Quotient(
+			blocks.Product(blocks.Num(5),
+				blocks.Difference(blocks.Empty(), blocks.Num(32))),
+			blocks.Num(9)))
+	reduceRing := blocks.RingOf(
+		blocks.Quotient(
+			blocks.Combine(blocks.Empty(),
+				blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Empty()))),
+			blocks.LengthOf(blocks.Empty())))
+	v, err := m.EvalReporter(blocks.MapReduce(mapRing, reduceRing,
+		blocks.ListOf(blocks.Num(32), blocks.Num(212), blocks.Num(122))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "50" {
+		t.Errorf("average °C = %s, want 50", v)
+	}
+}
+
+func TestMapReduceBlockErrors(t *testing.T) {
+	m := newMachine()
+	ring := blocks.RingOf(blocks.Empty())
+	if _, err := m.EvalReporter(blocks.MapReduce(blocks.Num(1), ring,
+		blocks.ListOf())); err == nil {
+		t.Error("non-ring mapper should error")
+	}
+	m = newMachine()
+	if _, err := m.EvalReporter(blocks.MapReduce(ring, blocks.Num(1),
+		blocks.ListOf())); err == nil {
+		t.Error("non-ring reducer should error")
+	}
+	m = newMachine()
+	if _, err := m.EvalReporter(blocks.MapReduce(ring, ring,
+		blocks.Num(1))); err == nil {
+		t.Error("non-list input should error")
+	}
+	m = newMachine()
+	badMap := blocks.RingOf(blocks.Quotient(blocks.Empty(), blocks.Num(0)))
+	if _, err := m.EvalReporter(blocks.MapReduce(badMap, ring,
+		blocks.ListOf(blocks.Num(1)))); err == nil {
+		t.Error("worker-side mapper error should surface")
+	}
+}
+
+func TestMapReduceInputIsShippedNotShared(t *testing.T) {
+	// The engine receives a clone of the input list; mutating the list
+	// after the block starts cannot corrupt the run. (Here we just
+	// verify the input survives unmodified.)
+	m := newMachine()
+	m.GlobalFrame().Declare("data", value.FromStrings([]string{"x", "y"}))
+	script := blocks.NewScript(
+		blocks.Report(blocks.MapReduce(
+			blocks.RingOf(blocks.ListOf(blocks.Empty(), blocks.Num(1))),
+			blocks.RingOf(blocks.LengthOf(blocks.Empty())),
+			blocks.Var("data"))),
+	)
+	v, err := m.RunScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "[[x 1] [y 1]]" {
+		t.Errorf("result = %s", v)
+	}
+	data, _ := m.GlobalFrame().Get("data")
+	if data.String() != "[x y]" {
+		t.Errorf("input mutated: %s", data)
+	}
+}
+
+func TestShipRingStripsEnvironment(t *testing.T) {
+	r := &blocks.Ring{Body: blocks.Num(1), Params: []string{"x"}, Env: 42, Receiver: "S"}
+	s := ShipRing(r)
+	if s.Env != nil || s.Receiver != "" {
+		t.Error("shipped ring must carry no environment")
+	}
+	if s.Body != r.Body || len(s.Params) != 1 {
+		t.Error("shipped ring must keep body and params")
+	}
+}
+
+func TestWorkerCountResolution(t *testing.T) {
+	if n, err := workerCount(value.Nothing{}); err != nil || n < 1 {
+		t.Error("empty input should default")
+	}
+	if n, err := workerCount(value.Number(0)); err != nil || n < 1 {
+		t.Error("zero should default")
+	}
+	if n, err := workerCount(value.Number(7)); err != nil || n != 7 {
+		t.Error("explicit count should pass through")
+	}
+	if _, err := workerCount(value.Text("pear")); err == nil {
+		t.Error("garbage should error")
+	}
+}
+
+// Property: parallelMap equals sequential map for any ×k function, any
+// input, any worker count.
+func TestPropertyParallelMapEqualsMap(t *testing.T) {
+	f := func(xs []int8, k int8, wRaw uint8) bool {
+		w := int(wRaw%6) + 1
+		items := make([]blocks.Node, len(xs))
+		for i, x := range xs {
+			items[i] = blocks.Num(float64(x))
+		}
+		ring := blocks.RingOf(blocks.Product(blocks.Empty(), blocks.Num(float64(k))))
+		m := newMachine()
+		seq, err := m.EvalReporter(blocks.Map(ring, blocks.ListOf(items...)))
+		if err != nil {
+			return false
+		}
+		m = newMachine()
+		par, err := m.EvalReporter(blocks.ParallelMap(ring,
+			blocks.ListOf(items...), blocks.Num(float64(w))))
+		if err != nil {
+			return false
+		}
+		return value.Equal(seq, par)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blocks"
+	"repro/internal/value"
+)
+
+func TestParallelKeep(t *testing.T) {
+	m := newMachine()
+	v, err := m.EvalReporter(ParallelKeep(
+		blocks.RingOf(blocks.GreaterThan(blocks.Empty(), blocks.Num(5))),
+		blocks.Numbers(blocks.Num(1), blocks.Num(10)),
+		blocks.Num(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "[6 7 8 9 10]" {
+		t.Errorf("parallelKeep = %s", v)
+	}
+}
+
+func TestParallelKeepMatchesSequentialKeep(t *testing.T) {
+	pred := blocks.RingOf(blocks.Equals(
+		blocks.Modulus(blocks.Empty(), blocks.Num(3)), blocks.Num(0)))
+	m := newMachine()
+	seq, err := m.EvalReporter(blocks.Keep(pred, blocks.Numbers(blocks.Num(1), blocks.Num(50))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = newMachine()
+	par, err := m.EvalReporter(ParallelKeep(pred,
+		blocks.Numbers(blocks.Num(1), blocks.Num(50)), blocks.Num(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(seq, par) {
+		t.Errorf("keep %s != parallelKeep %s", seq, par)
+	}
+}
+
+func TestParallelKeepErrors(t *testing.T) {
+	m := newMachine()
+	if _, err := m.EvalReporter(ParallelKeep(blocks.Num(1),
+		blocks.ListOf(), blocks.Empty())); err == nil {
+		t.Error("non-ring predicate should error")
+	}
+	m = newMachine()
+	if _, err := m.EvalReporter(ParallelKeep(
+		blocks.RingOf(blocks.Empty()), blocks.Num(1), blocks.Empty())); err == nil {
+		t.Error("non-list should error")
+	}
+	m = newMachine()
+	// Predicate that reports a number, not a boolean.
+	if _, err := m.EvalReporter(ParallelKeep(
+		blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Num(1))),
+		blocks.ListOf(blocks.Num(1)), blocks.Num(1))); err == nil {
+		t.Error("non-boolean predicate result should error")
+	}
+}
+
+func TestParallelCombineSum(t *testing.T) {
+	m := newMachine()
+	v, err := m.EvalReporter(ParallelCombine(
+		blocks.Numbers(blocks.Num(1), blocks.Num(100)),
+		blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Empty())),
+		blocks.Num(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "5050" {
+		t.Errorf("parallelCombine sum = %s, want 5050", v)
+	}
+}
+
+func TestParallelCombineEmptyAndErrors(t *testing.T) {
+	m := newMachine()
+	v, err := m.EvalReporter(ParallelCombine(
+		blocks.ListOf(),
+		blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Empty())),
+		blocks.Empty()))
+	if err != nil || v.String() != "0" {
+		t.Errorf("empty parallelCombine = %v, %v (want 0, matching combine)", v, err)
+	}
+	m = newMachine()
+	if _, err := m.EvalReporter(ParallelCombine(
+		blocks.Num(1), blocks.RingOf(blocks.Empty()), blocks.Empty())); err == nil {
+		t.Error("non-list should error")
+	}
+	m = newMachine()
+	if _, err := m.EvalReporter(ParallelCombine(
+		blocks.ListOf(blocks.Num(1)), blocks.Num(2), blocks.Empty())); err == nil {
+		t.Error("non-ring should error")
+	}
+	m = newMachine()
+	// A non-associative misuse still reports *something*; a failing ring
+	// (division by zero) must surface.
+	if _, err := m.EvalReporter(ParallelCombine(
+		blocks.ListOf(blocks.Num(1), blocks.Num(0)),
+		blocks.RingOf(blocks.Quotient(blocks.Empty(), blocks.Empty())),
+		blocks.Num(2))); err == nil {
+		t.Error("worker-side error should surface")
+	}
+}
+
+// Property: parallelCombine with + equals the sequential combine for any
+// input and worker count (associativity makes chunked reduction exact for
+// integer-valued sums).
+func TestPropertyParallelCombine(t *testing.T) {
+	f := func(xs []int8, wRaw uint8) bool {
+		w := int(wRaw%6) + 1
+		items := make([]blocks.Node, len(xs))
+		var want float64
+		for i, x := range xs {
+			items[i] = blocks.Num(float64(x))
+			want += float64(x)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := newMachine()
+		v, err := m.EvalReporter(ParallelCombine(
+			blocks.ListOf(items...),
+			blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Empty())),
+			blocks.Num(float64(w))))
+		if err != nil {
+			return false
+		}
+		n, err := value.ToNumber(v)
+		return err == nil && float64(n) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/blocks"
+	"repro/internal/interp"
+	"repro/internal/mapreduce"
+	"repro/internal/value"
+	"repro/internal/workers"
+)
+
+func init() {
+	interp.RegisterPrimitive("reportMapReduce", primMapReduce)
+}
+
+// mrJob is the in-flight mapReduce block operation: the engine runs on
+// worker goroutines while the interpreter polls, exactly like parallelMap's
+// Parallel object.
+type mrJob struct {
+	resolved atomic.Bool
+	result   value.Value
+	err      error
+}
+
+// RingMapper adapts a user map ring to the engine's Mapper contract of
+// §3.4: "The function returns a two-element list with the item as the key
+// and the result as the value." A ring returning a two-element list
+// supplies (key, value) explicitly; a ring returning a scalar maps to the
+// single shared key, which is how a whole-dataset reduction (the climate
+// average) is expressed.
+func RingMapper(r *blocks.Ring) mapreduce.Mapper {
+	shipped := ShipRing(r)
+	return func(item value.Value) ([]mapreduce.KVP, error) {
+		v, err := interp.CallFunction(shipped, []value.Value{item}, WorkerBudget)
+		if err != nil {
+			return nil, err
+		}
+		if l, ok := v.(*value.List); ok && l.Len() == 2 {
+			return []mapreduce.KVP{{Key: l.MustItem(1).String(), Val: l.MustItem(2)}}, nil
+		}
+		return []mapreduce.KVP{{Key: "", Val: v}}, nil
+	}
+}
+
+// RingReducer adapts a user reduce ring: it is called once per key with the
+// list of that key's values.
+func RingReducer(r *blocks.Ring) mapreduce.Reducer {
+	shipped := ShipRing(r)
+	return func(key string, vals *value.List) (value.Value, error) {
+		return interp.CallFunction(shipped, []value.Value{vals}, WorkerBudget)
+	}
+}
+
+// primMapReduce implements the mapReduce block of §3.4 with the same
+// poll-and-yield integration as parallelMap: kick the engine off on worker
+// goroutines, stash the job in the context inputs, and poll. The block
+// reports a sorted list of (key value) pairs — Figure 12's "sorted list of
+// unique words from the input with the number of times the words appear" —
+// or, when every pair mapped to the single shared key, the lone reduced
+// value (the climate example's average temperature).
+func primMapReduce(p *interp.Process, ctx *interp.Context) (value.Value, interp.Control, error) {
+	const argc = 3
+	if len(ctx.Inputs) < argc+1 {
+		mapRing, ok := ctx.Inputs[0].(*blocks.Ring)
+		if !ok {
+			return nil, interp.Done, fmt.Errorf("mapReduce needs a ringed map function, got %s", ctx.Inputs[0].Kind())
+		}
+		reduceRing, ok := ctx.Inputs[1].(*blocks.Ring)
+		if !ok {
+			return nil, interp.Done, fmt.Errorf("mapReduce needs a ringed reduce function, got %s", ctx.Inputs[1].Kind())
+		}
+		list, err := asList(ctx.Inputs[2])
+		if err != nil {
+			return nil, interp.Done, err
+		}
+		job := &mrJob{}
+		input := list.Clone().(*value.List) // ship the data, not the list
+		mf, rf := RingMapper(mapRing), RingReducer(reduceRing)
+		go func() {
+			res, err := mapreduce.Run(input, mf, rf, mapreduce.Config{Workers: workers.DefaultWorkers()})
+			if err != nil {
+				job.err = err
+			} else if len(res) == 1 && res[0].Key == "" {
+				job.result = res[0].Val
+			} else {
+				job.result = res.List()
+			}
+			job.resolved.Store(true)
+		}()
+		ctx.Inputs = append(ctx.Inputs, &value.Opaque{Tag: "mapReduceJob", Payload: job})
+	} else {
+		job := ctx.Inputs[argc].(*value.Opaque).Payload.(*mrJob)
+		if job.resolved.Load() {
+			if job.err != nil {
+				return nil, interp.Done, job.err
+			}
+			return job.result, interp.Done, nil
+		}
+	}
+	p.PushYield()
+	return nil, interp.Again, nil
+}

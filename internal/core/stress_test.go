@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/blocks"
+	"repro/internal/interp"
+	"repro/internal/value"
+)
+
+func TestParallelMapLargeList(t *testing.T) {
+	m := newMachine()
+	v, err := m.EvalReporter(blocks.ParallelMap(
+		times10Ring(),
+		blocks.Numbers(blocks.Num(1), blocks.Num(5000)),
+		blocks.Num(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := v.(*value.List)
+	if l.Len() != 5000 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	if l.MustItem(5000).(value.Number) != 50000 {
+		t.Errorf("last = %v", l.MustItem(5000))
+	}
+}
+
+func TestNestedParallelMap(t *testing.T) {
+	// A parallelMap whose results feed another parallelMap.
+	m := newMachine()
+	inner := blocks.ParallelMap(times10Ring(),
+		blocks.Numbers(blocks.Num(1), blocks.Num(10)), blocks.Num(2))
+	outer := blocks.ParallelMap(
+		blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Num(1))),
+		blocks.Reporter(inner), blocks.Num(2))
+	v, err := m.EvalReporter(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "[11 21 31 41 51 61 71 81 91 101]" {
+		t.Errorf("nested parallelMap = %s", v)
+	}
+}
+
+func TestParallelMapInsideWarp(t *testing.T) {
+	// A warped script polls the parallel job without yielding; the
+	// slice budget must still let the workers finish (the machine keeps
+	// stepping, workers run on their own goroutines).
+	m := newMachine()
+	script := blocks.NewScript(
+		blocks.DeclareLocal("r"),
+		blocks.Warp(blocks.Body(
+			blocks.SetVar("r", blocks.Reporter(blocks.ParallelMap(
+				times10Ring(), blocks.Numbers(blocks.Num(1), blocks.Num(50)),
+				blocks.Num(2)))))),
+		blocks.Report(blocks.LengthOf(blocks.Var("r"))),
+	)
+	v, err := m.RunScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "50" {
+		t.Errorf("warped parallelMap len = %s", v)
+	}
+}
+
+func TestNestedParallelForEach(t *testing.T) {
+	// parallelForEach inside parallelForEach: worker clones spawn their
+	// own worker clones (clones of clones).
+	p := blocks.NewProject("nested")
+	p.Globals["acc"] = value.NewList()
+	sp := p.AddSprite(blocks.NewSprite("S"))
+	sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.ParallelForEach("i", blocks.Numbers(blocks.Num(1), blocks.Num(3)),
+			blocks.Empty(), blocks.Body(
+				blocks.ParallelForEach("j", blocks.Numbers(blocks.Num(1), blocks.Num(2)),
+					blocks.Empty(), blocks.Body(
+						blocks.AddToList(
+							blocks.Reporter(blocks.Join(blocks.Var("i"), blocks.Txt("."), blocks.Var("j"))),
+							blocks.Var("acc")))))),
+	))
+	m := interp.NewMachine(p, nil)
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := m.GlobalFrame().Get("acc")
+	l := acc.(*value.List)
+	if l.Len() != 6 {
+		t.Fatalf("acc = %s, want all 6 (i,j) pairs", acc)
+	}
+	for _, want := range []string{"1.1", "1.2", "2.1", "2.2", "3.1", "3.2"} {
+		if !l.Contains(value.Text(want)) {
+			t.Errorf("missing pair %s in %s", want, acc)
+		}
+	}
+	if m.Stage.CloneCount("S") != 0 {
+		t.Error("all nested clones should be cleaned up")
+	}
+}
+
+func TestManyConcurrentParallelMaps(t *testing.T) {
+	// Several sprites each running their own parallelMap concurrently:
+	// jobs must not interfere.
+	p := blocks.NewProject("many")
+	for i := 0; i < 8; i++ {
+		name := string(rune('A' + i))
+		sp := p.AddSprite(blocks.NewSprite(name))
+		sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+			blocks.Say(blocks.LengthOf(blocks.Reporter(blocks.ParallelMap(
+				times10Ring(), blocks.Numbers(blocks.Num(1), blocks.Num(100)),
+				blocks.Num(2))))),
+		))
+	}
+	m := interp.NewMachine(p, nil)
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range m.Stage.Actors() {
+		if a.Saying != "100" {
+			t.Errorf("%s says %q, want 100", a.Label(), a.Saying)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package demos
+
+import (
+	"fmt"
+
+	"repro/internal/blocks"
+	"repro/internal/interp"
+	"repro/internal/value"
+	"repro/internal/vclock"
+)
+
+// Balloons builds the water-balloon game §5 describes as "one of the more
+// creative examples of parallelism" from Women in Computing Day: "a video
+// game, where the player controlled an on-screen (laundry) basket and
+// tried to catch water balloons that were falling from the sky (in
+// parallel) before they landed on the heads of people."
+//
+// Structure: a Balloons sprite uses parallelForEach to drop one balloon
+// clone per spawn column simultaneously; each clone falls one step per
+// timestep. The Basket sprite moves with the arrow keys. A balloon whose
+// column matches the basket's when it reaches catch height broadcasts a
+// "caught" event; otherwise it broadcasts "splat". The machine's key
+// events steer the basket between drops.
+//
+// columns are the spawn x-positions; fallTime is how many timesteps a
+// balloon falls before resolving.
+func Balloons(columns []float64, fallTime int) *blocks.Project {
+	p := blocks.NewProject("water-balloons")
+	cols := value.NewListCap(len(columns))
+	for _, c := range columns {
+		cols.Add(value.Number(c))
+	}
+	p.Globals["columns"] = cols
+	p.Globals["caught"] = value.Number(0)
+	p.Globals["splat"] = value.Number(0)
+	p.Globals["basketX"] = value.Number(columns[0])
+
+	basket := p.AddSprite(blocks.NewSprite("Basket"))
+	basket.X = columns[0]
+	basket.AddScript(blocks.HatKeyPress, "right arrow", blocks.NewScript(
+		blocks.ChangeVar("basketX", blocks.Num(100)),
+		blocks.GotoXY(blocks.Var("basketX"), blocks.Num(-150)),
+	))
+	basket.AddScript(blocks.HatKeyPress, "left arrow", blocks.NewScript(
+		blocks.ChangeVar("basketX", blocks.Num(-100)),
+		blocks.GotoXY(blocks.Var("basketX"), blocks.Num(-150)),
+	))
+	basket.AddScript(blocks.HatBroadcast, "caught", blocks.NewScript(
+		blocks.ChangeVar("caught", blocks.Num(1)),
+	))
+	basket.AddScript(blocks.HatBroadcast, "splat", blocks.NewScript(
+		blocks.ChangeVar("splat", blocks.Num(1)),
+	))
+
+	// The balloon fall: each clone starts at its column at the top and
+	// descends one step per timestep until it reaches the basket line,
+	// then resolves against basketX.
+	step := 300 / float64(fallTime)
+	fall := blocks.Body(
+		blocks.DeclareLocal("y"),
+		blocks.SetVar("y", blocks.Num(150)),
+		blocks.GotoXY(blocks.Var("col"), blocks.Var("y")),
+		blocks.Repeat(blocks.Num(float64(fallTime)), blocks.Body(
+			blocks.Wait(blocks.Num(1)),
+			blocks.ChangeVar("y", blocks.Num(-step)),
+			blocks.GotoXY(blocks.Var("col"), blocks.Var("y")),
+		)),
+		blocks.IfElse(blocks.Equals(blocks.Var("col"), blocks.Var("basketX")),
+			blocks.Body(blocks.Broadcast(blocks.Txt("caught"))),
+			blocks.Body(blocks.Broadcast(blocks.Txt("splat")))),
+	)
+	dropper := p.AddSprite(blocks.NewSprite("Balloons"))
+	dropper.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.ResetTimer(),
+		blocks.ParallelForEach("col", blocks.Var("columns"), blocks.Empty(), fall),
+	))
+	return p
+}
+
+// BalloonsResult summarizes one game round.
+type BalloonsResult struct {
+	Caught, Splat int
+	Timer         int64
+}
+
+// RunBalloons drops one balloon per column in parallel with the basket
+// parked at columns[0] and reports the round: one catch (the basket's
+// column), the rest splats, all resolving together — the parallel fall is
+// the point of the game.
+func RunBalloons(columns []float64, fallTime int) (*BalloonsResult, error) {
+	m := interp.NewMachine(Balloons(columns, fallTime), vclock.New())
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		return nil, err
+	}
+	caught, err := m.GlobalFrame().Get("caught")
+	if err != nil {
+		return nil, err
+	}
+	splat, err := m.GlobalFrame().Get("splat")
+	if err != nil {
+		return nil, err
+	}
+	nc, err := value.ToInt(caught)
+	if err != nil {
+		return nil, err
+	}
+	ns, err := value.ToInt(splat)
+	if err != nil {
+		return nil, err
+	}
+	if nc+ns != len(columns) {
+		return nil, fmt.Errorf("%d balloons resolved, want %d", nc+ns, len(columns))
+	}
+	return &BalloonsResult{Caught: nc, Splat: ns, Timer: m.Stage.Timer.Elapsed()}, nil
+}

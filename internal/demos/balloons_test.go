@@ -1,0 +1,79 @@
+package demos
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/value"
+	"repro/internal/vclock"
+)
+
+func TestBalloonsParallelFall(t *testing.T) {
+	// Three balloons dropped in parallel over columns 0, 100, 200; the
+	// basket sits at column 0: one catch, two splats — and because the
+	// falls are parallel, the whole round takes fallTime timesteps, not
+	// 3 × fallTime.
+	res, err := RunBalloons([]float64{0, 100, 200}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Caught != 1 || res.Splat != 2 {
+		t.Errorf("caught/splat = %d/%d, want 1/2", res.Caught, res.Splat)
+	}
+	if res.Timer != 5 {
+		t.Errorf("round took %d timesteps, want 5 (parallel falls share timesteps)", res.Timer)
+	}
+}
+
+func TestBalloonsBasketSteering(t *testing.T) {
+	// Move the basket right before the green flag: it then catches the
+	// column-100 balloon instead.
+	m := interp.NewMachine(Balloons([]float64{0, 100, 200}, 4), vclock.New())
+	m.PressKey("right arrow")
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	caught, _ := m.GlobalFrame().Get("caught")
+	splat, _ := m.GlobalFrame().Get("splat")
+	if caught.String() != "1" || splat.String() != "2" {
+		t.Errorf("after steering: caught=%s splat=%s", caught, splat)
+	}
+	basket := m.Stage.Actor("Basket")
+	if basket.X != 100 {
+		t.Errorf("basket at %g, want 100", basket.X)
+	}
+}
+
+func TestBalloonsNoCatch(t *testing.T) {
+	// Basket at column 0, balloons only over 100 and 200: all splat.
+	m := interp.NewMachine(Balloons([]float64{100, 200}, 3), vclock.New())
+	// basketX starts at columns[0] = 100 in this build... so park it
+	// away first.
+	m.GlobalFrame().Set("basketX", value.Number(-999))
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	splat, _ := m.GlobalFrame().Get("splat")
+	if splat.String() != "2" {
+		t.Errorf("splat = %s, want 2", splat)
+	}
+}
+
+func TestBalloonsDeterministic(t *testing.T) {
+	a, err := RunBalloons([]float64{0, 100, 200, 300}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBalloons([]float64{0, 100, 200, 300}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("game rounds differ: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,180 @@
+// Package demos builds the example projects the paper demonstrates:
+// the dragon of Figures 2–3, the parallel concession stand of Figures 7–10,
+// the word-count mapReduce of Figures 11–12, and the NOAA climate
+// mapReduce of Figure 13. Tests, examples, and the benchmark harness all
+// run these same projects, so the figures are reproduced from one source
+// of truth.
+package demos
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/blocks"
+	_ "repro/internal/core" // register the parallel blocks
+	"repro/internal/interp"
+	"repro/internal/value"
+	"repro/internal/vclock"
+)
+
+// CupFillTimesteps is how long one pour takes: "It takes three timesteps
+// to fill a glass" (footnote 5).
+const CupFillTimesteps = 3
+
+// ConcessionCups are the drink cups awaiting service.
+var ConcessionCups = []string{"Cup1", "Cup2", "Cup3"}
+
+// Concession builds the concession-stand project of §3.3. With parallel
+// true the Pitcher's script uses the parallelForEach block in parallel mode
+// (clones pour simultaneously, Figure 8a); otherwise sequential mode
+// (Figure 8b). Each pour waits CupFillTimesteps, then broadcasts the cup's
+// name; the cup answers by saying "full!".
+func Concession(parallel bool) *blocks.Project {
+	p := blocks.NewProject("concession-stand")
+	p.Globals["cups"] = value.FromStrings(ConcessionCups)
+
+	pour := blocks.Body(
+		blocks.Wait(blocks.Num(CupFillTimesteps)),
+		blocks.Broadcast(blocks.Var("cup")),
+	)
+	var forEach *blocks.Block
+	if parallel {
+		forEach = blocks.ParallelForEach("cup", blocks.Var("cups"), blocks.Empty(), pour)
+	} else {
+		forEach = blocks.ParallelForEachSeq("cup", blocks.Var("cups"), pour)
+	}
+	pitcher := p.AddSprite(blocks.NewSprite("Pitcher"))
+	pitcher.X, pitcher.Y = -150, 100
+	pitcher.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.ResetTimer(),
+		forEach,
+	))
+
+	for i, name := range ConcessionCups {
+		cup := p.AddSprite(blocks.NewSprite(name))
+		cup.X, cup.Y = float64(-100+i*100), -100
+		cup.AddScript(blocks.HatBroadcast, name, blocks.NewScript(
+			blocks.Say(blocks.Txt("full!")),
+		))
+	}
+	return p
+}
+
+// ConcessionResult is what one concession run observed.
+type ConcessionResult struct {
+	// Timer is the elapsed timesteps when the last cup filled — the
+	// clock in the upper-left corner of Figure 7.
+	Timer int64
+	// FillTimes maps each cup to the timestep its "full!" appeared.
+	FillTimes map[string]int64
+	// Trace is the stage trace of the whole run.
+	Trace []string
+}
+
+// RunConcession runs the concession stand to completion on the
+// paper-calibrated interference clock and reports what the stage showed.
+func RunConcession(parallel bool) (*ConcessionResult, error) {
+	m := interp.NewMachine(Concession(parallel), vclock.NewPaperInterference())
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		return nil, err
+	}
+	res := &ConcessionResult{FillTimes: map[string]int64{}}
+	for _, name := range ConcessionCups {
+		a := m.Stage.Actor(name)
+		if a == nil || a.Saying != "full!" {
+			return nil, fmt.Errorf("cup %s was never filled", name)
+		}
+	}
+	for _, line := range m.Stage.TraceLines() {
+		res.Trace = append(res.Trace, line)
+		if !strings.Contains(line, `says "full!"`) {
+			continue
+		}
+		var t int64
+		var who string
+		if n, _ := fmt.Sscanf(line, "[t=%d] %s", &t, &who); n == 2 {
+			if res.FillTimes[who] == 0 {
+				res.FillTimes[who] = t
+			}
+			if t > res.Timer {
+				res.Timer = t
+			}
+		}
+	}
+	return res, nil
+}
+
+// Dragon builds the project of Figures 2–3: a dragon that flies forward
+// forever once the green flag is clicked and turns on the arrow keys. The
+// forever loop is bounded by `laps` here so programmatic runs terminate
+// (the paper's user presses the stop button instead).
+func Dragon(laps int) *blocks.Project {
+	p := blocks.NewProject("dragon")
+	d := p.AddSprite(blocks.NewSprite("Dragon"))
+	d.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.Repeat(blocks.Num(float64(laps)), blocks.Body(
+			blocks.Forward(blocks.Num(10)),
+		)),
+	))
+	d.AddScript(blocks.HatKeyPress, "right arrow", blocks.NewScript(
+		blocks.TurnRight(blocks.Num(15)),
+	))
+	d.AddScript(blocks.HatKeyPress, "left arrow", blocks.NewScript(
+		blocks.TurnLeft(blocks.Num(15)),
+	))
+	return p
+}
+
+// Fig4SeqMap is Figure 4's reporter: map (× _ 10) over (list 3 7 8).
+func Fig4SeqMap() *blocks.Block {
+	return blocks.Map(
+		blocks.RingOf(blocks.Product(blocks.Empty(), blocks.Num(10))),
+		blocks.ListOf(blocks.Num(3), blocks.Num(7), blocks.Num(8)))
+}
+
+// Fig5ParallelMap is Figure 5's reporter: parallelMap (× _ 10) over a list
+// with an explicit worker count (the optional revealed input).
+func Fig5ParallelMap(list blocks.Node, workerInput blocks.Node) *blocks.Block {
+	return blocks.ParallelMap(
+		blocks.RingOf(blocks.Product(blocks.Empty(), blocks.Num(10))),
+		list, workerInput)
+}
+
+// WordCountBlock is the mapReduce word-count program of Figure 11: the map
+// ring pairs each word with 1, the reduce ring counts each word's
+// occurrences, and the input list is the sentence split into words.
+func WordCountBlock(sentence string) *blocks.Block {
+	mapRing := blocks.RingOf(blocks.ListOf(blocks.Empty(), blocks.Num(1)))
+	reduceRing := blocks.RingOf(blocks.Combine(
+		blocks.Empty(),
+		blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Empty()))))
+	input := blocks.Split(blocks.Txt(sentence), blocks.Txt(" "))
+	return blocks.MapReduce(mapRing, reduceRing, input)
+}
+
+// ClimateBlock is the Figure 13 mapReduce program: the map ring converts
+// Fahrenheit to Celsius — ((5 × (t − 32)) ÷ 9), exactly the Figure 19
+// expression — and the reduce ring averages the converted values.
+func ClimateBlock(temps blocks.Node) *blocks.Block {
+	mapRing := blocks.RingOf(
+		blocks.Quotient(
+			blocks.Product(blocks.Num(5),
+				blocks.Difference(blocks.Empty(), blocks.Num(32))),
+			blocks.Num(9)))
+	// Average of the group's value list: sum via combine, divided by
+	// length. A single argument fills every empty slot with the list.
+	reduceRing := blocks.RingOf(
+		blocks.Quotient(
+			blocks.Combine(blocks.Empty(),
+				blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Empty()))),
+			blocks.LengthOf(blocks.Empty())))
+	return blocks.MapReduce(mapRing, reduceRing, temps)
+}
+
+// EvalBlock runs one reporter in a fresh machine — the "click a reporter"
+// gesture.
+func EvalBlock(b *blocks.Block) (value.Value, error) {
+	m := interp.NewMachine(blocks.NewProject("eval"), nil)
+	return m.EvalReporter(b)
+}

@@ -1,0 +1,235 @@
+package demos
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/blocks"
+	"repro/internal/interp"
+	"repro/internal/value"
+)
+
+// TestConcessionParallelFigure9 is experiment E3: in parallel mode three
+// pitcher clones pour simultaneously and the timer reads 3 at completion
+// (Figure 9c, "Timestep 3 (final)").
+func TestConcessionParallelFigure9(t *testing.T) {
+	res, err := RunConcession(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timer != 3 {
+		t.Errorf("parallel concession stand = %d timesteps, paper reports 3", res.Timer)
+	}
+	for _, cup := range ConcessionCups {
+		if res.FillTimes[cup] != 3 {
+			t.Errorf("%s filled at t=%d, want 3 (all cups fill together)",
+				cup, res.FillTimes[cup])
+		}
+	}
+}
+
+// TestConcessionSequentialFigure10 is experiment E4: sequential mode pours
+// one cup at a time and the timer reads 12 — 9 timesteps of pouring plus 3
+// of interference (footnote 5). The intermediate screenshots of Figure 10
+// are matched too: cups fill at timesteps 3, 7, and 12.
+func TestConcessionSequentialFigure10(t *testing.T) {
+	res, err := RunConcession(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timer != 12 {
+		t.Errorf("sequential concession stand = %d timesteps, paper reports 12", res.Timer)
+	}
+	wantFills := map[string]int64{"Cup1": 3, "Cup2": 7, "Cup3": 12}
+	for cup, want := range wantFills {
+		if res.FillTimes[cup] != want {
+			t.Errorf("%s filled at t=%d, want %d (Figure 10 screenshots)",
+				cup, res.FillTimes[cup], want)
+		}
+	}
+}
+
+func TestConcessionSpeedup(t *testing.T) {
+	seq, err := RunConcession(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunConcession(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Timer/par.Timer != 4 {
+		t.Errorf("speedup = %d/%d, paper shows 12/3 = 4x", seq.Timer, par.Timer)
+	}
+}
+
+func TestConcessionCloneLifecycle(t *testing.T) {
+	res, err := RunConcession(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clones := 0
+	for _, line := range res.Trace {
+		if strings.Contains(line, "is cloned as") {
+			clones++
+		}
+	}
+	if clones != 3 {
+		t.Errorf("parallel mode cloned %d pitchers, want 3", clones)
+	}
+	seqRes, _ := RunConcession(false)
+	for _, line := range seqRes.Trace {
+		if strings.Contains(line, "is cloned as") {
+			t.Errorf("sequential mode must not clone: %s", line)
+		}
+	}
+}
+
+func TestDragonProject(t *testing.T) {
+	m := interp.NewMachine(Dragon(5), nil)
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	d := m.Stage.Actor("Dragon")
+	if d.X != 50 {
+		t.Errorf("dragon flew to x=%g, want 50", d.X)
+	}
+	m.PressKey("right arrow")
+	m.Run(0)
+	if d.Heading != 105 {
+		t.Errorf("heading = %g", d.Heading)
+	}
+}
+
+func TestFig4SeqMap(t *testing.T) {
+	v, err := EvalBlock(Fig4SeqMap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "[30 70 80]" {
+		t.Errorf("Figure 4 = %s, want [30 70 80] (Figure 4b)", v)
+	}
+}
+
+func TestFig5ParallelMap(t *testing.T) {
+	v, err := EvalBlock(Fig5ParallelMap(
+		blocks.Numbers(blocks.Num(1), blocks.Num(10)), blocks.Num(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "[10 20 30 40 50 60 70 80 90 100]" {
+		t.Errorf("Figure 6 outputs = %s", v)
+	}
+}
+
+func TestWordCountBlockFigure12(t *testing.T) {
+	v, err := EvalBlock(WordCountBlock("I want to be what I was when I wanted to be what I am now"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := v.(*value.List)
+	// Sorted unique words, each with a count; "I" appears 4 times.
+	counts := map[string]string{}
+	prev := ""
+	for _, it := range l.Items() {
+		pair := it.(*value.List)
+		key := pair.MustItem(1).String()
+		if prev != "" && key < prev {
+			t.Errorf("output not sorted: %q after %q", key, prev)
+		}
+		prev = key
+		counts[key] = pair.MustItem(2).String()
+	}
+	if counts["I"] != "4" {
+		t.Errorf(`count["I"] = %s, want 4`, counts["I"])
+	}
+	if counts["to"] != "2" || counts["be"] != "2" || counts["what"] != "2" {
+		t.Errorf("counts = %v", counts)
+	}
+	if counts["now"] != "1" {
+		t.Errorf(`count["now"] = %s`, counts["now"])
+	}
+}
+
+func TestClimateBlockFigure13(t *testing.T) {
+	v, err := EvalBlock(ClimateBlock(blocks.ListOf(
+		blocks.Num(32), blocks.Num(50), blocks.Num(68))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0, 10, 20 °C → average 10.
+	if v.String() != "10" {
+		t.Errorf("climate average = %s, want 10", v)
+	}
+}
+
+// TestConcessionGoldenTraces locks the exact observable behavior of both
+// modes — any scheduler or clock regression shows up as a trace diff.
+func TestConcessionGoldenTraces(t *testing.T) {
+	seq, err := RunConcession(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeq := []string{
+		`[t=3] Cup1 says "full!"`,
+		`[t=7] Cup2 says "full!"`,
+		`[t=12] Cup3 says "full!"`,
+	}
+	if len(seq.Trace) != len(wantSeq) {
+		t.Fatalf("sequential trace = %v", seq.Trace)
+	}
+	for i, want := range wantSeq {
+		if seq.Trace[i] != want {
+			t.Errorf("sequential trace[%d] = %q, want %q", i, seq.Trace[i], want)
+		}
+	}
+
+	par, err := RunConcession(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPar := []string{
+		"[t=0] Pitcher is cloned as Pitcher#5",
+		"[t=0] Pitcher is cloned as Pitcher#6",
+		"[t=0] Pitcher is cloned as Pitcher#7",
+		// The pours complete at t=3; each clone finds the queue empty
+		// and removes itself, then the cups' broadcast handlers run in
+		// the following scheduler round (still t=3 — no waits pending).
+		"[t=3] Pitcher#5 is removed",
+		"[t=3] Pitcher#6 is removed",
+		"[t=3] Pitcher#7 is removed",
+		`[t=3] Cup1 says "full!"`,
+		`[t=3] Cup2 says "full!"`,
+		`[t=3] Cup3 says "full!"`,
+	}
+	if len(par.Trace) != len(wantPar) {
+		t.Fatalf("parallel trace = %v", par.Trace)
+	}
+	for i, want := range wantPar {
+		if par.Trace[i] != want {
+			t.Errorf("parallel trace[%d] = %q, want %q", i, par.Trace[i], want)
+		}
+	}
+}
+
+// TestConcessionDeterministic runs each mode repeatedly: the scheduler is
+// deterministic, so the trace must be byte-identical every time.
+func TestConcessionDeterministic(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		first, err := RunConcession(parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for run := 0; run < 3; run++ {
+			again, err := RunConcession(parallel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Join(again.Trace, "\n") != strings.Join(first.Trace, "\n") {
+				t.Fatalf("parallel=%v run %d diverged:\n%v\nvs\n%v",
+					parallel, run, again.Trace, first.Trace)
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package interp_test
+
+import (
+	"fmt"
+
+	"repro/internal/blocks"
+	"repro/internal/interp"
+	"repro/internal/value"
+)
+
+// Build Figure 4's map program with the block constructors and run it.
+func ExampleMachine_EvalReporter() {
+	m := interp.NewMachine(blocks.NewProject("example"), nil)
+	v, err := m.EvalReporter(blocks.Map(
+		blocks.RingOf(blocks.Product(blocks.Empty(), blocks.Num(10))),
+		blocks.ListOf(blocks.Num(3), blocks.Num(7), blocks.Num(8)),
+	))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(v)
+	// Output: [30 70 80]
+}
+
+// A script with variables, a loop, and a report.
+func ExampleMachine_RunScript() {
+	m := interp.NewMachine(blocks.NewProject("example"), nil)
+	v, err := m.RunScript(blocks.NewScript(
+		blocks.DeclareLocal("sum"),
+		blocks.SetVar("sum", blocks.Num(0)),
+		blocks.For("i", blocks.Num(1), blocks.Num(10), blocks.Body(
+			blocks.ChangeVar("sum", blocks.Var("i")),
+		)),
+		blocks.Report(blocks.Var("sum")),
+	))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(v)
+	// Output: 55
+}
+
+// Two scripts of one sprite interleave under the time-sliced scheduler —
+// §2's cooperative concurrency.
+func ExampleMachine_GreenFlag() {
+	p := blocks.NewProject("dragon")
+	p.Globals["log"] = value.NewList()
+	sp := p.AddSprite(blocks.NewSprite("Dragon"))
+	for _, tag := range []string{"a", "b"} {
+		sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+			blocks.Repeat(blocks.Num(2), blocks.Body(
+				blocks.AddToList(blocks.Txt(tag), blocks.Var("log")))),
+		))
+	}
+	m := interp.NewMachine(p, nil)
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		panic(err)
+	}
+	log, _ := m.GlobalFrame().Get("log")
+	fmt.Println(log)
+	// Output: [a b a b]
+}

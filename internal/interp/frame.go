@@ -1,0 +1,95 @@
+// Package interp is the Snap! run-time system: a cooperative, time-sliced
+// interpreter over the block AST of package blocks. It reproduces the
+// execution model §2 of the paper describes — "multi-tasking ... executing
+// all active processes one at a time in an interleaved fashion with only a
+// single thread of control" — including the context-stack machinery that
+// §4's Listing 2 builds on (pushContext, doYield, re-entrant primitives
+// that stash scratch state in their context's input array).
+//
+// The interpreter itself is single-threaded concurrency, exactly like
+// Snap!'s; true parallelism enters only through the worker-backed blocks
+// registered by package core.
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// Frame is one lexical scope: a variable table chained to its parent.
+// The chain for a sprite script is process frame → sprite frame → global
+// frame, matching Snap!'s variable lookup order.
+type Frame struct {
+	parent *Frame
+	vars   map[string]value.Value
+
+	// implicits are the arguments bound to a ring's empty slots for the
+	// duration of one call (§3.1: "the empty input signals where the
+	// list inputs are to be inserted into the function").
+	implicits   []value.Value
+	implicitIdx int
+}
+
+// NewFrame creates a child scope of parent (parent may be nil for a root).
+func NewFrame(parent *Frame) *Frame {
+	return &Frame{parent: parent, vars: map[string]value.Value{}}
+}
+
+// Declare creates (or overwrites) name in this frame.
+func (f *Frame) Declare(name string, v value.Value) {
+	f.vars[name] = v
+}
+
+// Get looks name up the scope chain.
+func (f *Frame) Get(name string) (value.Value, error) {
+	for s := f; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			if v == nil {
+				return value.Nothing{}, nil
+			}
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("a variable of name %q does not exist in this context", name)
+}
+
+// Set assigns to the nearest frame that declares name, erroring (Snap!'s
+// red halo) when no scope declares it.
+func (f *Frame) Set(name string, v value.Value) error {
+	for s := f; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return nil
+		}
+	}
+	return fmt.Errorf("a variable of name %q does not exist in this context", name)
+}
+
+// BindImplicits installs the positional arguments that empty slots consume.
+func (f *Frame) BindImplicits(args []value.Value) {
+	f.implicits = args
+	f.implicitIdx = 0
+}
+
+// TakeImplicit yields the argument for the next empty slot encountered.
+// With exactly one argument, every empty slot receives it (Snap! fills all
+// empties with the single input, which is how "map (_ × _) over L" squares
+// a list); with several, empties consume them left to right.
+func (f *Frame) TakeImplicit() value.Value {
+	for s := f; s != nil; s = s.parent {
+		if s.implicits == nil {
+			continue
+		}
+		if len(s.implicits) == 1 {
+			return s.implicits[0]
+		}
+		if s.implicitIdx < len(s.implicits) {
+			v := s.implicits[s.implicitIdx]
+			s.implicitIdx++
+			return v
+		}
+		return value.Nothing{}
+	}
+	return value.Nothing{}
+}

@@ -1,0 +1,98 @@
+package interp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// FileSystem is the storage behind the file blocks of §6.3: "for
+// production use, [Snap!] needs to have a way to consume existing data
+// files. Likewise, it needs a way to write data to files for use by other
+// programs outside of Snap!." Machines default to an in-memory store
+// (tests, examples); cmd-line tools can attach a DirFS rooted at a real
+// directory.
+type FileSystem interface {
+	// ReadFile returns the file's contents.
+	ReadFile(name string) (string, error)
+	// WriteFile replaces the file's contents.
+	WriteFile(name, content string) error
+	// AppendFile appends to the file, creating it if needed.
+	AppendFile(name, content string) error
+}
+
+// MemFS is the in-memory FileSystem.
+type MemFS map[string]string
+
+// ReadFile implements FileSystem.
+func (m MemFS) ReadFile(name string) (string, error) {
+	c, ok := m[name]
+	if !ok {
+		return "", fmt.Errorf("no file named %q", name)
+	}
+	return c, nil
+}
+
+// WriteFile implements FileSystem.
+func (m MemFS) WriteFile(name, content string) error {
+	m[name] = content
+	return nil
+}
+
+// AppendFile implements FileSystem.
+func (m MemFS) AppendFile(name, content string) error {
+	m[name] += content
+	return nil
+}
+
+// DirFS is a FileSystem rooted at a host directory. File names are
+// confined to the root: path separators and traversal are rejected, which
+// keeps a block program from reading outside its project directory.
+type DirFS struct {
+	Root string
+}
+
+func (d DirFS) resolve(name string) (string, error) {
+	if name == "" || strings.ContainsAny(name, `/\`) || strings.Contains(name, "..") {
+		return "", fmt.Errorf("invalid file name %q", name)
+	}
+	return filepath.Join(d.Root, name), nil
+}
+
+// ReadFile implements FileSystem.
+func (d DirFS) ReadFile(name string) (string, error) {
+	path, err := d.resolve(name)
+	if err != nil {
+		return "", err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// WriteFile implements FileSystem.
+func (d DirFS) WriteFile(name, content string) error {
+	path, err := d.resolve(name)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// AppendFile implements FileSystem.
+func (d DirFS) AppendFile(name, content string) error {
+	path, err := d.resolve(name)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString(content)
+	return err
+}

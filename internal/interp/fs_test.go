@@ -1,0 +1,131 @@
+package interp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/blocks"
+	"repro/internal/value"
+)
+
+func TestFileBlocksMemFS(t *testing.T) {
+	m := newTestMachine()
+	script := blocks.NewScript(
+		blocks.WriteFile(blocks.Txt("out.txt"), blocks.Txt("line1\n")),
+		blocks.AppendToFile(blocks.Txt("out.txt"), blocks.Txt("line2\n")),
+		blocks.Report(blocks.ReadFile(blocks.Txt("out.txt"))),
+	)
+	v, err := m.RunScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "line1\nline2\n" {
+		t.Errorf("file contents = %q", v)
+	}
+}
+
+func TestFileLinesBlock(t *testing.T) {
+	m := newTestMachine()
+	m.FS().WriteFile("data.csv", "32\n212\n122\n")
+	v, err := m.EvalReporter(blocks.FileLines(blocks.Txt("data.csv")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "[32 212 122]" {
+		t.Errorf("lines = %s", v)
+	}
+	// Lines feed directly into the climate pipeline: map over them.
+	m2 := newTestMachine()
+	m2.FS().WriteFile("temps", "32\n212\n")
+	v, err = m2.EvalReporter(blocks.Map(
+		blocks.RingOf(blocks.Quotient(
+			blocks.Product(blocks.Num(5), blocks.Difference(blocks.Empty(), blocks.Num(32))),
+			blocks.Num(9))),
+		blocks.FileLines(blocks.Txt("temps"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "[0 100]" {
+		t.Errorf("converted = %s", v)
+	}
+}
+
+func TestFileLinesEmpty(t *testing.T) {
+	m := newTestMachine()
+	m.FS().WriteFile("empty", "")
+	v, err := m.EvalReporter(blocks.FileLines(blocks.Txt("empty")))
+	if err != nil || v.(*value.List).Len() != 0 {
+		t.Errorf("empty file lines = %v, %v", v, err)
+	}
+}
+
+func TestFileErrors(t *testing.T) {
+	m := newTestMachine()
+	if _, err := m.EvalReporter(blocks.ReadFile(blocks.Txt("ghost"))); err == nil {
+		t.Error("reading a missing file should error")
+	}
+	// Workers have no file access.
+	ring := &blocks.Ring{Body: blocks.NewScript(
+		blocks.Report(blocks.ReadFile(blocks.Txt("x"))))}
+	if _, err := CallFunction(ring, nil, 0); err == nil {
+		t.Error("file blocks inside a worker should error")
+	}
+}
+
+func TestDirFS(t *testing.T) {
+	dir := t.TempDir()
+	fs := DirFS{Root: dir}
+	if err := fs.WriteFile("a.txt", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AppendFile("a.txt", " world"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("a.txt")
+	if err != nil || got != "hello world" {
+		t.Errorf("read = %q, %v", got, err)
+	}
+	if err := fs.AppendFile("fresh.txt", "new"); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(filepath.Join(dir, "fresh.txt"))
+	if string(raw) != "new" {
+		t.Error("append should create the file")
+	}
+	// Traversal and separators are rejected.
+	for _, bad := range []string{"", "../etc/passwd", "a/b", `a\b`, ".."} {
+		if _, err := fs.ReadFile(bad); err == nil {
+			t.Errorf("ReadFile(%q) should be rejected", bad)
+		}
+		if err := fs.WriteFile(bad, "x"); err == nil {
+			t.Errorf("WriteFile(%q) should be rejected", bad)
+		}
+		if err := fs.AppendFile(bad, "x"); err == nil {
+			t.Errorf("AppendFile(%q) should be rejected", bad)
+		}
+	}
+	if _, err := fs.ReadFile("missing.txt"); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestMachineDirFS(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "in.txt"), []byte("42"), 0o644)
+	m := newTestMachine()
+	m.SetFS(DirFS{Root: dir})
+	script := blocks.NewScript(
+		blocks.WriteFile(blocks.Txt("out.txt"),
+			blocks.Reporter(blocks.Join(
+				blocks.Sum(blocks.ReadFile(blocks.Txt("in.txt")), blocks.Num(1))))),
+	)
+	if _, err := m.RunScript(script); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "out.txt"))
+	if err != nil || strings.TrimSpace(string(raw)) != "43" {
+		t.Errorf("out.txt = %q, %v", raw, err)
+	}
+}

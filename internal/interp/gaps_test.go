@@ -1,0 +1,265 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/blocks"
+	"repro/internal/value"
+)
+
+// Gap-filling tests for paths the main suites reach only via other
+// packages.
+
+func TestDoRunCommandRing(t *testing.T) {
+	m := newTestMachine()
+	m.GlobalFrame().Declare("log", value.NewList())
+	script := blocks.NewScript(
+		blocks.Run(blocks.RingScript(blocks.NewScript(
+			blocks.AddToList(blocks.Empty(), blocks.Var("log")),
+		)), blocks.Num(7)),
+		blocks.Report(blocks.Var("log")),
+	)
+	v, err := m.RunScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "[7]" {
+		t.Errorf("run ring log = %s", v)
+	}
+	// Running a non-ring errors.
+	m = newTestMachine()
+	if _, err := m.RunScript(blocks.NewScript(blocks.Run(blocks.Num(5)))); err == nil {
+		t.Error("run 5 should error")
+	}
+}
+
+func TestMotionAndLooksBlocks(t *testing.T) {
+	p := blocks.NewProject("motion")
+	sp := p.AddSprite(blocks.NewSprite("S"))
+	sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.GotoXY(blocks.Num(10), blocks.Num(-20)),
+		blocks.Think(blocks.Txt("hmm")),
+		blocks.Say(blocks.MyName()),
+	))
+	m := NewMachine(p, nil)
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	a := m.Stage.Actor("S")
+	if a.X != 10 || a.Y != -20 {
+		t.Errorf("position = (%g, %g)", a.X, a.Y)
+	}
+	if a.Saying != "S" {
+		t.Errorf("saying = %q (my name)", a.Saying)
+	}
+}
+
+func TestStageBlocksFailInWorkers(t *testing.T) {
+	for _, b := range []*blocks.Block{
+		blocks.Forward(blocks.Num(1)),
+		blocks.TurnRight(blocks.Num(1)),
+		blocks.TurnLeft(blocks.Num(1)),
+		blocks.GotoXY(blocks.Num(0), blocks.Num(0)),
+		blocks.Think(blocks.Txt("x")),
+		blocks.Say(blocks.Txt("x")),
+		blocks.ResetTimer(),
+		blocks.Broadcast(blocks.Txt("x")),
+		blocks.BroadcastAndWait(blocks.Txt("x")),
+		blocks.CreateCloneOf(blocks.Txt("myself")),
+		blocks.DeleteThisClone(),
+	} {
+		ring := &blocks.Ring{Body: blocks.NewScript(b)}
+		if _, err := CallFunction(ring, nil, 0); err == nil {
+			t.Errorf("%s inside a worker should error", b.Op)
+		}
+	}
+	ringTimer := &blocks.Ring{Body: blocks.Timer()}
+	if _, err := CallFunction(ringTimer, nil, 0); err == nil {
+		t.Error("timer inside a worker should error")
+	}
+	ringName := &blocks.Ring{Body: blocks.MyName()}
+	if _, err := CallFunction(ringName, nil, 0); err == nil {
+		t.Error("my-name inside a worker should error")
+	}
+}
+
+func TestMonadicRemainingFunctions(t *testing.T) {
+	cases := map[string]string{
+		"cos":  "1",  // cos 0°
+		"tan":  "0",  // tan 0°
+		"ln":   "0",  // ln 1
+		"log":  "2",  // log10 100
+		"e^":   "1",  // e^0
+		"asin": "90", // asin 1
+		"acos": "0",  // acos 1
+		"atan": "45", // atan 1
+	}
+	args := map[string]float64{
+		"cos": 0, "tan": 0, "ln": 1, "log": 100, "e^": 0,
+		"asin": 1, "acos": 1, "atan": 1,
+	}
+	for fn, want := range cases {
+		v := evalR(t, blocks.Monadic(fn, blocks.Num(args[fn])))
+		if v.String() != want {
+			t.Errorf("%s(%g) = %s, want %s", fn, args[fn], v, want)
+		}
+	}
+}
+
+func TestLogicCoercionErrors(t *testing.T) {
+	m := newTestMachine()
+	for _, b := range []*blocks.Block{
+		blocks.And(blocks.Num(1), blocks.BoolLit(true)),
+		blocks.And(blocks.BoolLit(true), blocks.Num(1)),
+		blocks.Or(blocks.Num(1), blocks.BoolLit(true)),
+		blocks.Or(blocks.BoolLit(false), blocks.Num(1)),
+		blocks.Not(blocks.Num(1)),
+	} {
+		if _, err := m.EvalReporter(b); err == nil {
+			t.Errorf("%s should error (numbers are not booleans)", b.Describe())
+		}
+		m = newTestMachine()
+	}
+}
+
+func TestListMutationErrorsViaBlocks(t *testing.T) {
+	m := newTestMachine()
+	m.GlobalFrame().Declare("L", value.NewList())
+	for _, b := range []*blocks.Block{
+		blocks.DeleteFromList(blocks.Num(1), blocks.Var("L")),
+		blocks.InsertInList(blocks.Num(1), blocks.Num(5), blocks.Var("L")),
+		blocks.ReplaceInList(blocks.Num(1), blocks.Var("L"), blocks.Num(2)),
+		blocks.DeleteFromList(blocks.Num(1), blocks.Num(9)), // not a list
+		blocks.InsertInList(blocks.Num(1), blocks.Num(1), blocks.Num(9)),
+		blocks.ReplaceInList(blocks.Num(1), blocks.Num(9), blocks.Num(2)),
+		blocks.AddToList(blocks.Num(1), blocks.Num(9)),
+		blocks.ItemOf(blocks.Num(1), blocks.Num(9)),
+		blocks.LengthOf(blocks.Num(9)),
+		blocks.ListContains(blocks.Num(9), blocks.Num(1)),
+	} {
+		if _, err := m.RunScript(blocks.NewScript(b)); err == nil {
+			t.Errorf("%s should error", b.Describe())
+		}
+		m = newTestMachine()
+		m.GlobalFrame().Declare("L", value.NewList())
+	}
+}
+
+func TestChangeVarErrors(t *testing.T) {
+	m := newTestMachine()
+	m.GlobalFrame().Declare("s", value.Text("pear"))
+	if _, err := m.RunScript(blocks.NewScript(
+		blocks.ChangeVar("s", blocks.Num(1)))); err == nil {
+		t.Error("changing a non-numeric variable should error")
+	}
+	m = newTestMachine()
+	m.GlobalFrame().Declare("n", value.Number(1))
+	if _, err := m.RunScript(blocks.NewScript(
+		blocks.ChangeVar("n", blocks.Txt("pear")))); err == nil {
+		t.Error("changing by a non-number should error")
+	}
+}
+
+func TestCreateCloneOfNamedSprite(t *testing.T) {
+	p := blocks.NewProject("named")
+	a := p.AddSprite(blocks.NewSprite("A"))
+	p.AddSprite(blocks.NewSprite("B"))
+	a.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.CreateCloneOf(blocks.Txt("B")),
+	))
+	m := NewMachine(p, nil)
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stage.CloneCount("B") != 1 {
+		t.Error("A should have cloned B")
+	}
+	// Cloning a missing sprite errors.
+	p2 := blocks.NewProject("missing")
+	s2 := p2.AddSprite(blocks.NewSprite("S"))
+	s2.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.CreateCloneOf(blocks.Txt("Ghost")),
+	))
+	m2 := NewMachine(p2, nil)
+	m2.GreenFlag()
+	if err := m2.Run(0); err == nil || !strings.Contains(err.Error(), "no sprite") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDeleteCloneOnOriginalIsNoop(t *testing.T) {
+	p := blocks.NewProject("noop")
+	sp := p.AddSprite(blocks.NewSprite("S"))
+	sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.DeleteThisClone(),
+		blocks.Say(blocks.Txt("still here")),
+	))
+	m := NewMachine(p, nil)
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stage.Actor("S").Saying != "still here" {
+		t.Error("delete-this-clone on an original must be a no-op")
+	}
+}
+
+func TestProcessAccessors(t *testing.T) {
+	m := newTestMachine()
+	sp := blocks.NewSprite("S")
+	proc := m.SpawnScript(sp, nil, blocks.NewScript(
+		blocks.Say(blocks.Quotient(blocks.Num(1), blocks.Num(0)))))
+	m.Run(0)
+	if proc.Err() == nil {
+		t.Error("Err() should report the failure")
+	}
+	if proc.RootFrame() == nil {
+		t.Error("RootFrame() should exist")
+	}
+}
+
+func TestTakeImplicitExhaustion(t *testing.T) {
+	f := NewFrame(nil)
+	f.BindImplicits([]value.Value{value.Number(1), value.Number(2)})
+	if f.TakeImplicit().(value.Number) != 1 {
+		t.Error("first implicit")
+	}
+	if f.TakeImplicit().(value.Number) != 2 {
+		t.Error("second implicit")
+	}
+	if !value.IsNothing(f.TakeImplicit()) {
+		t.Error("exhausted implicits yield nothing")
+	}
+	// No implicits anywhere in the chain.
+	g := NewFrame(nil)
+	if !value.IsNothing(g.TakeImplicit()) {
+		t.Error("no implicits yields nothing")
+	}
+}
+
+func TestTraceBlockHook(t *testing.T) {
+	m := newTestMachine()
+	var seen []string
+	m.TraceBlock = func(p *Process, b *blocks.Block) {
+		seen = append(seen, b.Op)
+	}
+	if _, err := m.RunScript(blocks.NewScript(
+		blocks.DeclareLocal("x"),
+		blocks.SetVar("x", blocks.Sum(blocks.Num(1), blocks.Num(2))),
+		blocks.Report(blocks.Var("x")),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"doDeclareVariables", "reportSum", "doSetVar", "doReport"}
+	if len(seen) != len(want) {
+		t.Fatalf("trace = %v", seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("trace[%d] = %s, want %s", i, seen[i], want[i])
+		}
+	}
+}

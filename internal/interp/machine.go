@@ -1,0 +1,340 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/blocks"
+	"repro/internal/stage"
+	"repro/internal/value"
+	"repro/internal/vclock"
+)
+
+// DefaultSliceOps is the default time slice: how many evaluator operations
+// one process may run per scheduler round before the thread manager moves
+// on ("each process executes for a short amount of time called a time
+// slice before yielding to the next process", §2).
+const DefaultSliceOps = 1000
+
+// Machine is Snap!'s run-time system: the thread manager at "the heart of
+// the Snap! programming environment" (§2). It owns the project, the stage,
+// the virtual clock, and the process queue, and it steps every live
+// process one at a time in an interleaved fashion — concurrency on a
+// single thread of control, the paper's foil for the true parallelism of
+// the Web-Worker blocks.
+type Machine struct {
+	Project *blocks.Project
+	Stage   *stage.Stage
+	// SliceOps is the per-process op budget per round.
+	SliceOps int
+	// TraceBlock, when set, is invoked before every block application —
+	// the hook behind snapvm's -traceblocks "watch the blocks run" mode
+	// and a test observation point. Keep it fast; it runs on the
+	// interpreter's hot path.
+	TraceBlock func(p *Process, b *blocks.Block)
+
+	procs       []*Process
+	rng         *rand.Rand
+	fs          FileSystem
+	globalFrame *Frame
+	spriteFrame map[*blocks.Sprite]*Frame
+	actorSprite map[*stage.Actor]*blocks.Sprite
+	errs        []error
+	round       int64
+}
+
+// NewMachine builds a machine for the project over a fresh stage driven by
+// the given clock (nil for a plain clock). Every sprite gets a stage actor.
+func NewMachine(project *blocks.Project, clock *vclock.Clock) *Machine {
+	m := &Machine{
+		Project:     project,
+		Stage:       stage.New(clock),
+		SliceOps:    DefaultSliceOps,
+		spriteFrame: map[*blocks.Sprite]*Frame{},
+		actorSprite: map[*stage.Actor]*blocks.Sprite{},
+	}
+	m.globalFrame = NewFrame(nil)
+	for name, v := range project.Globals {
+		m.globalFrame.Declare(name, v)
+	}
+	for _, sp := range project.Sprites {
+		f := NewFrame(m.globalFrame)
+		for name, v := range sp.Variables {
+			f.Declare(name, v)
+		}
+		m.spriteFrame[sp] = f
+		actor := m.Stage.AddActor(sp.Name, sp.X, sp.Y)
+		m.actorSprite[actor] = sp
+	}
+	return m
+}
+
+// Rand is the machine's deterministic random stream (seeded; reproducible
+// runs are worth more to a test suite than entropy). SeedRand reseeds it.
+func (m *Machine) Rand() *rand.Rand {
+	if m.rng == nil {
+		m.rng = rand.New(rand.NewSource(1))
+	}
+	return m.rng
+}
+
+// SeedRand reseeds the machine's random stream.
+func (m *Machine) SeedRand(seed int64) { m.rng = rand.New(rand.NewSource(seed)) }
+
+// FS is the machine's file store for the §6.3 file blocks; it defaults to
+// an in-memory MemFS.
+func (m *Machine) FS() FileSystem {
+	if m.fs == nil {
+		m.fs = MemFS{}
+	}
+	return m.fs
+}
+
+// SetFS attaches a file store (e.g. a DirFS rooted at a project
+// directory).
+func (m *Machine) SetFS(fs FileSystem) { m.fs = fs }
+
+// GlobalFrame exposes the project-global scope.
+func (m *Machine) GlobalFrame() *Frame { return m.globalFrame }
+
+// SpriteFrame returns the sprite-level scope.
+func (m *Machine) SpriteFrame(sp *blocks.Sprite) *Frame { return m.spriteFrame[sp] }
+
+// SpawnScript starts a new process running script on behalf of (sprite,
+// actor); it begins executing on the next scheduler round, like a script
+// whose hat block just fired.
+func (m *Machine) SpawnScript(sp *blocks.Sprite, actor *stage.Actor, script *blocks.Script) *Process {
+	base := m.globalFrame
+	if f, ok := m.spriteFrame[sp]; ok {
+		base = f
+	}
+	p := NewProcess(m, sp, actor, script, base)
+	m.procs = append(m.procs, p)
+	return p
+}
+
+// SpawnExpr starts a process evaluating an arbitrary expression node (used
+// by the REPL-style entry points and by worker-driver blocks).
+func (m *Machine) SpawnExpr(sp *blocks.Sprite, actor *stage.Actor, expr any, frame *Frame) *Process {
+	if frame == nil {
+		frame = m.globalFrame
+	}
+	p := &Process{Machine: m, Sprite: sp, Actor: actor, rootFrame: NewFrame(frame)}
+	p.context = &Context{Expr: expr, Frame: p.rootFrame}
+	m.procs = append(m.procs, p)
+	return p
+}
+
+// GreenFlag fires the "when green flag clicked" hats of every sprite and
+// returns the started processes.
+func (m *Machine) GreenFlag() []*Process {
+	var started []*Process
+	for _, sp := range m.Project.Sprites {
+		actor := m.Stage.Actor(sp.Name)
+		for _, hs := range sp.Scripts {
+			if hs.Hat == blocks.HatGreenFlag {
+				started = append(started, m.SpawnScript(sp, actor, hs.Script))
+			}
+		}
+	}
+	return started
+}
+
+// PressKey fires "when <key> key pressed" hats.
+func (m *Machine) PressKey(key string) []*Process {
+	var started []*Process
+	for _, sp := range m.Project.Sprites {
+		actor := m.Stage.Actor(sp.Name)
+		for _, hs := range sp.Scripts {
+			if hs.Hat == blocks.HatKeyPress && hs.Arg == key {
+				started = append(started, m.SpawnScript(sp, actor, hs.Script))
+			}
+		}
+	}
+	return started
+}
+
+// StartBroadcast fires "when I receive <msg>" hats across all sprites and
+// returns the started processes (doBroadcastAndWait polls them).
+func (m *Machine) StartBroadcast(msg string) []*Process {
+	var started []*Process
+	for _, sp := range m.Project.Sprites {
+		actor := m.Stage.Actor(sp.Name)
+		for _, hs := range sp.Scripts {
+			if hs.Hat == blocks.HatBroadcast && hs.Arg == msg {
+				started = append(started, m.SpawnScript(sp, actor, hs.Script))
+			}
+		}
+	}
+	return started
+}
+
+// CreateClone clones the actor on stage and fires the sprite's "when I
+// start as a clone" hats on behalf of the clone. It returns the clone.
+func (m *Machine) CreateClone(parent *stage.Actor) *stage.Actor {
+	clone := m.Stage.Clone(parent)
+	sp := m.actorSprite[parent]
+	if sp == nil && parent.Parent != nil {
+		sp = m.actorSprite[parent.Parent]
+	}
+	if sp != nil {
+		m.actorSprite[clone] = sp
+		for _, hs := range sp.Scripts {
+			if hs.Hat == blocks.HatCloneStart {
+				m.SpawnScript(sp, clone, hs.Script)
+			}
+		}
+	}
+	return clone
+}
+
+// CloneSilent clones the actor on stage without firing "when I start as a
+// clone" hats. The parallelForEach block spawns its worker clones this way:
+// they run the block's nested script, not the sprite's clone hats (§3.3
+// uses "Snap!'s intrinsic cloning feature in a novel way").
+func (m *Machine) CloneSilent(parent *stage.Actor) *stage.Actor {
+	clone := m.Stage.Clone(parent)
+	sp := m.actorSprite[parent]
+	if sp != nil {
+		m.actorSprite[clone] = sp
+	}
+	return clone
+}
+
+// RemoveClone deletes a clone actor and stops every process running on its
+// behalf.
+func (m *Machine) RemoveClone(a *stage.Actor) {
+	if a == nil || !a.IsClone() {
+		return
+	}
+	for _, p := range m.procs {
+		if p.Actor == a {
+			p.Stop()
+		}
+	}
+	delete(m.actorSprite, a)
+	m.Stage.Remove(a)
+}
+
+// StopAll stops every process (the red stop button).
+func (m *Machine) StopAll() {
+	for _, p := range m.procs {
+		p.Stop()
+	}
+}
+
+// Processes returns the live process list (snapshot).
+func (m *Machine) Processes() []*Process {
+	out := make([]*Process, 0, len(m.procs))
+	for _, p := range m.procs {
+		if !p.Done() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Round reports how many scheduler rounds have run.
+func (m *Machine) Round() int64 { return m.round }
+
+// Errors returns the errors of processes that died, in death order.
+func (m *Machine) Errors() []error { return m.errs }
+
+// Step runs one scheduler round: every live process gets one time slice,
+// then the virtual clock ticks once if any process consumed a wait
+// timestep this round (concurrently waiting processes share the timestep —
+// that sharing is exactly why the parallel concession stand pours three
+// drinks in three timesteps). It reports whether live processes remain.
+func (m *Machine) Step() bool {
+	snapshot := m.Processes()
+	if len(snapshot) == 0 {
+		return false
+	}
+	m.round++
+	anyWait := false
+	for _, p := range snapshot {
+		if p.Done() {
+			continue
+		}
+		p.consumedWait = false
+		p.RunStep(m.SliceOps)
+		if p.consumedWait {
+			anyWait = true
+		}
+		if p.Done() {
+			m.reap(p)
+		}
+	}
+	if anyWait {
+		m.Stage.Clock.Tick()
+	}
+	m.compact()
+	return len(m.procs) > 0
+}
+
+func (m *Machine) reap(p *Process) {
+	if p.err != nil {
+		m.errs = append(m.errs, p.err)
+	}
+	if p.OnDone != nil {
+		cb := p.OnDone
+		p.OnDone = nil
+		cb(p)
+	}
+}
+
+func (m *Machine) compact() {
+	live := m.procs[:0]
+	for _, p := range m.procs {
+		if !p.Done() {
+			live = append(live, p)
+		}
+	}
+	m.procs = live
+}
+
+// ErrRoundLimit reports that Run hit its round cap with processes alive.
+var ErrRoundLimit = errors.New("machine round limit reached with live processes")
+
+// Run steps the machine until no processes remain or maxRounds elapse
+// (0 means a generous default). It returns the first process error, the
+// round-limit error, or nil.
+func (m *Machine) Run(maxRounds int) error {
+	if maxRounds <= 0 {
+		maxRounds = 1_000_000
+	}
+	for i := 0; i < maxRounds; i++ {
+		if !m.Step() {
+			if len(m.errs) > 0 {
+				return m.errs[0]
+			}
+			return nil
+		}
+	}
+	if len(m.errs) > 0 {
+		return m.errs[0]
+	}
+	return fmt.Errorf("%w (after %d rounds)", ErrRoundLimit, maxRounds)
+}
+
+// RunScript is the convenience entry point used by tests and examples: it
+// runs a single script to completion on a scratch sprite and returns the
+// value of the script's last doReport (or Nothing).
+func (m *Machine) RunScript(script *blocks.Script) (value.Value, error) {
+	sp := blocks.NewSprite("__main__")
+	actor := m.Stage.AddActor(sp.Name, 0, 0)
+	m.spriteFrame[sp] = NewFrame(m.globalFrame)
+	m.actorSprite[actor] = sp
+	p := m.SpawnScript(sp, actor, script)
+	if err := m.Run(0); err != nil {
+		return nil, err
+	}
+	return p.Result(), nil
+}
+
+// EvalReporter evaluates a single reporter block to a value — dropping a
+// reporter on the scripting area and clicking it.
+func (m *Machine) EvalReporter(b *blocks.Block) (value.Value, error) {
+	return m.RunScript(blocks.NewScript(blocks.Report(b)))
+}

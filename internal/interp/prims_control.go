@@ -1,0 +1,327 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/blocks"
+	"repro/internal/value"
+)
+
+// This file implements the control, variable, and procedure-call opcodes.
+// Every primitive follows the Snap! re-entry protocol described in §4: a
+// primitive whose context stays on the stack (Control = Again) is re-called
+// when its children pop, and keeps private state in its context's Inputs
+// beyond the declared arity — Listing 2's this.context.inputs[3].
+
+func init() {
+	RegisterPrimitive("doDeclareVariables", primDeclareVariables)
+	RegisterPrimitive("doSetVar", primSetVar)
+	RegisterPrimitive("doChangeVar", primChangeVar)
+	RegisterPrimitive("doIf", primIf)
+	RegisterPrimitive("doIfElse", primIfElse)
+	RegisterPrimitive("doRepeat", primRepeat)
+	RegisterPrimitive("doForever", primForever)
+	RegisterPrimitive("doUntil", primUntil)
+	RegisterPrimitive("doFor", primFor)
+	RegisterPrimitive("doWait", primWait)
+	RegisterPrimitive("doWarp", primWarp)
+	RegisterPrimitive("doReport", primReport)
+	RegisterPrimitive("doStopThis", primStopThis)
+	RegisterPrimitive("evaluate", primEvaluate)
+	RegisterPrimitive("doRun", primRun)
+	RegisterPrimitive("evaluateCustomBlock", primEvaluateCustom)
+}
+
+// scratchState fetches the Opaque scratch stored at Inputs[argc], if any.
+func scratchState(ctx *Context, argc int) (any, bool) {
+	if len(ctx.Inputs) <= argc {
+		return nil, false
+	}
+	o, ok := ctx.Inputs[argc].(*value.Opaque)
+	if !ok {
+		return nil, false
+	}
+	return o.Payload, true
+}
+
+func putScratch(ctx *Context, tag string, payload any) {
+	ctx.Inputs = append(ctx.Inputs, &value.Opaque{Tag: tag, Payload: payload})
+}
+
+func primDeclareVariables(p *Process, ctx *Context) (value.Value, Control, error) {
+	for _, v := range ctx.Inputs {
+		ctx.Frame.Declare(v.String(), value.Nothing{})
+	}
+	return nil, Done, nil
+}
+
+func primSetVar(p *Process, ctx *Context) (value.Value, Control, error) {
+	return nil, Done, ctx.Frame.Set(ctx.Inputs[0].String(), ctx.Inputs[1])
+}
+
+func primChangeVar(p *Process, ctx *Context) (value.Value, Control, error) {
+	name := ctx.Inputs[0].String()
+	cur, err := ctx.Frame.Get(name)
+	if err != nil {
+		return nil, Done, err
+	}
+	n, err := value.ToNumber(cur)
+	if err != nil {
+		return nil, Done, err
+	}
+	d, err := value.ToNumber(ctx.Inputs[1])
+	if err != nil {
+		return nil, Done, err
+	}
+	return nil, Done, ctx.Frame.Set(name, n+d)
+}
+
+func primIf(p *Process, ctx *Context) (value.Value, Control, error) {
+	cond, err := value.ToBool(ctx.Inputs[0])
+	if err != nil {
+		return nil, Done, err
+	}
+	if !cond {
+		return nil, Done, nil
+	}
+	body := ctx.Inputs[1]
+	p.popContext()
+	if err := p.PushBody(body); err != nil {
+		return nil, Done, err
+	}
+	return nil, Replaced, nil
+}
+
+func primIfElse(p *Process, ctx *Context) (value.Value, Control, error) {
+	cond, err := value.ToBool(ctx.Inputs[0])
+	if err != nil {
+		return nil, Done, err
+	}
+	body := ctx.Inputs[2]
+	if cond {
+		body = ctx.Inputs[1]
+	}
+	p.popContext()
+	if err := p.PushBody(body); err != nil {
+		return nil, Done, err
+	}
+	return nil, Replaced, nil
+}
+
+func primRepeat(p *Process, ctx *Context) (value.Value, Control, error) {
+	n, err := value.ToNumber(ctx.Inputs[0])
+	if err != nil {
+		return nil, Done, err
+	}
+	if n < 1 {
+		return nil, Done, nil
+	}
+	ctx.Inputs[0] = n - 1 // the mutated-counter trick Snap! itself uses
+	if !p.Warped() {
+		p.PushYield()
+	}
+	if err := p.PushBody(ctx.Inputs[1]); err != nil {
+		return nil, Done, err
+	}
+	return nil, Again, nil
+}
+
+func primForever(p *Process, ctx *Context) (value.Value, Control, error) {
+	if !p.Warped() {
+		p.PushYield()
+	}
+	if err := p.PushBody(ctx.Inputs[0]); err != nil {
+		return nil, Done, err
+	}
+	return nil, Again, nil
+}
+
+func primUntil(p *Process, ctx *Context) (value.Value, Control, error) {
+	cond, err := value.ToBool(ctx.Inputs[0])
+	if err != nil {
+		return nil, Done, err
+	}
+	if cond {
+		return nil, Done, nil
+	}
+	body := ctx.Inputs[1]
+	// Clear the evaluated inputs so the condition is re-evaluated on
+	// re-entry — Snap!'s `this.context.inputs = []` in doUntil.
+	ctx.Inputs = ctx.Inputs[:0]
+	if !p.Warped() {
+		p.PushYield()
+	}
+	if err := p.PushBody(body); err != nil {
+		return nil, Done, err
+	}
+	return nil, Again, nil
+}
+
+type forState struct {
+	i, to, step float64
+	frame       *Frame
+	varName     string
+}
+
+func primFor(p *Process, ctx *Context) (value.Value, Control, error) {
+	st, ok := scratchState(ctx, 4)
+	if !ok {
+		from, err := value.ToNumber(ctx.Inputs[1])
+		if err != nil {
+			return nil, Done, err
+		}
+		to, err := value.ToNumber(ctx.Inputs[2])
+		if err != nil {
+			return nil, Done, err
+		}
+		body, okRing := ctx.Inputs[3].(*blocks.Ring)
+		if !okRing {
+			return nil, Done, errors.New("for needs a script body")
+		}
+		step := 1.0
+		if from > to {
+			step = -1 // Snap! counts down when from > to
+		}
+		loop := NewFrame(ringEnv(body, p))
+		s := &forState{i: float64(from), to: float64(to), step: step,
+			frame: loop, varName: ctx.Inputs[0].String()}
+		loop.Declare(s.varName, value.Number(from))
+		putScratch(ctx, "forState", s)
+		st = s
+	}
+	s := st.(*forState)
+	if (s.step > 0 && s.i > s.to) || (s.step < 0 && s.i < s.to) {
+		return nil, Done, nil
+	}
+	s.frame.Declare(s.varName, value.Number(s.i))
+	s.i += s.step
+	if !p.Warped() {
+		p.PushYield()
+	}
+	if err := p.PushBodyInFrame(ctx.Inputs[3], s.frame); err != nil {
+		return nil, Done, err
+	}
+	return nil, Again, nil
+}
+
+type waitState struct{ remaining int }
+
+func primWait(p *Process, ctx *Context) (value.Value, Control, error) {
+	st, ok := scratchState(ctx, 1)
+	if !ok {
+		n, err := value.ToNumber(ctx.Inputs[0])
+		if err != nil {
+			return nil, Done, err
+		}
+		if n <= 0 {
+			return nil, Done, nil
+		}
+		s := &waitState{remaining: int(n)}
+		putScratch(ctx, "waitState", s)
+		st = s
+	}
+	s := st.(*waitState)
+	if s.remaining <= 0 {
+		return nil, Done, nil
+	}
+	s.remaining--
+	p.MarkWaitConsumed()
+	p.PushYield()
+	return nil, Again, nil
+}
+
+func primWarp(p *Process, ctx *Context) (value.Value, Control, error) {
+	if _, ran := scratchState(ctx, 1); ran {
+		p.ExitWarp()
+		return nil, Done, nil
+	}
+	putScratch(ctx, "warped", true)
+	p.EnterWarp()
+	if err := p.PushBody(ctx.Inputs[0]); err != nil {
+		p.ExitWarp()
+		return nil, Done, err
+	}
+	return nil, Again, nil
+}
+
+func primReport(p *Process, ctx *Context) (value.Value, Control, error) {
+	v := ctx.Inputs[0]
+	p.popContext() // remove the doReport block itself
+	p.UnwindToProcBoundary(v)
+	return nil, Replaced, nil
+}
+
+func primStopThis(p *Process, ctx *Context) (value.Value, Control, error) {
+	p.Stop()
+	return nil, Replaced, nil
+}
+
+// primEvaluate implements "call _ with inputs _ ..." — reporter rings.
+// Calling a non-ring datum evaluates to itself, Snap!'s behavior when a
+// plain value lands in the procedure slot.
+func primEvaluate(p *Process, ctx *Context) (value.Value, Control, error) {
+	argc := argcOf(ctx)
+	if len(ctx.Inputs) > argc {
+		return ctx.Inputs[argc], Done, nil
+	}
+	ring, ok := ctx.Inputs[0].(*blocks.Ring)
+	if !ok {
+		return ctx.Inputs[0], Done, nil
+	}
+	if err := p.CallRing(ring, ctx.Inputs[1:argc:argc]); err != nil {
+		return nil, Done, err
+	}
+	return nil, Again, nil
+}
+
+// primRun implements "run _ with inputs _ ..." — command rings; no value.
+func primRun(p *Process, ctx *Context) (value.Value, Control, error) {
+	argc := argcOf(ctx)
+	if len(ctx.Inputs) > argc {
+		return nil, Done, nil
+	}
+	ring, ok := ctx.Inputs[0].(*blocks.Ring)
+	if !ok {
+		return nil, Done, fmt.Errorf("run needs a ring, got %s", ctx.Inputs[0].Kind())
+	}
+	if err := p.CallRing(ring, ctx.Inputs[1:argc:argc]); err != nil {
+		return nil, Done, err
+	}
+	return nil, Again, nil
+}
+
+// primEvaluateCustom invokes a BYOB custom block by name.
+func primEvaluateCustom(p *Process, ctx *Context) (value.Value, Control, error) {
+	argc := argcOf(ctx)
+	if len(ctx.Inputs) > argc {
+		return ctx.Inputs[argc], Done, nil
+	}
+	if p.Machine == nil {
+		return nil, Done, errors.New("custom blocks are not available inside a web worker")
+	}
+	name := ctx.Inputs[0].String()
+	cb := p.Machine.Project.LookupCustom(p.Sprite, name)
+	if cb == nil {
+		return nil, Done, fmt.Errorf("undefined custom block %q", name)
+	}
+	env := p.Machine.SpriteFrame(p.Sprite)
+	if env == nil {
+		env = p.Machine.GlobalFrame()
+	}
+	ring := &blocks.Ring{Body: cb.Body, Params: cb.Params, Env: env}
+	if err := p.CallRing(ring, ctx.Inputs[1:argc:argc]); err != nil {
+		return nil, Done, err
+	}
+	return nil, Again, nil
+}
+
+// argcOf recovers the declared arity of the block under evaluation. For
+// primitives that never append scratch before all inputs are evaluated this
+// equals the block's input count.
+func argcOf(ctx *Context) int {
+	if b, ok := ctx.Expr.(*blocks.Block); ok {
+		return len(b.Inputs)
+	}
+	return len(ctx.Inputs)
+}

@@ -1,0 +1,73 @@
+package interp
+
+import (
+	"errors"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// The file blocks of §6.3 — data-file ingestion and export without
+// "compromising the user-friendly interface": read a whole file, read it
+// as a list of lines, write, append. Like the stage, files live on the
+// machine, so workers (detached processes) cannot reach them.
+
+func init() {
+	RegisterPrimitive("reportReadFile", primReadFile)
+	RegisterPrimitive("reportFileLines", primFileLines)
+	RegisterPrimitive("doWriteFile", primWriteFile)
+	RegisterPrimitive("doAppendToFile", primAppendToFile)
+}
+
+var errNoFS = errors.New("files are not available inside a web worker")
+
+func machineFS(p *Process) (FileSystem, error) {
+	if p.Machine == nil {
+		return nil, errNoFS
+	}
+	return p.Machine.FS(), nil
+}
+
+func primReadFile(p *Process, ctx *Context) (value.Value, Control, error) {
+	fs, err := machineFS(p)
+	if err != nil {
+		return nil, Done, err
+	}
+	content, err := fs.ReadFile(ctx.Inputs[0].String())
+	if err != nil {
+		return nil, Done, err
+	}
+	return value.Text(content), Done, nil
+}
+
+func primFileLines(p *Process, ctx *Context) (value.Value, Control, error) {
+	fs, err := machineFS(p)
+	if err != nil {
+		return nil, Done, err
+	}
+	content, err := fs.ReadFile(ctx.Inputs[0].String())
+	if err != nil {
+		return nil, Done, err
+	}
+	content = strings.TrimSuffix(content, "\n")
+	if content == "" {
+		return value.NewList(), Done, nil
+	}
+	return value.FromStrings(strings.Split(content, "\n")), Done, nil
+}
+
+func primWriteFile(p *Process, ctx *Context) (value.Value, Control, error) {
+	fs, err := machineFS(p)
+	if err != nil {
+		return nil, Done, err
+	}
+	return nil, Done, fs.WriteFile(ctx.Inputs[0].String(), ctx.Inputs[1].String())
+}
+
+func primAppendToFile(p *Process, ctx *Context) (value.Value, Control, error) {
+	fs, err := machineFS(p)
+	if err != nil {
+		return nil, Done, err
+	}
+	return nil, Done, fs.AppendFile(ctx.Inputs[0].String(), ctx.Inputs[1].String())
+}

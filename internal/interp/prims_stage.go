@@ -1,0 +1,188 @@
+package interp
+
+import (
+	"errors"
+
+	"repro/internal/value"
+)
+
+// This file implements motion, looks, sensing, event, and cloning opcodes —
+// everything that touches the stage. None of these are available to
+// detached (worker) processes: a Web Worker has no DOM, and a shipped
+// function has no sprite (§4.1).
+
+func init() {
+	RegisterPrimitive("forward", primForward)
+	RegisterPrimitive("turn", primTurn)
+	RegisterPrimitive("turnLeft", primTurnLeft)
+	RegisterPrimitive("gotoXY", primGotoXY)
+	RegisterPrimitive("bubble", primSay)
+	RegisterPrimitive("doThink", primThink)
+	RegisterPrimitive("getTimer", primGetTimer)
+	RegisterPrimitive("doResetTimer", primResetTimer)
+	RegisterPrimitive("reportMyName", primMyName)
+	RegisterPrimitive("createClone", primCreateClone)
+	RegisterPrimitive("removeClone", primRemoveClone)
+	RegisterPrimitive("doBroadcast", primBroadcast)
+	RegisterPrimitive("doBroadcastAndWait", primBroadcastAndWait)
+}
+
+// errNoStage is what stage blocks report inside a worker, mirroring the
+// browser's "Worker has no access to the DOM".
+var errNoStage = errors.New("not available inside a web worker (no stage)")
+
+func requireStage(p *Process) error {
+	if p.Machine == nil || p.Actor == nil {
+		return errNoStage
+	}
+	return nil
+}
+
+func primForward(p *Process, ctx *Context) (value.Value, Control, error) {
+	if err := requireStage(p); err != nil {
+		return nil, Done, err
+	}
+	n, err := value.ToNumber(ctx.Inputs[0])
+	if err != nil {
+		return nil, Done, err
+	}
+	p.Actor.MoveForward(float64(n))
+	return nil, Done, nil
+}
+
+func primTurn(p *Process, ctx *Context) (value.Value, Control, error) {
+	if err := requireStage(p); err != nil {
+		return nil, Done, err
+	}
+	n, err := value.ToNumber(ctx.Inputs[0])
+	if err != nil {
+		return nil, Done, err
+	}
+	p.Actor.Turn(float64(n))
+	return nil, Done, nil
+}
+
+func primTurnLeft(p *Process, ctx *Context) (value.Value, Control, error) {
+	if err := requireStage(p); err != nil {
+		return nil, Done, err
+	}
+	n, err := value.ToNumber(ctx.Inputs[0])
+	if err != nil {
+		return nil, Done, err
+	}
+	p.Actor.Turn(-float64(n))
+	return nil, Done, nil
+}
+
+func primGotoXY(p *Process, ctx *Context) (value.Value, Control, error) {
+	if err := requireStage(p); err != nil {
+		return nil, Done, err
+	}
+	x, err := value.ToNumber(ctx.Inputs[0])
+	if err != nil {
+		return nil, Done, err
+	}
+	y, err := value.ToNumber(ctx.Inputs[1])
+	if err != nil {
+		return nil, Done, err
+	}
+	p.Actor.GotoXY(float64(x), float64(y))
+	return nil, Done, nil
+}
+
+func primSay(p *Process, ctx *Context) (value.Value, Control, error) {
+	if err := requireStage(p); err != nil {
+		return nil, Done, err
+	}
+	p.Actor.Say(ctx.Inputs[0].String())
+	return nil, Done, nil
+}
+
+func primThink(p *Process, ctx *Context) (value.Value, Control, error) {
+	if err := requireStage(p); err != nil {
+		return nil, Done, err
+	}
+	p.Actor.Say("… " + ctx.Inputs[0].String())
+	return nil, Done, nil
+}
+
+func primGetTimer(p *Process, ctx *Context) (value.Value, Control, error) {
+	if p.Machine == nil {
+		return nil, Done, errNoStage
+	}
+	return value.Number(float64(p.Machine.Stage.Timer.Elapsed())), Done, nil
+}
+
+func primResetTimer(p *Process, ctx *Context) (value.Value, Control, error) {
+	if p.Machine == nil {
+		return nil, Done, errNoStage
+	}
+	p.Machine.Stage.Timer.Reset()
+	return nil, Done, nil
+}
+
+func primMyName(p *Process, ctx *Context) (value.Value, Control, error) {
+	if err := requireStage(p); err != nil {
+		return nil, Done, err
+	}
+	return value.Text(p.Actor.Label()), Done, nil
+}
+
+func primCreateClone(p *Process, ctx *Context) (value.Value, Control, error) {
+	if err := requireStage(p); err != nil {
+		return nil, Done, err
+	}
+	name := ctx.Inputs[0].String()
+	target := p.Actor
+	if name != "" && name != "myself" {
+		target = p.Machine.Stage.Actor(name)
+		if target == nil {
+			return nil, Done, errors.New("no sprite named " + name)
+		}
+	}
+	p.Machine.CreateClone(target)
+	return nil, Done, nil
+}
+
+func primRemoveClone(p *Process, ctx *Context) (value.Value, Control, error) {
+	if err := requireStage(p); err != nil {
+		return nil, Done, err
+	}
+	if !p.Actor.IsClone() {
+		return nil, Done, nil // originals ignore "delete this clone"
+	}
+	p.Machine.RemoveClone(p.Actor)
+	p.Stop()
+	return nil, Replaced, nil
+}
+
+func primBroadcast(p *Process, ctx *Context) (value.Value, Control, error) {
+	if p.Machine == nil {
+		return nil, Done, errNoStage
+	}
+	p.Machine.StartBroadcast(ctx.Inputs[0].String())
+	return nil, Done, nil
+}
+
+type broadcastWaitState struct{ procs []*Process }
+
+func primBroadcastAndWait(p *Process, ctx *Context) (value.Value, Control, error) {
+	if p.Machine == nil {
+		return nil, Done, errNoStage
+	}
+	const argc = 1
+	st, ok := scratchState(ctx, argc)
+	if !ok {
+		s := &broadcastWaitState{procs: p.Machine.StartBroadcast(ctx.Inputs[0].String())}
+		putScratch(ctx, "broadcastWait", s)
+		st = s
+	}
+	s := st.(*broadcastWaitState)
+	for _, child := range s.procs {
+		if !child.Done() {
+			p.PushYield()
+			return nil, Again, nil
+		}
+	}
+	return nil, Done, nil
+}

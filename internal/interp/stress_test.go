@@ -1,0 +1,167 @@
+package interp
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/blocks"
+	"repro/internal/value"
+)
+
+// Stress tests: the shapes that break naive interpreters — deep context
+// stacks, wide sprite populations, long-running loops — must stay correct.
+
+func TestDeepRecursion(t *testing.T) {
+	// A custom block recursing 5000 deep: contexts are heap-allocated
+	// links, so this must not blow any stack.
+	p := blocks.NewProject("deep")
+	p.Customs["countdown"] = &blocks.CustomBlock{
+		Name: "countdown", Params: []string{"n"}, IsReporter: true,
+		Body: blocks.NewScript(
+			blocks.IfElse(blocks.LessThan(blocks.Var("n"), blocks.Num(1)),
+				blocks.Body(blocks.Report(blocks.Num(0))),
+				blocks.Body(blocks.Report(blocks.Sum(blocks.Num(1),
+					blocks.Reporter(blocks.CallCustom("countdown",
+						blocks.Difference(blocks.Var("n"), blocks.Num(1))))))))),
+	}
+	m := NewMachine(p, nil)
+	v, err := m.EvalReporter(blocks.CallCustom("countdown", blocks.Num(5000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "5000" {
+		t.Errorf("countdown depth = %s", v)
+	}
+}
+
+func TestDeeplyNestedExpressions(t *testing.T) {
+	// 2000-deep nested sums: ((((1)+1)+1)...).
+	var node blocks.Node = blocks.Num(0)
+	for i := 0; i < 2000; i++ {
+		node = blocks.Reporter(blocks.Sum(node, blocks.Num(1)))
+	}
+	m := newTestMachine()
+	v, err := m.RunScript(blocks.NewScript(blocks.Report(node)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "2000" {
+		t.Errorf("nested sum = %s", v)
+	}
+}
+
+func TestManySprites(t *testing.T) {
+	// 200 sprites each running a green-flag script; all must finish and
+	// the shared counter must see every increment (single-threaded
+	// concurrency: no lost updates, ever).
+	p := blocks.NewProject("crowd")
+	p.Globals["n"] = value.Number(0)
+	const sprites = 200
+	for i := 0; i < sprites; i++ {
+		sp := p.AddSprite(blocks.NewSprite(fmt.Sprintf("S%03d", i)))
+		sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+			blocks.Repeat(blocks.Num(10), blocks.Body(
+				blocks.ChangeVar("n", blocks.Num(1)))),
+		))
+	}
+	m := NewMachine(p, nil)
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := m.GlobalFrame().Get("n")
+	if n.String() != "2000" {
+		t.Errorf("n = %s, want 2000", n)
+	}
+	if len(m.Stage.Actors()) != sprites {
+		t.Errorf("actors = %d", len(m.Stage.Actors()))
+	}
+}
+
+func TestLongLoopWithinBudget(t *testing.T) {
+	// A 100k-iteration warped loop must finish (warp ignores yields;
+	// the op budget only bounds each slice, not the total).
+	m := newTestMachine()
+	script := blocks.NewScript(
+		blocks.DeclareLocal("n"),
+		blocks.SetVar("n", blocks.Num(0)),
+		blocks.Warp(blocks.Body(
+			blocks.Repeat(blocks.Num(100000), blocks.Body(
+				blocks.ChangeVar("n", blocks.Num(1)))))),
+		blocks.Report(blocks.Var("n")),
+	)
+	v, err := m.RunScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "100000" {
+		t.Errorf("n = %s", v)
+	}
+}
+
+func TestBroadcastStorm(t *testing.T) {
+	// Chained broadcasts: each handler re-broadcasts until a counter
+	// hits zero. Exercises process spawning during scheduling rounds.
+	p := blocks.NewProject("storm")
+	p.Globals["hops"] = value.Number(50)
+	sp := p.AddSprite(blocks.NewSprite("Relay"))
+	sp.AddScript(blocks.HatBroadcast, "ping", blocks.NewScript(
+		blocks.If(blocks.GreaterThan(blocks.Var("hops"), blocks.Num(0)), blocks.Body(
+			blocks.ChangeVar("hops", blocks.Num(-1)),
+			blocks.Broadcast(blocks.Txt("ping")),
+		)),
+	))
+	m := NewMachine(p, nil)
+	m.StartBroadcast("ping")
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	hops, _ := m.GlobalFrame().Get("hops")
+	if hops.String() != "0" {
+		t.Errorf("hops = %s, want 0", hops)
+	}
+}
+
+func TestListHeavyWorkload(t *testing.T) {
+	// Build a 5000-element list block-by-block, then fold it.
+	m := newTestMachine()
+	script := blocks.NewScript(
+		blocks.DeclareLocal("xs"),
+		blocks.SetVar("xs", blocks.ListOf()),
+		blocks.Warp(blocks.Body(
+			blocks.For("i", blocks.Num(1), blocks.Num(5000), blocks.Body(
+				blocks.AddToList(blocks.Var("i"), blocks.Var("xs")))))),
+		blocks.Report(blocks.Combine(blocks.Var("xs"),
+			blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Empty())))),
+	)
+	v, err := m.RunScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "12502500" {
+		t.Errorf("sum 1..5000 = %s", v)
+	}
+}
+
+func TestStopAllMidFlight(t *testing.T) {
+	p := blocks.NewProject("halt")
+	p.Globals["n"] = value.Number(0)
+	for i := 0; i < 5; i++ {
+		sp := p.AddSprite(blocks.NewSprite(fmt.Sprintf("S%d", i)))
+		sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+			blocks.Forever(blocks.Body(blocks.ChangeVar("n", blocks.Num(1)))),
+		))
+	}
+	m := NewMachine(p, nil)
+	m.GreenFlag()
+	for i := 0; i < 10; i++ {
+		m.Step()
+	}
+	m.StopAll()
+	if m.Step() {
+		t.Error("machine should be empty after StopAll")
+	}
+	if len(m.Errors()) != 0 {
+		t.Errorf("stop is not an error: %v", m.Errors())
+	}
+}

@@ -1,0 +1,356 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/blocks"
+	_ "repro/internal/core" // registered opcodes for HasPrimitive
+	"repro/internal/demos"
+)
+
+func findingCodes(fs []Finding) map[string]int {
+	out := map[string]int{}
+	for _, f := range fs {
+		out[f.Code]++
+	}
+	return out
+}
+
+func TestCleanProjectsLintClean(t *testing.T) {
+	for _, p := range []*blocks.Project{
+		demos.Concession(true),
+		demos.Concession(false),
+		demos.Dragon(3),
+		demos.Balloons([]float64{0, 100}, 3),
+		blocks.NewProject("empty"),
+	} {
+		if fs := Project(p); len(fs) != 0 {
+			t.Errorf("%s: unexpected findings: %v", p.Name, fs)
+		}
+	}
+}
+
+func spriteWith(script *blocks.Script) *blocks.Project {
+	p := blocks.NewProject("t")
+	sp := p.AddSprite(blocks.NewSprite("S"))
+	sp.AddScript(blocks.HatGreenFlag, "", script)
+	return p
+}
+
+func TestUndefinedVariable(t *testing.T) {
+	fs := Project(spriteWith(blocks.NewScript(
+		blocks.Say(blocks.Var("ghost")),
+	)))
+	if findingCodes(fs)["undefined-variable"] != 1 {
+		t.Errorf("findings = %v", fs)
+	}
+	// Declared-in-order variables are fine; use-before-declare is not
+	// flagged position-sensitively within one script only when declared
+	// later — our walk is in order, so this IS flagged.
+	fs = Project(spriteWith(blocks.NewScript(
+		blocks.Say(blocks.Var("x")),
+		blocks.DeclareLocal("x"),
+	)))
+	if findingCodes(fs)["undefined-variable"] != 1 {
+		t.Errorf("use-before-declare should flag: %v", fs)
+	}
+	// Proper order is clean.
+	fs = Project(spriteWith(blocks.NewScript(
+		blocks.DeclareLocal("x"),
+		blocks.SetVar("x", blocks.Num(1)),
+		blocks.Say(blocks.Var("x")),
+	)))
+	if len(fs) != 0 {
+		t.Errorf("clean script flagged: %v", fs)
+	}
+}
+
+func TestSetUndeclared(t *testing.T) {
+	fs := Project(spriteWith(blocks.NewScript(
+		blocks.SetVar("ghost", blocks.Num(1)),
+	)))
+	if findingCodes(fs)["undefined-variable"] != 1 {
+		t.Errorf("findings = %v", fs)
+	}
+}
+
+func TestGlobalsAndSpriteVarsVisible(t *testing.T) {
+	p := blocks.NewProject("t")
+	p.Globals["g"] = nil
+	sp := p.AddSprite(blocks.NewSprite("S"))
+	sp.Variables["local"] = nil
+	sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.SetVar("g", blocks.Var("local")),
+	))
+	if fs := Project(p); len(fs) != 0 {
+		t.Errorf("globals/sprite vars should be visible: %v", fs)
+	}
+}
+
+func TestLoopVariablesVisible(t *testing.T) {
+	fs := Project(spriteWith(blocks.NewScript(
+		blocks.For("i", blocks.Num(1), blocks.Num(3), blocks.Body(
+			blocks.Say(blocks.Var("i")))),
+		blocks.ForEach("item", blocks.ListOf(blocks.Num(1)), blocks.Body(
+			blocks.Say(blocks.Var("item")))),
+		blocks.ParallelForEach("cup", blocks.ListOf(blocks.Num(1)), blocks.Empty(),
+			blocks.Body(blocks.Say(blocks.Var("cup")))),
+	)))
+	if len(fs) != 0 {
+		t.Errorf("loop vars should be visible in bodies: %v", fs)
+	}
+	// ...but not after the loop.
+	fs = Project(spriteWith(blocks.NewScript(
+		blocks.For("i", blocks.Num(1), blocks.Num(3), blocks.Body()),
+		blocks.Say(blocks.Var("i")),
+	)))
+	if findingCodes(fs)["undefined-variable"] != 1 {
+		t.Errorf("loop var must not leak: %v", fs)
+	}
+}
+
+func TestUnknownMessage(t *testing.T) {
+	fs := Project(spriteWith(blocks.NewScript(
+		blocks.Broadcast(blocks.Txt("nobody-listens")),
+	)))
+	if findingCodes(fs)["unknown-message"] != 1 {
+		t.Errorf("findings = %v", fs)
+	}
+	// A listener anywhere silences it; dynamic messages are not flagged.
+	p := blocks.NewProject("t")
+	a := p.AddSprite(blocks.NewSprite("A"))
+	a.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.Broadcast(blocks.Txt("go")),
+		blocks.DeclareLocal("m"),
+		blocks.Broadcast(blocks.Var("m")),
+	))
+	b := p.AddSprite(blocks.NewSprite("B"))
+	b.AddScript(blocks.HatBroadcast, "go", blocks.NewScript())
+	if fs := Project(p); len(fs) != 0 {
+		t.Errorf("listened message flagged: %v", fs)
+	}
+}
+
+func TestUnknownBlockAndArity(t *testing.T) {
+	fs := Project(spriteWith(blocks.NewScript(
+		blocks.NewBlock("flyToTheMoon"),
+	)))
+	if findingCodes(fs)["unknown-block"] != 1 {
+		t.Errorf("findings = %v", fs)
+	}
+	fs = Project(spriteWith(blocks.NewScript(
+		blocks.NewBlock("doWait"), // missing input
+	)))
+	if findingCodes(fs)["bad-arity"] != 1 {
+		t.Errorf("findings = %v", fs)
+	}
+	fs = Project(spriteWith(blocks.NewScript(
+		blocks.NewBlock("doReport", blocks.NewBlock("reportSum", blocks.Num(1))),
+	)))
+	if findingCodes(fs)["bad-arity"] != 1 {
+		t.Errorf("nested arity: %v", fs)
+	}
+}
+
+func TestUndefinedCustomAndArity(t *testing.T) {
+	fs := Project(spriteWith(blocks.NewScript(
+		blocks.CallCustom("nope", blocks.Num(1)),
+	)))
+	if findingCodes(fs)["undefined-custom"] != 1 {
+		t.Errorf("findings = %v", fs)
+	}
+	p := blocks.NewProject("t")
+	p.Customs["double"] = &blocks.CustomBlock{
+		Name: "double", Params: []string{"n"}, IsReporter: true,
+		Body: blocks.NewScript(blocks.Report(blocks.Sum(blocks.Var("n"), blocks.Var("n")))),
+	}
+	sp := p.AddSprite(blocks.NewSprite("S"))
+	sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.CallCustom("double", blocks.Num(1), blocks.Num(2)),
+	))
+	fs = Project(p)
+	if findingCodes(fs)["bad-arity"] != 1 {
+		t.Errorf("custom arity: %v", fs)
+	}
+	// Custom bodies are linted too (undefined var inside).
+	p2 := blocks.NewProject("t2")
+	p2.Customs["bad"] = &blocks.CustomBlock{
+		Name: "bad", Body: blocks.NewScript(blocks.Say(blocks.Var("ghost"))),
+	}
+	fs = Project(p2)
+	if findingCodes(fs)["undefined-variable"] != 1 {
+		t.Errorf("custom body: %v", fs)
+	}
+}
+
+func TestUnknownCloneTarget(t *testing.T) {
+	fs := Project(spriteWith(blocks.NewScript(
+		blocks.CreateCloneOf(blocks.Txt("Ghost")),
+	)))
+	if findingCodes(fs)["unknown-clone-target"] != 1 {
+		t.Errorf("findings = %v", fs)
+	}
+	fs = Project(spriteWith(blocks.NewScript(
+		blocks.CreateCloneOf(blocks.Txt("myself")),
+	)))
+	if len(fs) != 0 {
+		t.Errorf("myself flagged: %v", fs)
+	}
+}
+
+func TestWorkerCapture(t *testing.T) {
+	// Reading an outer variable inside a parallelMap ring: flagged.
+	p := blocks.NewProject("t")
+	p.Globals["k"] = nil
+	sp := p.AddSprite(blocks.NewSprite("S"))
+	sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.Say(blocks.ParallelMap(
+			blocks.RingOf(blocks.Sum(blocks.Var("k"), blocks.Empty())),
+			blocks.ListOf(blocks.Num(1)), blocks.Empty())),
+	))
+	fs := Project(p)
+	if findingCodes(fs)["worker-capture"] != 1 {
+		t.Errorf("findings = %v", fs)
+	}
+	if !strings.Contains(fs[0].Message, "ring parameter") {
+		t.Errorf("message should suggest the fix: %s", fs[0].Message)
+	}
+	// Ring parameters are fine.
+	p2 := blocks.NewProject("t")
+	sp2 := p2.AddSprite(blocks.NewSprite("S"))
+	sp2.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.Say(blocks.ParallelMap(
+			blocks.RingOf(blocks.Sum(blocks.Var("n"), blocks.Num(1)), "n"),
+			blocks.ListOf(blocks.Num(1)), blocks.Empty())),
+	))
+	if fs := Project(p2); len(fs) != 0 {
+		t.Errorf("param read flagged: %v", fs)
+	}
+	// The list input is NOT worker-bound: outer variables fine there.
+	p3 := blocks.NewProject("t")
+	p3.Globals["data"] = nil
+	sp3 := p3.AddSprite(blocks.NewSprite("S"))
+	sp3.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.Say(blocks.ParallelMap(
+			blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Num(1))),
+			blocks.Var("data"), blocks.Empty())),
+	))
+	if fs := Project(p3); len(fs) != 0 {
+		t.Errorf("list input flagged: %v", fs)
+	}
+}
+
+func TestWorkerCaptureMapReduceBothRings(t *testing.T) {
+	p := blocks.NewProject("t")
+	p.Globals["k"] = nil
+	sp := p.AddSprite(blocks.NewSprite("S"))
+	sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.Say(blocks.MapReduce(
+			blocks.RingOf(blocks.Sum(blocks.Var("k"), blocks.Empty())),
+			blocks.RingOf(blocks.Product(blocks.Var("k"), blocks.Empty())),
+			blocks.ListOf(blocks.Num(1)))),
+	))
+	fs := Project(p)
+	if findingCodes(fs)["worker-capture"] != 2 {
+		t.Errorf("both rings should flag: %v", fs)
+	}
+}
+
+func TestWorkerBodyOwnDeclarationsOK(t *testing.T) {
+	// A shipped command ring may declare and use its own locals.
+	p := blocks.NewProject("t")
+	sp := p.AddSprite(blocks.NewSprite("S"))
+	sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.Say(blocks.ParallelMap(
+			blocks.RingScript(blocks.NewScript(
+				blocks.DeclareLocal("tmp"),
+				blocks.SetVar("tmp", blocks.Sum(blocks.Empty(), blocks.Num(1))),
+				blocks.Report(blocks.Var("tmp")),
+			)),
+			blocks.ListOf(blocks.Num(1)), blocks.Empty())),
+	))
+	if fs := Project(p); len(fs) != 0 {
+		t.Errorf("worker-local declarations flagged: %v", fs)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Severity: Error, Sprite: "S", Code: "x", Message: "boom"}
+	if f.String() != "error [x] S: boom" {
+		t.Errorf("string = %q", f.String())
+	}
+	f = Finding{Severity: Warning, Code: "y", Message: "hmm"}
+	if f.String() != "warning [y] project: hmm" {
+		t.Errorf("string = %q", f.String())
+	}
+}
+
+func TestWorkerBodyNestedForms(t *testing.T) {
+	// A shipped command ring whose body uses a loop binder (for) and a
+	// nested ring: all locally-bound names are fine.
+	p := blocks.NewProject("t")
+	sp := p.AddSprite(blocks.NewSprite("S"))
+	sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.Say(blocks.ParallelMap(
+			blocks.RingScript(blocks.NewScript(
+				blocks.DeclareLocal("acc"),
+				blocks.SetVar("acc", blocks.Num(0)),
+				blocks.For("i", blocks.Num(1), blocks.Empty(), blocks.Body(
+					blocks.ChangeVar("acc", blocks.Var("i")))),
+				blocks.Report(blocks.Reporter(blocks.Call(
+					blocks.RingOf(blocks.Sum(blocks.Var("k"), blocks.Num(1)), "k"),
+					blocks.Var("acc")))),
+			)),
+			blocks.ListOf(blocks.Num(3)), blocks.Num(1))),
+	))
+	if fs := Project(p); len(fs) != 0 {
+		t.Errorf("locally-bound worker body flagged: %v", fs)
+	}
+	// ...but a genuinely free variable deep inside still flags.
+	p2 := blocks.NewProject("t")
+	p2.Globals["outer"] = nil
+	sp2 := p2.AddSprite(blocks.NewSprite("S"))
+	sp2.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.Say(blocks.ParallelMap(
+			blocks.RingScript(blocks.NewScript(
+				blocks.If(blocks.GreaterThan(blocks.Empty(), blocks.Num(0)), blocks.Body(
+					blocks.Report(blocks.Var("outer")))),
+			)),
+			blocks.ListOf(blocks.Num(1)), blocks.Num(1))),
+	))
+	if findingCodes(Project(p2))["worker-capture"] == 0 {
+		t.Error("free variable in nested worker body should flag")
+	}
+}
+
+func TestWorkerReporterRingWithNestedRing(t *testing.T) {
+	// A shipped reporter ring containing an inner combine ring: inner
+	// ring params are visible inside it.
+	p := blocks.NewProject("t")
+	sp := p.AddSprite(blocks.NewSprite("S"))
+	sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.Say(blocks.ParallelMap(
+			blocks.RingOf(blocks.Combine(blocks.Empty(),
+				blocks.RingOf(blocks.Sum(blocks.Var("a"), blocks.Var("b")), "a", "b"))),
+			blocks.ListOf(blocks.ListOf(blocks.Num(1))), blocks.Num(1))),
+	))
+	if fs := Project(p); len(fs) != 0 {
+		t.Errorf("nested ring params flagged: %v", fs)
+	}
+}
+
+func TestParallelForEachBodyIsNotWorkerBound(t *testing.T) {
+	// parallelForEach clones run on the stage with full closures: outer
+	// variables in the body are legal.
+	p := blocks.NewProject("t")
+	p.Globals["shared"] = nil
+	sp := p.AddSprite(blocks.NewSprite("S"))
+	sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.ParallelForEach("item", blocks.ListOf(blocks.Num(1)), blocks.Empty(),
+			blocks.Body(blocks.SetVar("shared", blocks.Var("item")))),
+	))
+	if fs := Project(p); len(fs) != 0 {
+		t.Errorf("stage-clone body flagged: %v", fs)
+	}
+}

@@ -1,0 +1,40 @@
+package mapreduce_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mapreduce"
+	"repro/internal/value"
+)
+
+// The Figure 11 word count: map each word to (word, 1), sum per key.
+func ExampleRun() {
+	words := value.FromStrings(strings.Fields("to be or not to be"))
+	res, err := mapreduce.Run(words, mapreduce.WordCount, mapreduce.SumReduce,
+		mapreduce.Config{Workers: 4})
+	if err != nil {
+		panic(err)
+	}
+	for _, kv := range res {
+		fmt.Println(kv)
+	}
+	// Output:
+	// be: 2
+	// not: 1
+	// or: 1
+	// to: 2
+}
+
+// The Figure 13 climate exercise: Fahrenheit→Celsius in the map phase, a
+// single average in the reduce phase.
+func ExampleFahrenheitToCelsius() {
+	temps := value.FromFloats([]float64{32, 212, 122})
+	res, err := mapreduce.Run(temps, mapreduce.FahrenheitToCelsius,
+		mapreduce.AvgReduce, mapreduce.Config{Workers: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res[0].Val)
+	// Output: 50
+}

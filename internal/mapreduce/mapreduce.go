@@ -1,0 +1,357 @@
+// Package mapreduce implements the MapReduce engine behind the paper's
+// mapReduce block (§3.4): a map phase over key/value pairs, a sort of the
+// intermediate results by key ("as required by the semantics of
+// MapReduce", footnote 6), grouping, and a reduce phase — with both map and
+// reduce executing in parallel across workers. "Although conceptually
+// simple, MapReduce implementations can be quite complex to set up and use.
+// Fortunately, these details are hidden in the implementation."
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/value"
+	"repro/internal/workers"
+)
+
+// KVP is a key/value pair, the record type flowing through every phase —
+// the struct KVP of the paper's generated kvp.h (Listings 6–7).
+type KVP struct {
+	Key string
+	Val value.Value
+}
+
+// String renders "key: value".
+func (k KVP) String() string {
+	if k.Val == nil {
+		return k.Key + ":"
+	}
+	return k.Key + ": " + k.Val.String()
+}
+
+// Mapper transforms one input item into zero or more intermediate pairs.
+// The paper's mappers are one-in-one-out ("the map function is executed for
+// each item in the supplied list, mapping the item to a value"); returning
+// a slice additionally supports the general Hadoop-style contract.
+type Mapper func(item value.Value) ([]KVP, error)
+
+// Reducer folds all values that share a key into one value. "Unlike the map
+// function, the computation it performs may depend upon previous items."
+type Reducer func(key string, vals *value.List) (value.Value, error)
+
+// Config tunes a run.
+type Config struct {
+	// Workers is the parallelism of the map and reduce phases;
+	// 0 means workers.DefaultWorkers().
+	Workers int
+}
+
+// Result is the output of a run: one reduced pair per distinct key, sorted
+// by key — the "sorted list of unique words ... with the number of times
+// the words appear" of Figure 12.
+type Result []KVP
+
+// List converts the result to a Snap! list of (key value) pairs.
+func (r Result) List() *value.List {
+	out := value.NewListCap(len(r))
+	for _, kv := range r {
+		out.Add(value.NewList(value.Text(kv.Key), kv.Val))
+	}
+	return out
+}
+
+// Strings renders each pair.
+func (r Result) Strings() []string {
+	out := make([]string, len(r))
+	for i, kv := range r {
+		out[i] = kv.String()
+	}
+	return out
+}
+
+// Run executes the full pipeline: parallel map, sort by key, group,
+// parallel reduce. Items cross the worker boundary by structured clone in
+// both phases, matching the Web-Worker discipline of §4.
+func Run(input *value.List, m Mapper, r Reducer, cfg Config) (Result, error) {
+	if m == nil {
+		m = Identity
+	}
+	if r == nil {
+		r = IdentityReduce
+	}
+	w := cfg.Workers
+	if w <= 0 {
+		w = workers.DefaultWorkers()
+	}
+	mid, err := mapPhase(input, m, w)
+	if err != nil {
+		return nil, err
+	}
+	// "The elements of the intermediate result are sorted by the value
+	// of the key in between the map function and the reduce function"
+	// (footnote 6). A stable sort keeps same-key values in map order.
+	sort.SliceStable(mid, func(i, j int) bool { return mid[i].Key < mid[j].Key })
+	groups := groupPhase(mid)
+	return reducePhase(groups, r, w)
+}
+
+// MapOnly runs just the parallel map phase, returning the unsorted
+// intermediate pairs. Package dist uses it to run the map phase locally on
+// each simulated cluster node before shuffling by key.
+func MapOnly(input *value.List, m Mapper, workers int) ([]KVP, error) {
+	if m == nil {
+		m = Identity
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	return mapPhase(input, m, workers)
+}
+
+// ReduceSorted sorts intermediate pairs by key, groups them, and runs the
+// parallel reduce phase — the second half of Run, exposed for distributed
+// execution.
+func ReduceSorted(mid []KVP, r Reducer, workers int) (Result, error) {
+	if r == nil {
+		r = IdentityReduce
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	sorted := make([]KVP, len(mid))
+	copy(sorted, mid)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	return reducePhase(groupPhase(sorted), r, workers)
+}
+
+func mapPhase(input *value.List, m Mapper, w int) ([]KVP, error) {
+	n := input.Len()
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	items := input.Items()
+	parts := make([][]KVP, n)
+	errs := make([]error, w)
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := int(next)
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				item := items[i]
+				if item == nil {
+					item = value.Nothing{}
+				}
+				kvs, err := safeMap(m, item.Clone())
+				if err != nil {
+					errs[worker] = fmt.Errorf("map item %d: %w", i+1, err)
+					return
+				}
+				for j := range kvs {
+					if kvs[j].Val != nil {
+						kvs[j].Val = kvs[j].Val.Clone()
+					} else {
+						kvs[j].Val = value.Nothing{}
+					}
+				}
+				parts[i] = kvs
+			}
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var mid []KVP
+	for _, p := range parts {
+		mid = append(mid, p...)
+	}
+	return mid, nil
+}
+
+func safeMap(m Mapper, item value.Value) (kvs []KVP, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("mapper panic: %v", r)
+		}
+	}()
+	return m(item)
+}
+
+type group struct {
+	key  string
+	vals *value.List
+}
+
+func groupPhase(mid []KVP) []group {
+	var groups []group
+	for _, kv := range mid {
+		if len(groups) == 0 || groups[len(groups)-1].key != kv.Key {
+			groups = append(groups, group{key: kv.Key, vals: value.NewList()})
+		}
+		groups[len(groups)-1].vals.Add(kv.Val)
+	}
+	return groups
+}
+
+func reducePhase(groups []group, r Reducer, w int) (Result, error) {
+	n := len(groups)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	out := make(Result, n)
+	errs := make([]error, w)
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := int(next)
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				g := groups[i]
+				v, err := safeReduce(r, g.key, g.vals.Clone().(*value.List))
+				if err != nil {
+					errs[worker] = fmt.Errorf("reduce key %q: %w", g.key, err)
+					return
+				}
+				if v == nil {
+					v = value.Nothing{}
+				}
+				out[i] = KVP{Key: g.key, Val: v.Clone()}
+			}
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func safeReduce(r Reducer, key string, vals *value.List) (v value.Value, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("reducer panic: %v", rec)
+		}
+	}()
+	return r(key, vals)
+}
+
+// --- stock mappers and reducers ---
+
+// Identity maps each item to itself under its display string as key — the
+// identity function §3.4 notes "passes its input argument through
+// unchanged".
+func Identity(item value.Value) ([]KVP, error) {
+	return []KVP{{Key: item.String(), Val: item}}, nil
+}
+
+// SingleKey maps every item to one shared key (the empty string), putting
+// the whole dataset in one reduction group — how the climate example's
+// single average is expressed.
+func SingleKey(item value.Value) ([]KVP, error) {
+	return []KVP{{Key: "", Val: item}}, nil
+}
+
+// WordCount maps a word to (word, 1) — the canonical example of Figure 11.
+func WordCount(item value.Value) ([]KVP, error) {
+	return []KVP{{Key: item.String(), Val: value.Number(1)}}, nil
+}
+
+// FahrenheitToCelsius maps a °F reading to ("", °C) for a global average,
+// the Figure 13 mapper: out->val = ((5 * (in->val - 32)) / 9).
+func FahrenheitToCelsius(item value.Value) ([]KVP, error) {
+	f, err := value.ToNumber(item)
+	if err != nil {
+		return nil, err
+	}
+	return []KVP{{Key: "", Val: (5 * (f - 32)) / 9}}, nil
+}
+
+// IdentityReduce reports the group's values unchanged (a single value
+// collapses to itself).
+func IdentityReduce(key string, vals *value.List) (value.Value, error) {
+	if vals.Len() == 1 {
+		return vals.MustItem(1), nil
+	}
+	return vals, nil
+}
+
+// SumReduce adds the group's values — the word-count reducer.
+func SumReduce(key string, vals *value.List) (value.Value, error) {
+	var sum value.Number
+	for _, v := range vals.Items() {
+		n, err := value.ToNumber(v)
+		if err != nil {
+			return nil, err
+		}
+		sum += n
+	}
+	return sum, nil
+}
+
+// CountReduce reports the group's size.
+func CountReduce(key string, vals *value.List) (value.Value, error) {
+	return value.Number(float64(vals.Len())), nil
+}
+
+// AvgReduce averages the group — the Figure 20 reducer. For small groups
+// it uses the same recursive running-average formulation as the paper's
+// generated avg() — avg(a, n) = (a[0] + (n-1)·avg(a+1, n-1)) / n — with the
+// parenthesization corrected: the C in Listing 6 reads
+// `*a + ((count-1)*avg(...))/count`, which drops the division of the first
+// element and is not an average. Large groups switch to an iterative mean
+// to bound recursion depth.
+func AvgReduce(key string, vals *value.List) (value.Value, error) {
+	fs, err := vals.Floats()
+	if err != nil {
+		return nil, err
+	}
+	if len(fs) == 0 {
+		return value.Number(0), nil
+	}
+	if len(fs) > 4096 {
+		var sum float64
+		for _, f := range fs {
+			sum += f
+		}
+		return value.Number(sum / float64(len(fs))), nil
+	}
+	return value.Number(recAvg(fs)), nil
+}
+
+func recAvg(a []float64) float64 {
+	if len(a) == 1 {
+		return a[0]
+	}
+	return (a[0] + float64(len(a)-1)*recAvg(a[1:])) / float64(len(a))
+}

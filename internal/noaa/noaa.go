@@ -1,0 +1,245 @@
+// Package noaa generates and ingests synthetic NOAA-style weather-station
+// data for the paper's global climate modeling example (§3.4): per-station
+// daily temperatures in Fahrenheit, which students convert to Celsius and
+// average with the mapReduce block, looking for "a mean change in the
+// temperature of the Earth over time".
+//
+// The real archive is not bundled (the paper's data gate); the generator
+// produces data with the same shape — station metadata, seasonal cycle,
+// latitude gradient, a configurable warming trend, and observation noise —
+// from a seeded PRNG so every run is reproducible. CSV read/write covers
+// §6.3's "for production use, it needs to have a way to consume existing
+// data files."
+package noaa
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/value"
+)
+
+// Station is one weather station.
+type Station struct {
+	ID   string
+	Name string
+	// Latitude in degrees north; drives the station's mean temperature.
+	Latitude float64
+}
+
+// Reading is one daily observation.
+type Reading struct {
+	StationID string
+	Year      int
+	// Day is the day of year, 1..365.
+	Day int
+	// TempF is the observed temperature in Fahrenheit.
+	TempF float64
+}
+
+// Dataset is a generated or loaded collection.
+type Dataset struct {
+	Stations []Station
+	Readings []Reading
+}
+
+// Config drives generation.
+type Config struct {
+	// Stations is the station count (default 10).
+	Stations int
+	// StartYear..EndYear inclusive (default 1990..1999).
+	StartYear, EndYear int
+	// DaysPerYear lets tests shrink the data (default 365).
+	DaysPerYear int
+	// BaseTempF is the mean temperature at latitude 35°N (default 55).
+	BaseTempF float64
+	// TrendFPerYear is the warming trend (default 0.05 °F/year).
+	TrendFPerYear float64
+	// NoiseF is the observation noise amplitude (default 5 °F).
+	NoiseF float64
+	// Seed makes generation reproducible (default 1).
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.Stations <= 0 {
+		c.Stations = 10
+	}
+	if c.StartYear == 0 {
+		c.StartYear = 1990
+	}
+	if c.EndYear < c.StartYear {
+		c.EndYear = c.StartYear + 9
+	}
+	if c.DaysPerYear <= 0 {
+		c.DaysPerYear = 365
+	}
+	if c.BaseTempF == 0 {
+		c.BaseTempF = 55
+	}
+	if c.TrendFPerYear == 0 {
+		c.TrendFPerYear = 0.05
+	}
+	if c.NoiseF == 0 {
+		c.NoiseF = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Generate builds a synthetic dataset.
+func Generate(cfg Config) *Dataset {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{}
+	for i := 0; i < cfg.Stations; i++ {
+		lat := 25 + rng.Float64()*25 // continental US latitudes
+		ds.Stations = append(ds.Stations, Station{
+			ID:       fmt.Sprintf("USW%05d", 10000+i),
+			Name:     fmt.Sprintf("Station %d", i+1),
+			Latitude: lat,
+		})
+	}
+	for _, st := range ds.Stations {
+		latEffect := (35 - st.Latitude) * 1.2 // colder as you go north
+		for year := cfg.StartYear; year <= cfg.EndYear; year++ {
+			trend := cfg.TrendFPerYear * float64(year-cfg.StartYear)
+			for day := 1; day <= cfg.DaysPerYear; day++ {
+				season := -18 * math.Cos(2*math.Pi*float64(day)/float64(cfg.DaysPerYear))
+				noise := (rng.Float64()*2 - 1) * cfg.NoiseF
+				ds.Readings = append(ds.Readings, Reading{
+					StationID: st.ID,
+					Year:      year,
+					Day:       day,
+					TempF:     cfg.BaseTempF + latEffect + season + trend + noise,
+				})
+			}
+		}
+	}
+	return ds
+}
+
+// TempsF returns every reading's Fahrenheit temperature as a Snap! list —
+// the input list of the Figure 13 mapReduce block.
+func (d *Dataset) TempsF() *value.List {
+	out := value.NewListCap(len(d.Readings))
+	for _, r := range d.Readings {
+		out.Add(value.Number(r.TempF))
+	}
+	return out
+}
+
+// TempsFForYear filters one year's readings.
+func (d *Dataset) TempsFForYear(year int) *value.List {
+	out := value.NewList()
+	for _, r := range d.Readings {
+		if r.Year == year {
+			out.Add(value.Number(r.TempF))
+		}
+	}
+	return out
+}
+
+// Years lists the distinct years present, ascending.
+func (d *Dataset) Years() []int {
+	seen := map[int]bool{}
+	var ys []int
+	for _, r := range d.Readings {
+		if !seen[r.Year] {
+			seen[r.Year] = true
+			ys = append(ys, r.Year)
+		}
+	}
+	for i := 1; i < len(ys); i++ {
+		for j := i; j > 0 && ys[j] < ys[j-1]; j-- {
+			ys[j], ys[j-1] = ys[j-1], ys[j]
+		}
+	}
+	return ys
+}
+
+// MeanCelsiusByYear computes each year's mean temperature in Celsius — the
+// series the students plot to observe the warming trend.
+func (d *Dataset) MeanCelsiusByYear() map[int]float64 {
+	sum := map[int]float64{}
+	n := map[int]int{}
+	for _, r := range d.Readings {
+		sum[r.Year] += (r.TempF - 32) * 5 / 9
+		n[r.Year]++
+	}
+	out := map[int]float64{}
+	for y, s := range sum {
+		out[y] = s / float64(n[y])
+	}
+	return out
+}
+
+// WriteCSV writes readings as "station,year,day,tempF" rows with a header.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"station", "year", "day", "temp_f"}); err != nil {
+		return err
+	}
+	for _, r := range d.Readings {
+		rec := []string{
+			r.StationID,
+			strconv.Itoa(r.Year),
+			strconv.Itoa(r.Day),
+			strconv.FormatFloat(r.TempF, 'f', 2, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV ingests a dataset written by WriteCSV (or any file with the same
+// header) — §6.3's data-file ingestion.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read CSV header: %w", err)
+	}
+	if len(header) < 4 || header[0] != "station" {
+		return nil, fmt.Errorf("unexpected CSV header %v", header)
+	}
+	ds := &Dataset{}
+	stations := map[string]bool{}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		year, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad year %q", line, rec[1])
+		}
+		day, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad day %q", line, rec[2])
+		}
+		temp, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad temperature %q", line, rec[3])
+		}
+		if !stations[rec[0]] {
+			stations[rec[0]] = true
+			ds.Stations = append(ds.Stations, Station{ID: rec[0], Name: rec[0]})
+		}
+		ds.Readings = append(ds.Readings, Reading{
+			StationID: rec[0], Year: year, Day: day, TempF: temp,
+		})
+	}
+	return ds, nil
+}

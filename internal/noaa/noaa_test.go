@@ -1,0 +1,136 @@
+package noaa
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func smallConfig() Config {
+	return Config{Stations: 3, StartYear: 2000, EndYear: 2004, DaysPerYear: 30, Seed: 7}
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds := Generate(smallConfig())
+	if len(ds.Stations) != 3 {
+		t.Fatalf("stations = %d", len(ds.Stations))
+	}
+	if want := 3 * 5 * 30; len(ds.Readings) != want {
+		t.Fatalf("readings = %d, want %d", len(ds.Readings), want)
+	}
+	for _, st := range ds.Stations {
+		if st.Latitude < 25 || st.Latitude > 50 {
+			t.Errorf("latitude %g out of continental range", st.Latitude)
+		}
+		if !strings.HasPrefix(st.ID, "USW") {
+			t.Errorf("station id %q", st.ID)
+		}
+	}
+	years := ds.Years()
+	if len(years) != 5 || years[0] != 2000 || years[4] != 2004 {
+		t.Errorf("years = %v", years)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallConfig())
+	b := Generate(smallConfig())
+	if len(a.Readings) != len(b.Readings) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a.Readings {
+		if a.Readings[i] != b.Readings[i] {
+			t.Fatalf("reading %d differs: %+v vs %+v", i, a.Readings[i], b.Readings[i])
+		}
+	}
+	c := Generate(Config{Stations: 3, StartYear: 2000, EndYear: 2004, DaysPerYear: 30, Seed: 8})
+	if a.Readings[0].TempF == c.Readings[0].TempF {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestWarmingTrendObservable(t *testing.T) {
+	// The whole pedagogical point: averaging year by year reveals the
+	// injected warming trend.
+	cfg := smallConfig()
+	cfg.TrendFPerYear = 0.5
+	cfg.DaysPerYear = 120
+	ds := Generate(cfg)
+	means := ds.MeanCelsiusByYear()
+	first, last := means[2000], means[2004]
+	if last <= first {
+		t.Errorf("no warming visible: %g (2000) vs %g (2004)", first, last)
+	}
+	wantDelta := 4 * 0.5 * 5 / 9 // four years of trend, in Celsius
+	if math.Abs((last-first)-wantDelta) > 0.5 {
+		t.Errorf("trend delta = %g, want ≈ %g", last-first, wantDelta)
+	}
+}
+
+func TestTempsLists(t *testing.T) {
+	ds := Generate(smallConfig())
+	all := ds.TempsF()
+	if all.Len() != len(ds.Readings) {
+		t.Error("TempsF length")
+	}
+	year := ds.TempsFForYear(2001)
+	if year.Len() != 3*30 {
+		t.Errorf("year 2001 has %d readings", year.Len())
+	}
+	if ds.TempsFForYear(1900).Len() != 0 {
+		t.Error("absent year should be empty")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := Generate(smallConfig())
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Readings) != len(ds.Readings) {
+		t.Fatalf("rows = %d, want %d", len(back.Readings), len(ds.Readings))
+	}
+	for i := range back.Readings {
+		a, b := ds.Readings[i], back.Readings[i]
+		if a.StationID != b.StationID || a.Year != b.Year || a.Day != b.Day {
+			t.Fatalf("row %d metadata differs", i)
+		}
+		if math.Abs(a.TempF-b.TempF) > 0.01 { // 2-decimal CSV rounding
+			t.Fatalf("row %d temp differs: %g vs %g", i, a.TempF, b.TempF)
+		}
+	}
+	if len(back.Stations) != 3 {
+		t.Errorf("stations reconstructed = %d", len(back.Stations))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong,header,entirely,x\n",
+		"station,year,day,temp_f\nUSW,abc,1,50\n",
+		"station,year,day,temp_f\nUSW,2000,abc,50\n",
+		"station,year,day,temp_f\nUSW,2000,1,warm\n",
+	}
+	for i, src := range cases {
+		if _, err := ReadCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	ds := Generate(Config{})
+	if len(ds.Stations) != 10 {
+		t.Errorf("default stations = %d", len(ds.Stations))
+	}
+	if len(ds.Readings) != 10*10*365 {
+		t.Errorf("default readings = %d", len(ds.Readings))
+	}
+}

@@ -1,0 +1,84 @@
+package omp
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// This file adds the remaining OpenMP synchronization constructs the
+// generated programs may lean on: `#pragma omp atomic` (lock-free scalar
+// updates) and `#pragma omp ordered` (loop iterations executing a region
+// in iteration order).
+
+// AtomicFloat64 is a float64 updated with atomic read-modify-write
+// operations — the `#pragma omp atomic` update on a double.
+type AtomicFloat64 struct {
+	bits atomic.Uint64
+}
+
+// Load returns the current value.
+func (a *AtomicFloat64) Load() float64 {
+	return math.Float64frombits(a.bits.Load())
+}
+
+// Store sets the value.
+func (a *AtomicFloat64) Store(v float64) {
+	a.bits.Store(math.Float64bits(v))
+}
+
+// Add performs x += v atomically and returns the new value.
+func (a *AtomicFloat64) Add(v float64) float64 {
+	for {
+		old := a.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if a.bits.CompareAndSwap(old, next) {
+			return math.Float64frombits(next)
+		}
+	}
+}
+
+// Max performs x = max(x, v) atomically and returns the new value.
+func (a *AtomicFloat64) Max(v float64) float64 {
+	for {
+		old := a.bits.Load()
+		cur := math.Float64frombits(old)
+		if v <= cur {
+			return cur
+		}
+		if a.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return v
+		}
+	}
+}
+
+// Ordered sequences a region by loop iteration — `#pragma omp ordered`.
+// Iterations may execute their unordered work concurrently; each call to
+// Do(i, fn) blocks until every iteration below i has completed its ordered
+// region, runs fn, then releases iteration i+1.
+type Ordered struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	next int
+}
+
+// NewOrdered returns an Ordered starting at iteration 0.
+func NewOrdered() *Ordered {
+	o := &Ordered{}
+	o.cond = sync.NewCond(&o.mu)
+	return o
+}
+
+// Do runs fn when it is iteration i's turn.
+func (o *Ordered) Do(i int, fn func()) {
+	o.mu.Lock()
+	for o.next != i {
+		o.cond.Wait()
+	}
+	o.mu.Unlock()
+	fn()
+	o.mu.Lock()
+	o.next = i + 1
+	o.cond.Broadcast()
+	o.mu.Unlock()
+}

@@ -1,0 +1,75 @@
+package omp
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAtomicFloat64Add(t *testing.T) {
+	var a AtomicFloat64
+	Parallel(8, func(int, *Team) {
+		for i := 0; i < 1000; i++ {
+			a.Add(0.5)
+		}
+	})
+	if got := a.Load(); got != 4000 {
+		t.Errorf("atomic adds lost updates: %g, want 4000", got)
+	}
+	a.Store(-1)
+	if a.Load() != -1 {
+		t.Error("store/load")
+	}
+}
+
+func TestAtomicFloat64Max(t *testing.T) {
+	var a AtomicFloat64
+	a.Store(-1e308)
+	Parallel(4, func(tid int, _ *Team) {
+		for i := 0; i < 200; i++ {
+			a.Max(float64(tid*1000 + i))
+		}
+	})
+	if got := a.Load(); got != 3199 {
+		t.Errorf("atomic max = %g, want 3199", got)
+	}
+	if got := a.Max(5); got != 3199 {
+		t.Errorf("max with smaller value = %g", got)
+	}
+}
+
+func TestOrderedSequencesIterations(t *testing.T) {
+	const n = 64
+	o := NewOrdered()
+	var mu sync.Mutex
+	var order []int
+	For(n, ForConfig{Threads: 4, Schedule: Dynamic}, func(i, _ int) {
+		// Unordered work may race; the ordered region must serialize
+		// in iteration order.
+		o.Do(i, func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		})
+	})
+	if len(order) != n {
+		t.Fatalf("ordered ran %d regions", len(order))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("ordered region %d ran out of turn (got iteration %d)", i, got)
+		}
+	}
+}
+
+func TestAtomicReductionMatchesReduceFloat64(t *testing.T) {
+	var a AtomicFloat64
+	For(1000, ForConfig{Threads: 4, Schedule: Guided}, func(i, _ int) {
+		a.Add(float64(i + 1))
+	})
+	want := ReduceFloat64(1000, ForConfig{Threads: 4}, 0,
+		func(i, _ int) float64 { return float64(i + 1) },
+		func(x, y float64) float64 { return x + y })
+	if a.Load() != want {
+		t.Errorf("atomic total %g != reduction %g", a.Load(), want)
+	}
+}

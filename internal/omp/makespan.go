@@ -1,0 +1,100 @@
+package omp
+
+// SimulateMakespan computes, in deterministic virtual time, how the
+// configured schedule distributes n iterations with the given per-iteration
+// cost across the team, returning per-thread totals and the makespan. The
+// static schedules are exact reproductions of the runtime's chunk
+// assignment; dynamic and guided are modeled as greedy dispatch — each
+// chunk goes to the thread that frees up first — which is their behaviour
+// on truly parallel hardware. The benchmark harness reports these virtual
+// quantities because wall-clock speedup saturates at 1× on a single-core
+// host (the paper likewise reports timestep units, not seconds).
+func SimulateMakespan(n int, cfg ForConfig, cost func(i int) int64) (makespan int64, perThread []int64) {
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = DefaultThreads()
+	}
+	if threads > n {
+		threads = n
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	perThread = make([]int64, threads)
+	if n <= 0 {
+		return 0, perThread
+	}
+	addChunkGreedy := func(lo, hi int) {
+		min := 0
+		for k := 1; k < threads; k++ {
+			if perThread[k] < perThread[min] {
+				min = k
+			}
+		}
+		for i := lo; i < hi; i++ {
+			perThread[min] += cost(i)
+		}
+	}
+	switch cfg.Schedule {
+	case Static:
+		if cfg.Chunk <= 0 {
+			block := (n + threads - 1) / threads
+			for k := 0; k < threads; k++ {
+				lo, hi := k*block, (k+1)*block
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					perThread[k] += cost(i)
+				}
+			}
+		} else {
+			for start, c := 0, 0; start < n; start, c = start+cfg.Chunk, c+1 {
+				end := start + cfg.Chunk
+				if end > n {
+					end = n
+				}
+				tid := c % threads
+				for i := start; i < end; i++ {
+					perThread[tid] += cost(i)
+				}
+			}
+		}
+	case Dynamic:
+		chunk := cfg.Chunk
+		if chunk <= 0 {
+			chunk = 1
+		}
+		for start := 0; start < n; start += chunk {
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			addChunkGreedy(start, end)
+		}
+	case Guided:
+		minChunk := cfg.Chunk
+		if minChunk <= 0 {
+			minChunk = 1
+		}
+		for next := 0; next < n; {
+			remaining := n - next
+			chunk := remaining / (2 * threads)
+			if chunk < minChunk {
+				chunk = minChunk
+			}
+			end := next + chunk
+			if end > n {
+				end = n
+			}
+			addChunkGreedy(next, end)
+			next = end
+		}
+	}
+	for _, c := range perThread {
+		if c > makespan {
+			makespan = c
+		}
+	}
+	return makespan, perThread
+}

@@ -1,0 +1,101 @@
+package omp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSimulateMakespanUniform(t *testing.T) {
+	unit := func(int) int64 { return 1 }
+	for _, cfg := range []ForConfig{
+		{Threads: 4, Schedule: Static},
+		{Threads: 4, Schedule: Static, Chunk: 8},
+		{Threads: 4, Schedule: Dynamic, Chunk: 4},
+		{Threads: 4, Schedule: Guided},
+	} {
+		mk, per := SimulateMakespan(100, cfg, unit)
+		// Chunk granularity may leave one thread up to a chunk over
+		// the 25-iteration ideal.
+		slack := int64(cfg.Chunk)
+		if mk < 25 || mk > 25+slack {
+			t.Errorf("%v chunk=%d: makespan = %d, want 25..%d",
+				cfg.Schedule, cfg.Chunk, mk, 25+slack)
+		}
+		var total int64
+		for _, c := range per {
+			total += c
+		}
+		if total != 100 {
+			t.Errorf("%v: total = %d", cfg.Schedule, total)
+		}
+	}
+}
+
+func TestSimulateMakespanSkewOrdering(t *testing.T) {
+	// On linearly skewed work: plain static worst, chunked static
+	// better, dynamic/guided near-ideal — the E11 result.
+	cost := func(i int) int64 { return int64(i) }
+	const n, threads = 4000, 4
+	static, _ := SimulateMakespan(n, ForConfig{Threads: threads, Schedule: Static}, cost)
+	chunked, _ := SimulateMakespan(n, ForConfig{Threads: threads, Schedule: Static, Chunk: 64}, cost)
+	dynamic, _ := SimulateMakespan(n, ForConfig{Threads: threads, Schedule: Dynamic, Chunk: 16}, cost)
+	guided, _ := SimulateMakespan(n, ForConfig{Threads: threads, Schedule: Guided}, cost)
+	if !(static > chunked && chunked > dynamic) {
+		t.Errorf("expected static(%d) > static,64(%d) > dynamic,16(%d)", static, chunked, dynamic)
+	}
+	total := int64(n * (n - 1) / 2)
+	ideal := total / threads
+	if dynamic > ideal*105/100 || guided > ideal*105/100 {
+		t.Errorf("dynamic=%d guided=%d should be within 5%% of ideal %d", dynamic, guided, ideal)
+	}
+}
+
+func TestSimulateMakespanEdges(t *testing.T) {
+	cost := func(int) int64 { return 1 }
+	mk, per := SimulateMakespan(0, ForConfig{Threads: 4}, cost)
+	if mk != 0 || len(per) != 1 {
+		// threads clamp to n then to 1 for empty loops
+		t.Errorf("empty: %d %v", mk, per)
+	}
+	mk, per = SimulateMakespan(2, ForConfig{Threads: 8, Schedule: Guided}, cost)
+	if len(per) != 2 || mk != 1 {
+		t.Errorf("clamped: %d %v", mk, per)
+	}
+	mk, _ = SimulateMakespan(5, ForConfig{Schedule: Dynamic}, cost)
+	if mk < 1 {
+		t.Errorf("default threads: %d", mk)
+	}
+}
+
+// Property: simulated totals are conserved and the makespan respects the
+// total/threads lower bound, for every schedule and chunk.
+func TestPropertySimulateBounds(t *testing.T) {
+	f := func(nRaw, tRaw, cRaw, sRaw uint8) bool {
+		n := int(nRaw)%300 + 1
+		threads := int(tRaw)%8 + 1
+		chunk := int(cRaw) % 12
+		sched := Schedule(int(sRaw) % 3)
+		cost := func(i int) int64 { return int64(i%7 + 1) }
+		var total int64
+		for i := 0; i < n; i++ {
+			total += cost(i)
+		}
+		mk, per := SimulateMakespan(n, ForConfig{Threads: threads, Schedule: sched, Chunk: chunk}, cost)
+		var sum int64
+		for _, c := range per {
+			sum += c
+		}
+		if sum != total {
+			return false
+		}
+		eff := threads
+		if eff > n {
+			eff = n
+		}
+		lower := (total + int64(eff) - 1) / int64(eff)
+		return mk >= lower && mk <= total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,331 @@
+// Package omp is a Go runtime modeling the OpenMP execution semantics the
+// paper's code generator targets (§6.1): fork-join parallel regions,
+// worksharing parallel-for loops with static, dynamic, and guided
+// schedules, reductions, critical sections, barriers, and single/master
+// constructs.
+//
+// The generated C of §6 runs under a real OpenMP runtime on the authors'
+// machines; this package is the executable semantic model that lets every
+// generated program's behaviour be exercised inside the Go test suite
+// without a C toolchain, and lets the benchmark harness ablate loop
+// schedules (experiment E11) — the knob OpenMP programmers reach for first.
+package omp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Schedule selects the worksharing policy of a parallel-for, mirroring
+// OpenMP's schedule(static|dynamic|guided[, chunk]) clause.
+type Schedule int
+
+// The loop schedules.
+const (
+	// Static divides iterations into chunks assigned round-robin to
+	// threads up front; zero chunk means one contiguous block per
+	// thread (OpenMP's default static).
+	Static Schedule = iota
+	// Dynamic hands out chunks from a shared queue as threads go idle.
+	Dynamic
+	// Guided hands out exponentially shrinking chunks, trading the
+	// scheduling overhead of dynamic against its load balance.
+	Guided
+)
+
+// String names the schedule in OpenMP spelling.
+func (s Schedule) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	}
+	return fmt.Sprintf("schedule(%d)", int(s))
+}
+
+// DefaultThreads is the team size when none is requested — OpenMP's
+// OMP_NUM_THREADS default of one thread per core.
+func DefaultThreads() int {
+	if n := runtime.NumCPU(); n > 0 {
+		return n
+	}
+	return 4
+}
+
+// Team is one parallel region's thread team: the state behind barriers,
+// critical sections, and single constructs.
+type Team struct {
+	size int
+
+	barrierMu  sync.Mutex
+	barrierCv  *sync.Cond
+	arrived    int
+	generation int
+
+	criticalMu sync.Mutex
+
+	singleMu   sync.Mutex
+	singleDone map[int]bool
+}
+
+func newTeam(size int) *Team {
+	t := &Team{size: size, singleDone: map[int]bool{}}
+	t.barrierCv = sync.NewCond(&t.barrierMu)
+	return t
+}
+
+// Size reports the team's thread count (omp_get_num_threads).
+func (t *Team) Size() int { return t.size }
+
+// Barrier blocks until every thread of the team has arrived — the
+// `#pragma omp barrier`. It is reusable.
+func (t *Team) Barrier() {
+	t.barrierMu.Lock()
+	gen := t.generation
+	t.arrived++
+	if t.arrived == t.size {
+		t.arrived = 0
+		t.generation++
+		t.barrierCv.Broadcast()
+	} else {
+		for gen == t.generation {
+			t.barrierCv.Wait()
+		}
+	}
+	t.barrierMu.Unlock()
+}
+
+// Critical runs fn under the team's critical-section lock — the
+// `#pragma omp critical`.
+func (t *Team) Critical(fn func()) {
+	t.criticalMu.Lock()
+	defer t.criticalMu.Unlock()
+	fn()
+}
+
+// Single runs fn on exactly one thread of the team per region id — the
+// `#pragma omp single nowait`. Threads must pass matching ids (OpenMP
+// requires all threads reach the same single constructs in order; the id
+// makes that explicit).
+func (t *Team) Single(id int, fn func()) {
+	t.singleMu.Lock()
+	if t.singleDone[id] {
+		t.singleMu.Unlock()
+		return
+	}
+	t.singleDone[id] = true
+	t.singleMu.Unlock()
+	fn()
+}
+
+// Master runs fn only on thread 0 — the `#pragma omp master`.
+func (t *Team) Master(tid int, fn func()) {
+	if tid == 0 {
+		fn()
+	}
+}
+
+// Parallel opens a parallel region with the given team size (0 =
+// DefaultThreads): body runs once per thread, receiving the thread id and
+// the team. Parallel returns when all threads complete — the implicit join
+// of `#pragma omp parallel`. A panic on any thread propagates after join.
+func Parallel(threads int, body func(tid int, team *Team)) {
+	if threads <= 0 {
+		threads = DefaultThreads()
+	}
+	team := newTeam(threads)
+	var wg sync.WaitGroup
+	panics := make([]any, threads)
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[tid] = r
+				}
+			}()
+			body(tid, team)
+		}(tid)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// ForConfig tunes a parallel-for.
+type ForConfig struct {
+	// Threads is the team size; 0 means DefaultThreads.
+	Threads int
+	// Schedule picks the worksharing policy.
+	Schedule Schedule
+	// Chunk is the chunk size; 0 picks the schedule's default
+	// (block-per-thread for static, 1 for dynamic, adaptive minimum 1
+	// for guided).
+	Chunk int
+}
+
+// For runs body(i, tid) for every i in [0, n) under the configured
+// schedule — `#pragma omp parallel for schedule(...)`.
+func For(n int, cfg ForConfig, body func(i, tid int)) {
+	if n <= 0 {
+		return
+	}
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = DefaultThreads()
+	}
+	if threads > n {
+		threads = n
+	}
+	switch cfg.Schedule {
+	case Static:
+		forStatic(n, threads, cfg.Chunk, body)
+	case Dynamic:
+		chunk := cfg.Chunk
+		if chunk <= 0 {
+			chunk = 1
+		}
+		forDynamic(n, threads, chunk, body)
+	case Guided:
+		forGuided(n, threads, cfg.Chunk, body)
+	}
+}
+
+func forStatic(n, threads, chunk int, body func(i, tid int)) {
+	Parallel(threads, func(tid int, _ *Team) {
+		if chunk <= 0 {
+			// One contiguous block per thread.
+			block := (n + threads - 1) / threads
+			lo := tid * block
+			hi := lo + block
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				body(i, tid)
+			}
+			return
+		}
+		// Round-robin chunks: thread tid owns chunks tid, tid+T, ...
+		for start := tid * chunk; start < n; start += threads * chunk {
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			for i := start; i < end; i++ {
+				body(i, tid)
+			}
+		}
+	})
+}
+
+func forDynamic(n, threads, chunk int, body func(i, tid int)) {
+	var next atomic.Int64
+	Parallel(threads, func(tid int, _ *Team) {
+		for {
+			start := int(next.Add(int64(chunk))) - chunk
+			if start >= n {
+				return
+			}
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			for i := start; i < end; i++ {
+				body(i, tid)
+			}
+		}
+	})
+}
+
+func forGuided(n, threads, minChunk int, body func(i, tid int)) {
+	if minChunk <= 0 {
+		minChunk = 1
+	}
+	var mu sync.Mutex
+	next := 0
+	Parallel(threads, func(tid int, _ *Team) {
+		for {
+			mu.Lock()
+			remaining := n - next
+			if remaining <= 0 {
+				mu.Unlock()
+				return
+			}
+			chunk := remaining / (2 * threads)
+			if chunk < minChunk {
+				chunk = minChunk
+			}
+			start := next
+			next += chunk
+			mu.Unlock()
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			for i := start; i < end; i++ {
+				body(i, tid)
+			}
+		}
+	})
+}
+
+// ReduceFloat64 runs a parallel-for with a float64 reduction —
+// `#pragma omp parallel for reduction(op: acc)`. identity is op's neutral
+// element; op must be associative and commutative.
+func ReduceFloat64(n int, cfg ForConfig, identity float64,
+	body func(i, tid int) float64, op func(a, b float64) float64) float64 {
+	if n <= 0 {
+		return identity
+	}
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = DefaultThreads()
+	}
+	if threads > n {
+		threads = n
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	partial := make([]float64, threads)
+	for i := range partial {
+		partial[i] = identity
+	}
+	cfg.Threads = threads
+	For(n, cfg, func(i, tid int) {
+		partial[tid] = op(partial[tid], body(i, tid))
+	})
+	acc := identity
+	for _, p := range partial {
+		acc = op(acc, p)
+	}
+	return acc
+}
+
+// Sections runs each section function on some thread of a team —
+// `#pragma omp sections`.
+func Sections(threads int, sections ...func()) {
+	if threads <= 0 {
+		threads = DefaultThreads()
+	}
+	var next atomic.Int64
+	Parallel(threads, func(tid int, _ *Team) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(sections) {
+				return
+			}
+			sections[i]()
+		}
+	})
+}

@@ -1,0 +1,214 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelRunsEveryThread(t *testing.T) {
+	seen := make([]bool, 5)
+	Parallel(5, func(tid int, team *Team) {
+		seen[tid] = true
+		if team.Size() != 5 {
+			t.Errorf("team size = %d", team.Size())
+		}
+	})
+	for tid, ok := range seen {
+		if !ok {
+			t.Errorf("thread %d never ran", tid)
+		}
+	}
+}
+
+func TestParallelDefaultsAndPanic(t *testing.T) {
+	ran := atomic.Int64{}
+	Parallel(0, func(int, *Team) { ran.Add(1) })
+	if int(ran.Load()) != DefaultThreads() {
+		t.Errorf("default team ran %d threads, want %d", ran.Load(), DefaultThreads())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("panic inside a region must propagate after the join")
+		}
+	}()
+	Parallel(2, func(tid int, _ *Team) {
+		if tid == 1 {
+			panic("thread fault")
+		}
+	})
+}
+
+func TestBarrier(t *testing.T) {
+	const threads = 4
+	var phase1, phase2 atomic.Int64
+	Parallel(threads, func(tid int, team *Team) {
+		phase1.Add(1)
+		team.Barrier()
+		// After the barrier every thread must observe all phase-1
+		// increments.
+		if phase1.Load() != threads {
+			t.Errorf("thread %d passed the barrier early (%d/%d)",
+				tid, phase1.Load(), threads)
+		}
+		phase2.Add(1)
+		team.Barrier() // reusable
+		if phase2.Load() != threads {
+			t.Errorf("second barrier leaked")
+		}
+	})
+}
+
+func TestCriticalExcludes(t *testing.T) {
+	counter := 0 // unsynchronized on purpose; critical must protect it
+	Parallel(8, func(_ int, team *Team) {
+		for i := 0; i < 1000; i++ {
+			team.Critical(func() { counter++ })
+		}
+	})
+	if counter != 8000 {
+		t.Errorf("critical section lost updates: %d", counter)
+	}
+}
+
+func TestSingleAndMaster(t *testing.T) {
+	var single, master atomic.Int64
+	Parallel(6, func(tid int, team *Team) {
+		team.Single(0, func() { single.Add(1) })
+		team.Single(1, func() { single.Add(1) })
+		team.Master(tid, func() { master.Add(1) })
+	})
+	if single.Load() != 2 {
+		t.Errorf("single regions ran %d times, want 2", single.Load())
+	}
+	if master.Load() != 1 {
+		t.Errorf("master ran %d times, want 1", master.Load())
+	}
+}
+
+func TestForCoversAllIterationsEverySchedule(t *testing.T) {
+	for _, sched := range []Schedule{Static, Dynamic, Guided} {
+		for _, chunk := range []int{0, 1, 3, 16} {
+			if sched == Dynamic && chunk == 0 {
+				continue // defaulted below anyway
+			}
+			n := 101
+			hits := make([]int32, n)
+			For(n, ForConfig{Threads: 4, Schedule: sched, Chunk: chunk}, func(i, tid int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("%v chunk=%d: iteration %d ran %d times",
+						sched, chunk, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForEdgeCases(t *testing.T) {
+	ran := false
+	For(0, ForConfig{Threads: 4}, func(int, int) { ran = true })
+	For(-5, ForConfig{Threads: 4}, func(int, int) { ran = true })
+	if ran {
+		t.Error("empty loops must not run the body")
+	}
+	// More threads than iterations.
+	var count atomic.Int64
+	For(2, ForConfig{Threads: 16, Schedule: Dynamic}, func(int, int) { count.Add(1) })
+	if count.Load() != 2 {
+		t.Errorf("n=2 ran %d iterations", count.Load())
+	}
+}
+
+func TestReduceFloat64(t *testing.T) {
+	for _, sched := range []Schedule{Static, Dynamic, Guided} {
+		sum := ReduceFloat64(1000, ForConfig{Threads: 4, Schedule: sched}, 0,
+			func(i, _ int) float64 { return float64(i + 1) },
+			func(a, b float64) float64 { return a + b })
+		if sum != 500500 {
+			t.Errorf("%v: sum 1..1000 = %g", sched, sum)
+		}
+	}
+	// Max reduction with a different identity.
+	max := ReduceFloat64(100, ForConfig{Threads: 3}, -1e300,
+		func(i, _ int) float64 { return float64((i * 37) % 89) },
+		func(a, b float64) float64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+	if max != 88 {
+		t.Errorf("max = %g, want 88", max)
+	}
+	// Empty reduction yields the identity.
+	if got := ReduceFloat64(0, ForConfig{}, 42,
+		func(int, int) float64 { return 0 },
+		func(a, b float64) float64 { return a + b }); got != 42 {
+		t.Errorf("empty reduce = %g", got)
+	}
+}
+
+func TestSections(t *testing.T) {
+	var a, b, c atomic.Int64
+	Sections(2,
+		func() { a.Add(1) },
+		func() { b.Add(1) },
+		func() { c.Add(1) },
+	)
+	if a.Load() != 1 || b.Load() != 1 || c.Load() != 1 {
+		t.Error("each section must run exactly once")
+	}
+	Sections(0) // no sections, default threads: must not hang
+}
+
+func TestScheduleNames(t *testing.T) {
+	if Static.String() != "static" || Dynamic.String() != "dynamic" ||
+		Guided.String() != "guided" || Schedule(7).String() != "schedule(7)" {
+		t.Error("schedule names")
+	}
+}
+
+// Property: every schedule visits each index exactly once for arbitrary
+// sizes, thread counts, and chunk sizes.
+func TestPropertyForCoverage(t *testing.T) {
+	f := func(nRaw, tRaw, cRaw uint8, sRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		threads := int(tRaw)%8 + 1
+		chunk := int(cRaw) % 10
+		sched := Schedule(int(sRaw) % 3)
+		hits := make([]int32, n)
+		For(n, ForConfig{Threads: threads, Schedule: sched, Chunk: chunk},
+			func(i, _ int) { atomic.AddInt32(&hits[i], 1) })
+		for _, h := range hits {
+			if h != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reduction equals the sequential fold for any schedule.
+func TestPropertyReduce(t *testing.T) {
+	f := func(xs []uint8, tRaw, sRaw uint8) bool {
+		threads := int(tRaw)%6 + 1
+		sched := Schedule(int(sRaw) % 3)
+		var want float64
+		for _, x := range xs {
+			want += float64(x)
+		}
+		got := ReduceFloat64(len(xs), ForConfig{Threads: threads, Schedule: sched}, 0,
+			func(i, _ int) float64 { return float64(xs[i]) },
+			func(a, b float64) float64 { return a + b })
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

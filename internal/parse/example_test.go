@@ -1,0 +1,57 @@
+package parse_test
+
+import (
+	"fmt"
+
+	"repro/internal/blocks"
+	_ "repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/parse"
+)
+
+// Parse the textual spelling of Figure 4's map program and run it.
+func ExampleExpr() {
+	node, err := parse.Expr("(map (ring (* _ 10)) (list 3 7 8))")
+	if err != nil {
+		panic(err)
+	}
+	m := interp.NewMachine(blocks.NewProject("example"), nil)
+	v, err := m.EvalReporter(node.(*blocks.Block))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(v)
+	// Output: [30 70 80]
+}
+
+// Parse a multi-command script with a loop and run it.
+func ExampleScript() {
+	script, err := parse.Script(`
+		(declare total)
+		(set total 0)
+		(for i 1 100 (do (change total $i)))
+		(report $total)`)
+	if err != nil {
+		panic(err)
+	}
+	m := interp.NewMachine(blocks.NewProject("example"), nil)
+	v, err := m.RunScript(script)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(v)
+	// Output: 5050
+}
+
+// Print a block program back into the textual language.
+func ExamplePrintNode() {
+	text, err := parse.PrintNode(blocks.ParallelMap(
+		blocks.RingOf(blocks.Product(blocks.Empty(), blocks.Num(10))),
+		blocks.ListOf(blocks.Num(3), blocks.Num(7), blocks.Num(8)),
+		blocks.Num(4)))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(text)
+	// Output: (parallelmap (ring (* _ 10)) (list 3 7 8) 4)
+}

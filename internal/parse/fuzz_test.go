@@ -1,0 +1,73 @@
+package parse
+
+import (
+	"testing"
+
+	"repro/internal/blocks"
+	"repro/internal/interp"
+)
+
+// FuzzExpr feeds arbitrary text to the parser: it must never panic, and
+// anything it accepts must lower to a well-formed node that the evaluator
+// either runs or rejects cleanly (no panics downstream either).
+func FuzzExpr(f *testing.F) {
+	for _, seed := range []string{
+		"(+ 1 2)",
+		"(map (ring (* _ 10)) (list 3 7 8))",
+		"(parallelmap (ring (* _ 10)) (numbers 1 9) 4)",
+		`(join "a" "b")`,
+		"(lambda (x) (+ $x 1))",
+		"(do (set x 1) (change x 2))",
+		"((((((",
+		")",
+		"$",
+		`"unterminated`,
+		"(ring)",
+		"; just a comment",
+		"(if true (do (say \"hi\")))",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		node, err := Expr(src)
+		if err != nil {
+			return
+		}
+		b, ok := node.(*blocks.Block)
+		if !ok {
+			return
+		}
+		if b.Describe() == "" {
+			t.Errorf("accepted input %q produced an indescribable block", src)
+		}
+		// Anything parsed must evaluate or fail cleanly within a small
+		// budget (cap with a round limit — parsed programs may loop).
+		m := interp.NewMachine(blocks.NewProject("fuzz"), nil)
+		m.SliceOps = 200
+		sp := blocks.NewSprite("S")
+		m.SpawnScript(sp, m.Stage.AddActor("S", 0, 0), blocks.NewScript(b))
+		_ = m.Run(50)
+		m.StopAll()
+		m.Step()
+	})
+}
+
+// FuzzScript does the same for command sequences.
+func FuzzScript(f *testing.F) {
+	f.Add("(set x 1) (change x 2) (report $x)")
+	f.Add("(declare a b) (set a (list)) (add 1 $a)")
+	f.Add("(repeat 3 (do (forward 1)))")
+	f.Fuzz(func(t *testing.T, src string) {
+		script, err := Script(src)
+		if err != nil {
+			return
+		}
+		m := interp.NewMachine(blocks.NewProject("fuzz"), nil)
+		m.SliceOps = 200
+		sp := blocks.NewSprite("S")
+		m.SpawnScript(sp, m.Stage.AddActor("S", 0, 0), script)
+		_ = m.Run(50)
+		m.StopAll()
+		m.Step()
+	})
+}

@@ -1,0 +1,492 @@
+// Package parse reads the textual representation of block programs — the
+// complement of the §6 code-mapping feature (§1 notes Snap!'s experimental
+// "textual representation of the blocks"). Programs are s-expressions:
+//
+//	(map (ring (* _ 10)) (list 3 7 8))
+//	(do (set sum 0)
+//	    (for i 1 10 (do (change sum $i)))
+//	    (report $sum))
+//
+// Tokens: numbers, "strings", true/false, `_` (an empty slot), `$name`
+// (read variable name), bare symbols (operators, or names in name
+// positions). Special forms: (ring body...), (lambda (params) body...),
+// (do commands...). Everything else lowers through the operator table to
+// the block constructors of package blocks, so parsed programs are
+// indistinguishable from built ones: the interpreter runs them, the code
+// generators translate them, xmlio round-trips them.
+package parse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/blocks"
+	"repro/internal/value"
+)
+
+// --- s-expression reader ---
+
+type sexpr interface{ pos() int }
+
+type atom struct {
+	at   int
+	text string
+	str  bool // quoted string literal
+}
+
+func (a atom) pos() int { return a.at }
+
+type list struct {
+	at    int
+	items []sexpr
+}
+
+func (l list) pos() int { return l.at }
+
+type reader struct {
+	src []rune
+	i   int
+}
+
+func (r *reader) error(at int, format string, args ...any) error {
+	line, col := 1, 1
+	for j := 0; j < at && j < len(r.src); j++ {
+		if r.src[j] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (r *reader) skipSpace() {
+	for r.i < len(r.src) {
+		c := r.src[r.i]
+		if c == ';' { // comment to end of line
+			for r.i < len(r.src) && r.src[r.i] != '\n' {
+				r.i++
+			}
+			continue
+		}
+		if !unicode.IsSpace(c) {
+			return
+		}
+		r.i++
+	}
+}
+
+func (r *reader) read() (sexpr, error) {
+	r.skipSpace()
+	if r.i >= len(r.src) {
+		return nil, r.error(r.i, "unexpected end of input")
+	}
+	at := r.i
+	switch c := r.src[r.i]; {
+	case c == '(':
+		r.i++
+		var items []sexpr
+		for {
+			r.skipSpace()
+			if r.i >= len(r.src) {
+				return nil, r.error(at, "unclosed parenthesis")
+			}
+			if r.src[r.i] == ')' {
+				r.i++
+				return list{at: at, items: items}, nil
+			}
+			item, err := r.read()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, item)
+		}
+	case c == ')':
+		return nil, r.error(at, "unexpected ')'")
+	case c == '"':
+		r.i++
+		var b strings.Builder
+		for {
+			if r.i >= len(r.src) {
+				return nil, r.error(at, "unterminated string")
+			}
+			c := r.src[r.i]
+			r.i++
+			if c == '"' {
+				return atom{at: at, text: b.String(), str: true}, nil
+			}
+			if c == '\\' && r.i < len(r.src) {
+				esc := r.src[r.i]
+				r.i++
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				default:
+					b.WriteRune(esc)
+				}
+				continue
+			}
+			b.WriteRune(c)
+		}
+	default:
+		var b strings.Builder
+		for r.i < len(r.src) {
+			c := r.src[r.i]
+			if unicode.IsSpace(c) || c == '(' || c == ')' || c == ';' {
+				break
+			}
+			b.WriteRune(c)
+			r.i++
+		}
+		return atom{at: at, text: b.String()}, nil
+	}
+}
+
+// readAll reads every top-level form.
+func readAll(src string) ([]sexpr, *reader, error) {
+	r := &reader{src: []rune(src)}
+	var out []sexpr
+	for {
+		r.skipSpace()
+		if r.i >= len(r.src) {
+			return out, r, nil
+		}
+		form, err := r.read()
+		if err != nil {
+			return nil, r, err
+		}
+		out = append(out, form)
+	}
+}
+
+// --- lowering to blocks ---
+
+// opSpec describes one operator: its opcode's builder and arity bounds.
+type opSpec struct {
+	min, max int // max < 0 means variadic
+	build    func(args []blocks.Node) (*blocks.Block, error)
+}
+
+func simple(op string, arity int) opSpec {
+	return opSpec{min: arity, max: arity, build: func(args []blocks.Node) (*blocks.Block, error) {
+		return blocks.NewBlock(op, args...), nil
+	}}
+}
+
+func variadic(op string, min int) opSpec {
+	return opSpec{min: min, max: -1, build: func(args []blocks.Node) (*blocks.Block, error) {
+		return blocks.NewBlock(op, args...), nil
+	}}
+}
+
+// nameArg converts an argument in name position (set, for, foreach) back
+// to its text.
+func nameArg(n blocks.Node) (string, error) {
+	switch x := n.(type) {
+	case blocks.VarGet:
+		return x.Name, nil
+	case blocks.Literal:
+		if t, ok := x.Val.(value.Text); ok {
+			return string(t), nil
+		}
+	}
+	return "", fmt.Errorf("expected a name")
+}
+
+func named(op string, arity int) opSpec {
+	return opSpec{min: arity, max: arity, build: func(args []blocks.Node) (*blocks.Block, error) {
+		name, err := nameArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		out := append([]blocks.Node{blocks.Txt(name)}, args[1:]...)
+		return blocks.NewBlock(op, out...), nil
+	}}
+}
+
+var ops = map[string]opSpec{
+	"+":      simple("reportSum", 2),
+	"-":      simple("reportDifference", 2),
+	"*":      simple("reportProduct", 2),
+	"/":      simple("reportQuotient", 2),
+	"mod":    simple("reportModulus", 2),
+	"round":  simple("reportRound", 1),
+	"sqrt":   {min: 1, max: 1, build: monadic("sqrt")},
+	"abs":    {min: 1, max: 1, build: monadic("abs")},
+	"floor":  {min: 1, max: 1, build: monadic("floor")},
+	"random": simple("reportRandom", 2),
+	"<":      simple("reportLessThan", 2),
+	"=":      simple("reportEquals", 2),
+	">":      simple("reportGreaterThan", 2),
+	"and":    simple("reportAnd", 2),
+	"or":     simple("reportOr", 2),
+	"not":    simple("reportNot", 1),
+	"join":   variadic("reportJoinWords", 1),
+	"letter": simple("reportLetter", 2),
+	"split":  simple("reportTextSplit", 2),
+
+	"list":     variadic("reportNewList", 0),
+	"numbers":  simple("reportNumbers", 2),
+	"item":     simple("reportListItem", 2),
+	"length":   simple("reportListLength", 1),
+	"contains": simple("reportListContainsItem", 2),
+	"add":      simple("doAddToList", 2),
+	"delete":   simple("doDeleteFromList", 2),
+	"insert":   simple("doInsertInList", 3),
+	"replace":  simple("doReplaceInList", 3),
+
+	"set":     named("doSetVar", 2),
+	"change":  named("doChangeVar", 2),
+	"declare": {min: 1, max: -1, build: buildDeclare},
+
+	"if":      simple("doIf", 2),
+	"ifelse":  simple("doIfElse", 3),
+	"repeat":  simple("doRepeat", 2),
+	"forever": simple("doForever", 1),
+	"until":   simple("doUntil", 2),
+	"for":     named("doFor", 4),
+	"wait":    simple("doWait", 1),
+	"report":  simple("doReport", 1),
+	"stop":    simple("doStopThis", 0),
+	"warp":    simple("doWarp", 1),
+
+	"map":     simple("reportMap", 2),
+	"keep":    simple("reportKeep", 2),
+	"combine": simple("reportCombine", 2),
+	"foreach": named("doForEach", 3),
+
+	"parallelmap":     simple("reportParallelMap", 3),
+	"parallelkeep":    simple("reportParallelKeep", 3),
+	"parallelcombine": simple("reportParallelCombine", 3),
+	"mapreduce":       simple("reportMapReduce", 3),
+	"parallelforeach": {min: 4, max: 4, build: buildParallelForEach(true)},
+	"seqforeach":      {min: 3, max: 3, build: buildParallelForEach(false)},
+
+	"call": variadic("evaluate", 1),
+	"run":  variadic("doRun", 1),
+
+	"broadcast":     simple("doBroadcast", 1),
+	"broadcastwait": simple("doBroadcastAndWait", 1),
+	"say":           simple("bubble", 1),
+	"think":         simple("doThink", 1),
+	"forward":       simple("forward", 1),
+	"turn":          simple("turn", 1),
+	"goto":          simple("gotoXY", 2),
+	"timer":         simple("getTimer", 0),
+	"resettimer":    simple("doResetTimer", 0),
+	"clone":         simple("createClone", 1),
+	"removeclone":   simple("removeClone", 0),
+
+	"readfile":   simple("reportReadFile", 1),
+	"filelines":  simple("reportFileLines", 1),
+	"writefile":  simple("doWriteFile", 2),
+	"appendfile": simple("doAppendToFile", 2),
+	"turnleft":   simple("turnLeft", 1),
+}
+
+func monadic(fn string) func(args []blocks.Node) (*blocks.Block, error) {
+	return func(args []blocks.Node) (*blocks.Block, error) {
+		return blocks.Monadic(fn, args[0]), nil
+	}
+}
+
+func buildDeclare(args []blocks.Node) (*blocks.Block, error) {
+	ins := make([]blocks.Node, len(args))
+	for i, a := range args {
+		name, err := nameArg(a)
+		if err != nil {
+			return nil, fmt.Errorf("declare: %w", err)
+		}
+		ins[i] = blocks.Txt(name)
+	}
+	return blocks.NewBlock("doDeclareVariables", ins...), nil
+}
+
+func buildParallelForEach(parallel bool) func(args []blocks.Node) (*blocks.Block, error) {
+	return func(args []blocks.Node) (*blocks.Block, error) {
+		name, err := nameArg(args[0])
+		if err != nil {
+			return nil, fmt.Errorf("parallelforeach: %w", err)
+		}
+		if parallel {
+			// (parallelforeach item list parallelism body)
+			return blocks.NewBlock("doParallelForEach",
+				blocks.Txt(name), args[1], args[2], args[3], blocks.BoolLit(true)), nil
+		}
+		// (seqforeach item list body)
+		return blocks.NewBlock("doParallelForEach",
+			blocks.Txt(name), args[1], blocks.Empty(), args[2], blocks.BoolLit(false)), nil
+	}
+}
+
+// lower converts one s-expression into a block input node.
+func (r *reader) lower(s sexpr) (blocks.Node, error) {
+	switch x := s.(type) {
+	case atom:
+		return r.lowerAtom(x)
+	case list:
+		return r.lowerList(x)
+	}
+	return nil, r.error(s.pos(), "unknown form")
+}
+
+func (r *reader) lowerAtom(a atom) (blocks.Node, error) {
+	if a.str {
+		return blocks.Txt(a.text), nil
+	}
+	switch a.text {
+	case "_":
+		return blocks.Empty(), nil
+	case "true":
+		return blocks.BoolLit(true), nil
+	case "false":
+		return blocks.BoolLit(false), nil
+	}
+	if strings.HasPrefix(a.text, "$") {
+		if len(a.text) == 1 {
+			return nil, r.error(a.at, "$ needs a variable name")
+		}
+		return blocks.Var(a.text[1:]), nil
+	}
+	if f, err := strconv.ParseFloat(a.text, 64); err == nil {
+		return blocks.Num(f), nil
+	}
+	// Bare symbols stand for names (variable slots of set/for/foreach);
+	// lower as VarGet so nameArg can recover the spelling, and reading
+	// them in value position still reads the variable.
+	return blocks.Var(a.text), nil
+}
+
+func (r *reader) lowerList(l list) (blocks.Node, error) {
+	if len(l.items) == 0 {
+		return nil, r.error(l.at, "empty form")
+	}
+	head, ok := l.items[0].(atom)
+	if !ok || head.str {
+		return nil, r.error(l.items[0].pos(), "a form must start with an operator symbol")
+	}
+	switch head.text {
+	case "do":
+		script, err := r.lowerScript(l.items[1:])
+		if err != nil {
+			return nil, err
+		}
+		return blocks.ScriptNode{Script: script}, nil
+	case "ring":
+		if len(l.items) != 2 {
+			return nil, r.error(l.at, "ring takes exactly one body")
+		}
+		body, err := r.lower(l.items[1])
+		if err != nil {
+			return nil, err
+		}
+		if sn, ok := body.(blocks.ScriptNode); ok {
+			return blocks.RingScript(sn.Script), nil
+		}
+		return blocks.RingOf(body), nil
+	case "lambda":
+		if len(l.items) != 3 {
+			return nil, r.error(l.at, "lambda takes a parameter list and one body")
+		}
+		plist, ok := l.items[1].(list)
+		if !ok {
+			return nil, r.error(l.items[1].pos(), "lambda parameters must be a list")
+		}
+		var params []string
+		for _, p := range plist.items {
+			pa, ok := p.(atom)
+			if !ok || pa.str {
+				return nil, r.error(p.pos(), "lambda parameter must be a symbol")
+			}
+			params = append(params, pa.text)
+		}
+		body, err := r.lower(l.items[2])
+		if err != nil {
+			return nil, err
+		}
+		if sn, ok := body.(blocks.ScriptNode); ok {
+			return blocks.RingScript(sn.Script, params...), nil
+		}
+		return blocks.RingOf(body, params...), nil
+	}
+	spec, ok := ops[head.text]
+	if !ok {
+		return nil, r.error(head.at, "unknown operator %q", head.text)
+	}
+	args := make([]blocks.Node, 0, len(l.items)-1)
+	for _, item := range l.items[1:] {
+		n, err := r.lower(item)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, n)
+	}
+	if len(args) < spec.min || (spec.max >= 0 && len(args) > spec.max) {
+		if spec.max < 0 {
+			return nil, r.error(l.at, "%s needs at least %d inputs, got %d", head.text, spec.min, len(args))
+		}
+		return nil, r.error(l.at, "%s needs %d inputs, got %d", head.text, spec.max, len(args))
+	}
+	b, err := spec.build(args)
+	if err != nil {
+		return nil, r.error(l.at, "%s: %v", head.text, err)
+	}
+	return b, nil
+}
+
+func (r *reader) lowerScript(forms []sexpr) (*blocks.Script, error) {
+	script := blocks.NewScript()
+	for _, form := range forms {
+		n, err := r.lower(form)
+		if err != nil {
+			return nil, err
+		}
+		b, ok := n.(*blocks.Block)
+		if !ok {
+			return nil, r.error(form.pos(), "scripts contain command blocks, not %T", n)
+		}
+		script.Append(b)
+	}
+	return script, nil
+}
+
+// Expr parses a single expression (a reporter or command form).
+func Expr(src string) (blocks.Node, error) {
+	forms, r, err := readAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(forms) != 1 {
+		return nil, fmt.Errorf("expected exactly one expression, got %d", len(forms))
+	}
+	return r.lower(forms[0])
+}
+
+// Script parses a sequence of top-level command forms into a script.
+func Script(src string) (*blocks.Script, error) {
+	forms, r, err := readAll(src)
+	if err != nil {
+		return nil, err
+	}
+	return r.lowerScript(forms)
+}
+
+// Ops lists the operator vocabulary, sorted — the textual palette.
+func Ops() []string {
+	names := make([]string, 0, len(ops)+3)
+	for n := range ops {
+		names = append(names, n)
+	}
+	names = append(names, "do", "ring", "lambda")
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}

@@ -1,0 +1,245 @@
+package parse
+
+import (
+	"testing"
+
+	"repro/internal/blocks"
+	_ "repro/internal/core" // parallel blocks for parsed programs
+	"repro/internal/interp"
+	"repro/internal/value"
+)
+
+// evalExpr parses and evaluates one expression.
+func evalExpr(t *testing.T, src string) value.Value {
+	t.Helper()
+	n, err := Expr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	b, ok := n.(*blocks.Block)
+	if !ok {
+		t.Fatalf("%q did not lower to a block (%T)", src, n)
+	}
+	m := interp.NewMachine(blocks.NewProject("parse"), nil)
+	v, err := m.EvalReporter(b)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func TestExpressions(t *testing.T) {
+	cases := map[string]string{
+		"(+ 1 2)":                            "3",
+		"(* (- 10 4) 7)":                     "42",
+		"(/ 7 2)":                            "3.5",
+		"(mod 7 3)":                          "1",
+		"(sqrt 49)":                          "7",
+		"(round 2.6)":                        "3",
+		"(< 1 2)":                            "true",
+		"(and true (not false))":             "true",
+		`(join "a" "b" "c")`:                 "abc",
+		`(letter 2 "cat")`:                   "a",
+		`(split "a b" " ")`:                  "[a b]",
+		"(list 3 7 8)":                       "[3 7 8]",
+		"(numbers 1 5)":                      "[1 2 3 4 5]",
+		"(item 2 (list 5 6 7))":              "6",
+		"(length (list 1 2))":                "2",
+		"(contains (list 1 2) 2)":            "true",
+		"(map (ring (* _ 10)) (list 3 7 8))": "[30 70 80]",
+		"(keep (ring (> _ 1)) (list 1 2 3))": "[2 3]",
+		"(combine (numbers 1 100) (ring (+ _ _)))":           "5050",
+		"(call (lambda (a b) (+ $a $b)) 3 4)":                "7",
+		"(parallelmap (ring (* _ 10)) (list 3 7 8) 4)":       "[30 70 80]",
+		"(parallelmap (ring (* _ 10)) (list 3 7 8) _)":       "[30 70 80]",
+		"(parallelcombine (numbers 1 100) (ring (+ _ _)) 4)": "5050",
+		"(parallelkeep (ring (> _ 5)) (numbers 1 8) 2)":      "[6 7 8]",
+	}
+	for src, want := range cases {
+		if got := evalExpr(t, src).String(); got != want {
+			t.Errorf("%s = %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestFigure4Textually(t *testing.T) {
+	// The textual spelling of Figure 4's program is one line.
+	if got := evalExpr(t, "(map (ring (* _ 10)) (list 3 7 8))").String(); got != "[30 70 80]" {
+		t.Errorf("Figure 4 = %s", got)
+	}
+}
+
+func TestScriptParsing(t *testing.T) {
+	script, err := Script(`
+; sum the first ten numbers
+(declare sum)
+(set sum 0)
+(for i 1 10 (do
+    (change sum $i)))
+(report $sum)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.NewMachine(blocks.NewProject("p"), nil)
+	v, err := m.RunScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "55" {
+		t.Errorf("sum = %s", v)
+	}
+}
+
+func TestMapReduceTextually(t *testing.T) {
+	script, err := Script(`
+(report (mapreduce
+    (ring (list _ 1))
+    (ring (combine _ (ring (+ _ _))))
+    (split "b a b" " ")))
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.NewMachine(blocks.NewProject("p"), nil)
+	v, err := m.RunScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "[[a 1] [b 2]]" {
+		t.Errorf("mapreduce = %s", v)
+	}
+}
+
+func TestParallelForEachTextually(t *testing.T) {
+	script, err := Script(`
+(declare acc)
+(set acc (list))
+(seqforeach x (numbers 1 3) (do (add (* $x $x) $acc)))
+(report $acc)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.NewMachine(blocks.NewProject("p"), nil)
+	v, err := m.RunScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "[1 4 9]" {
+		t.Errorf("squares = %s", v)
+	}
+}
+
+func TestControlForms(t *testing.T) {
+	script, err := Script(`
+(declare n log)
+(set n 0)
+(set log (list))
+(repeat 3 (do (change n 1)))
+(ifelse (= $n 3)
+    (do (add "three" $log))
+    (do (add "not three" $log)))
+(until (> $n 5) (do (change n 1)))
+(if (> $n 5) (do (add "big" $log)))
+(warp (do (change n 100)))
+(report (join $n "/" (item 1 $log) "/" (item 2 $log)))
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.NewMachine(blocks.NewProject("p"), nil)
+	v, err := m.RunScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "106/three/big" {
+		t.Errorf("control forms = %s", v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"(",
+		")",
+		"(+ 1",
+		`("not an op" 1)`,
+		"(zorp 1)",
+		"(+ 1 2 3)",
+		"(+ 1)",
+		"(ring)",
+		"(ring 1 2)",
+		"(lambda x (+ 1 1))",
+		`(lambda ("x") 1)`,
+		"(lambda (x) 1 2)",
+		"()",
+		`(set 5 1)`,
+		"($)",
+		`"unterminated`,
+		"(declare 5)",
+		"(+ 1 2) (+ 3 4)", // Expr wants exactly one
+	}
+	for _, src := range bad {
+		if _, err := Expr(src); err == nil {
+			t.Errorf("Expr(%q) should fail", src)
+		}
+	}
+	if _, err := Script("(+ 1 2) 5"); err == nil {
+		t.Error("a bare literal is not a command")
+	}
+	if _, err := Script("(do (bogus))"); err == nil {
+		t.Error("bad nested form should fail")
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	v := evalExpr(t, `(join "a\nb" "\t" "q\"q")`)
+	if v.String() != "a\nb\tq\"q" {
+		t.Errorf("escapes = %q", v.String())
+	}
+}
+
+func TestComments(t *testing.T) {
+	v := evalExpr(t, `
+; leading comment
+(+ 1 ; inline comment
+   2)`)
+	if v.String() != "3" {
+		t.Errorf("comments = %s", v)
+	}
+}
+
+func TestOpsListing(t *testing.T) {
+	names := Ops()
+	if len(names) < 40 {
+		t.Errorf("vocabulary too small: %d", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Errorf("ops not sorted at %d: %s <= %s", i, names[i], names[i-1])
+		}
+	}
+}
+
+func TestParsedProgramCodegens(t *testing.T) {
+	// Parsed programs flow into the §6 pipeline like built ones.
+	n, err := Expr("(parallelmap (ring (* _ 10)) (list 3 7 8) 4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := n.(*blocks.Block)
+	if b.Op != "reportParallelMap" {
+		t.Fatalf("op = %s", b.Op)
+	}
+	if _, ok := b.Input(0).(blocks.RingNode); !ok {
+		t.Error("ring input should be a RingNode for codegen")
+	}
+}
+
+func TestWhitespaceAndUnicode(t *testing.T) {
+	v := evalExpr(t, "(join \"héllo\" \" \" \"wörld\")")
+	if v.String() != "héllo wörld" {
+		t.Errorf("unicode = %q", v.String())
+	}
+}

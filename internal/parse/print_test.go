@@ -1,0 +1,172 @@
+package parse
+
+import (
+	"testing"
+
+	"repro/internal/blocks"
+	"repro/internal/demos"
+	"repro/internal/interp"
+	"repro/internal/value"
+	"repro/internal/vclock"
+)
+
+func TestPrintNodeBasics(t *testing.T) {
+	cases := []struct {
+		n    blocks.Node
+		want string
+	}{
+		{blocks.Num(3.5), "3.5"},
+		{blocks.Txt("hi"), `"hi"`},
+		{blocks.BoolLit(true), "true"},
+		{blocks.Empty(), "_"},
+		{blocks.Var("x"), "$x"},
+		{blocks.Sum(blocks.Num(1), blocks.Num(2)), "(+ 1 2)"},
+		{blocks.Map(blocks.RingOf(blocks.Product(blocks.Empty(), blocks.Num(10))),
+			blocks.ListOf(blocks.Num(3), blocks.Num(7), blocks.Num(8))),
+			"(map (ring (* _ 10)) (list 3 7 8))"},
+		{blocks.SetVar("x", blocks.Num(5)), "(set x 5)"},
+		{blocks.Monadic("sqrt", blocks.Num(2)), "(sqrt 2)"},
+		{blocks.RingOf(blocks.Sum(blocks.Var("a"), blocks.Var("b")), "a", "b"),
+			"(lambda (a b) (+ $a $b))"},
+	}
+	for _, c := range cases {
+		got, err := PrintNode(c.n)
+		if err != nil {
+			t.Errorf("print %s: %v", c.n.Describe(), err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("print = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestPrintErrors(t *testing.T) {
+	if _, err := PrintNode(blocks.Reporter(blocks.NewBlock("snapWorkerLoop"))); err == nil {
+		t.Error("internal opcode should be unprintable")
+	}
+	if _, err := PrintNode(blocks.Lit(&value.Opaque{Tag: "x"})); err == nil {
+		t.Error("opaque literal should be unprintable")
+	}
+	if _, err := PrintNode(blocks.Monadic("zorp", blocks.Num(1))); err == nil {
+		t.Error("unknown monadic selector should be unprintable")
+	}
+}
+
+// roundTripNode checks parse(print(n)) evaluates identically to n.
+func roundTripNode(t *testing.T, b *blocks.Block) {
+	t.Helper()
+	text, err := PrintNode(b)
+	if err != nil {
+		t.Fatalf("print %s: %v", b.Describe(), err)
+	}
+	back, err := Expr(text)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", text, err)
+	}
+	m1 := interp.NewMachine(blocks.NewProject("a"), nil)
+	v1, err1 := m1.EvalReporter(b)
+	m2 := interp.NewMachine(blocks.NewProject("b"), nil)
+	v2, err2 := m2.EvalReporter(back.(*blocks.Block))
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("round trip changed errors: %v vs %v", err1, err2)
+	}
+	if err1 == nil && !value.Equal(v1, v2) {
+		t.Fatalf("round trip changed value: %s vs %s (text %q)", v1, v2, text)
+	}
+}
+
+func TestRoundTripExpressions(t *testing.T) {
+	for _, b := range []*blocks.Block{
+		blocks.Sum(blocks.Product(blocks.Num(2), blocks.Num(3)), blocks.Num(4)),
+		blocks.Map(blocks.RingOf(blocks.Product(blocks.Empty(), blocks.Num(10))),
+			blocks.Numbers(blocks.Num(1), blocks.Num(5))),
+		blocks.ParallelMap(blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Num(1))),
+			blocks.Numbers(blocks.Num(1), blocks.Num(10)), blocks.Num(2)),
+		blocks.Combine(blocks.Numbers(blocks.Num(1), blocks.Num(10)),
+			blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Empty()))),
+		blocks.Join(blocks.Txt("a"), blocks.Num(1), blocks.BoolLit(false)),
+		blocks.Call(blocks.RingOf(blocks.Product(blocks.Var("n"), blocks.Var("n")), "n"),
+			blocks.Num(9)),
+	} {
+		roundTripNode(t, b)
+	}
+}
+
+// TestPrintProjectRoundTrip prints the concession stand and re-parses it;
+// the reloaded project must reproduce the paper's 3 timesteps.
+func TestPrintProjectRoundTrip(t *testing.T) {
+	text, err := PrintProject(demos.Concession(true))
+	if err != nil {
+		t.Fatalf("print: %v", err)
+	}
+	back, err := Project(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n--- text ---\n%s", err, text)
+	}
+	m := interp.NewMachine(back, vclock.NewPaperInterference())
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stage.Timer.Elapsed(); got != 3 {
+		t.Errorf("printed+reparsed concession = %d timesteps, want 3\n%s", got, text)
+	}
+}
+
+func TestPrintProjectWithCustomsAndLocals(t *testing.T) {
+	p := blocks.NewProject("full")
+	p.Globals["g"] = value.NewList(value.Number(1), value.Text("two"))
+	p.Globals["empty"] = value.Nothing{}
+	p.Customs["double"] = &blocks.CustomBlock{
+		Name: "double", Params: []string{"n"}, IsReporter: true,
+		Body: blocks.NewScript(blocks.Report(blocks.Sum(blocks.Var("n"), blocks.Var("n")))),
+	}
+	sp := p.AddSprite(blocks.NewSprite("S"))
+	sp.X, sp.Y = 5, -7
+	sp.Variables["lives"] = value.Number(3)
+	sp.AddScript(blocks.HatKeyPress, "space", blocks.NewScript(
+		blocks.ChangeVar("lives", blocks.Num(-1))))
+	text, err := PrintProject(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Project(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if back.Customs["double"] == nil || len(back.Customs["double"].Params) != 1 {
+		t.Error("custom block lost in round trip")
+	}
+	sp2 := back.Sprite("S")
+	if sp2 == nil || sp2.X != 5 || sp2.Y != -7 {
+		t.Error("sprite geometry lost")
+	}
+	if sp2.Variables["lives"].String() != "3" {
+		t.Error("local lost")
+	}
+	g, ok := back.Globals["g"].(*value.List)
+	if !ok || g.String() != "[1 two]" {
+		t.Errorf("global list lost: %v", back.Globals["g"])
+	}
+}
+
+func TestPrintScript(t *testing.T) {
+	s := blocks.NewScript(
+		blocks.DeclareLocal("x"),
+		blocks.SetVar("x", blocks.Num(1)),
+		blocks.Repeat(blocks.Num(3), blocks.Body(blocks.ChangeVar("x", blocks.Num(2)))),
+	)
+	text, err := PrintScript(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "(declare x)\n(set x 1)\n(repeat 3 (do (change x 2)))"
+	if text != want {
+		t.Errorf("script = %q, want %q", text, want)
+	}
+	back, err := Script(text)
+	if err != nil || back.Len() != 3 {
+		t.Errorf("reparse: %v", err)
+	}
+}

@@ -1,0 +1,286 @@
+package parse
+
+import (
+	"fmt"
+
+	"repro/internal/blocks"
+	"repro/internal/value"
+)
+
+// This file extends the textual language from scripts to whole projects,
+// so a complete Snap!-style project — sprites, hats, globals, custom
+// blocks — can be written as text, converted to XML, or run directly:
+//
+//	(project "concession"
+//	  (global cups (list "Cup1" "Cup2" "Cup3"))
+//	  (sprite "Pitcher"
+//	    (at -150 100)
+//	    (when green-flag (do
+//	      (resettimer)
+//	      (parallelforeach cup $cups _ (do
+//	        (wait 3)
+//	        (broadcast $cup))))))
+//	  (sprite "Cup1"
+//	    (when (receive "Cup1") (do (say "full!")))))
+//
+// Hat forms: green-flag, (key "right arrow"), (receive "msg"), clone-start.
+
+// Project parses a textual project definition.
+func Project(src string) (*blocks.Project, error) {
+	forms, r, err := readAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(forms) != 1 {
+		return nil, fmt.Errorf("expected exactly one (project ...) form, got %d forms", len(forms))
+	}
+	top, ok := forms[0].(list)
+	if !ok || len(top.items) < 2 {
+		return nil, fmt.Errorf("expected (project \"name\" ...)")
+	}
+	head, ok := top.items[0].(atom)
+	if !ok || head.text != "project" {
+		return nil, fmt.Errorf("expected (project ...), got %v", top.items[0])
+	}
+	nameAtom, ok := top.items[1].(atom)
+	if !ok {
+		return nil, r.error(top.items[1].pos(), "project name must be a string or symbol")
+	}
+	p := blocks.NewProject(nameAtom.text)
+	for _, form := range top.items[2:] {
+		l, ok := form.(list)
+		if !ok || len(l.items) == 0 {
+			return nil, r.error(form.pos(), "project bodies are (global ...), (define ...), or (sprite ...) forms")
+		}
+		kind, ok := l.items[0].(atom)
+		if !ok {
+			return nil, r.error(l.items[0].pos(), "expected a form keyword")
+		}
+		switch kind.text {
+		case "global":
+			if err := r.parseGlobal(p, l); err != nil {
+				return nil, err
+			}
+		case "define":
+			cb, err := r.parseDefine(l)
+			if err != nil {
+				return nil, err
+			}
+			p.Customs[cb.Name] = cb
+		case "sprite":
+			sp, err := r.parseSprite(l)
+			if err != nil {
+				return nil, err
+			}
+			p.AddSprite(sp)
+		default:
+			return nil, r.error(kind.at, "unknown project form %q", kind.text)
+		}
+	}
+	return p, nil
+}
+
+// parseGlobal handles (global name initial-value?).
+func (r *reader) parseGlobal(p *blocks.Project, l list) error {
+	if len(l.items) < 2 || len(l.items) > 3 {
+		return r.error(l.at, "global takes a name and an optional initial value")
+	}
+	nameAtom, ok := l.items[1].(atom)
+	if !ok || nameAtom.str {
+		return r.error(l.items[1].pos(), "global name must be a symbol")
+	}
+	if len(l.items) == 2 {
+		p.Globals[nameAtom.text] = value.Nothing{}
+		return nil
+	}
+	v, err := r.constValue(l.items[2])
+	if err != nil {
+		return err
+	}
+	p.Globals[nameAtom.text] = v
+	return nil
+}
+
+// constValue evaluates the constant expressions allowed as initial values:
+// literals and (list ...) of constants.
+func (r *reader) constValue(s sexpr) (value.Value, error) {
+	switch x := s.(type) {
+	case atom:
+		if x.str {
+			return value.Text(x.text), nil
+		}
+		n, err := r.lowerAtom(x)
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := n.(blocks.Literal); ok {
+			return lit.Val, nil
+		}
+		return nil, r.error(x.at, "globals take constant initial values, not %q", x.text)
+	case list:
+		if len(x.items) == 0 {
+			return nil, r.error(x.at, "empty form")
+		}
+		head, ok := x.items[0].(atom)
+		if !ok || head.text != "list" {
+			return nil, r.error(x.at, "globals take constants or (list ...) initial values")
+		}
+		out := value.NewList()
+		for _, item := range x.items[1:] {
+			v, err := r.constValue(item)
+			if err != nil {
+				return nil, err
+			}
+			out.Add(v)
+		}
+		return out, nil
+	}
+	return nil, r.error(s.pos(), "bad constant")
+}
+
+// parseDefine handles (define (name params...) reporter|command body-do).
+func (r *reader) parseDefine(l list) (*blocks.CustomBlock, error) {
+	if len(l.items) != 4 {
+		return nil, r.error(l.at, "define takes (name params...), reporter|command, and a (do ...) body")
+	}
+	sig, ok := l.items[1].(list)
+	if !ok || len(sig.items) == 0 {
+		return nil, r.error(l.items[1].pos(), "define needs a (name params...) signature")
+	}
+	cb := &blocks.CustomBlock{}
+	for i, item := range sig.items {
+		a, ok := item.(atom)
+		if !ok || a.str {
+			return nil, r.error(item.pos(), "signature elements must be symbols")
+		}
+		if i == 0 {
+			cb.Name = a.text
+		} else {
+			cb.Params = append(cb.Params, a.text)
+		}
+	}
+	kindAtom, ok := l.items[2].(atom)
+	if !ok || (kindAtom.text != "reporter" && kindAtom.text != "command") {
+		return nil, r.error(l.items[2].pos(), "define kind must be reporter or command")
+	}
+	cb.IsReporter = kindAtom.text == "reporter"
+	body, err := r.lower(l.items[3])
+	if err != nil {
+		return nil, err
+	}
+	sn, ok := body.(blocks.ScriptNode)
+	if !ok {
+		return nil, r.error(l.items[3].pos(), "define body must be a (do ...) form")
+	}
+	cb.Body = sn.Script
+	return cb, nil
+}
+
+// parseSprite handles (sprite "Name" (at x y)? (local name val?)* (when hat script)*).
+func (r *reader) parseSprite(l list) (*blocks.Sprite, error) {
+	if len(l.items) < 2 {
+		return nil, r.error(l.at, "sprite needs a name")
+	}
+	nameAtom, ok := l.items[1].(atom)
+	if !ok {
+		return nil, r.error(l.items[1].pos(), "sprite name must be a string")
+	}
+	sp := blocks.NewSprite(nameAtom.text)
+	for _, form := range l.items[2:] {
+		fl, ok := form.(list)
+		if !ok || len(fl.items) == 0 {
+			return nil, r.error(form.pos(), "sprite bodies are (at ...), (local ...), or (when ...) forms")
+		}
+		kind, ok := fl.items[0].(atom)
+		if !ok {
+			return nil, r.error(fl.items[0].pos(), "expected a form keyword")
+		}
+		switch kind.text {
+		case "at":
+			if len(fl.items) != 3 {
+				return nil, r.error(fl.at, "at takes x and y")
+			}
+			x, errX := r.constValue(fl.items[1])
+			y, errY := r.constValue(fl.items[2])
+			if errX != nil || errY != nil {
+				return nil, r.error(fl.at, "at takes numeric constants")
+			}
+			xn, errX := value.ToNumber(x)
+			yn, errY := value.ToNumber(y)
+			if errX != nil || errY != nil {
+				return nil, r.error(fl.at, "at takes numeric constants")
+			}
+			sp.X, sp.Y = float64(xn), float64(yn)
+		case "local":
+			if len(fl.items) < 2 || len(fl.items) > 3 {
+				return nil, r.error(fl.at, "local takes a name and an optional initial value")
+			}
+			na, ok := fl.items[1].(atom)
+			if !ok || na.str {
+				return nil, r.error(fl.items[1].pos(), "local name must be a symbol")
+			}
+			if len(fl.items) == 3 {
+				v, err := r.constValue(fl.items[2])
+				if err != nil {
+					return nil, err
+				}
+				sp.Variables[na.text] = v
+			} else {
+				sp.Variables[na.text] = value.Nothing{}
+			}
+		case "when":
+			if len(fl.items) != 3 {
+				return nil, r.error(fl.at, "when takes a hat and a (do ...) script")
+			}
+			hat, arg, err := r.parseHat(fl.items[1])
+			if err != nil {
+				return nil, err
+			}
+			body, err := r.lower(fl.items[2])
+			if err != nil {
+				return nil, err
+			}
+			sn, ok := body.(blocks.ScriptNode)
+			if !ok {
+				return nil, r.error(fl.items[2].pos(), "when body must be a (do ...) form")
+			}
+			sp.AddScript(hat, arg, sn.Script)
+		default:
+			return nil, r.error(kind.at, "unknown sprite form %q", kind.text)
+		}
+	}
+	return sp, nil
+}
+
+func (r *reader) parseHat(s sexpr) (blocks.HatKind, string, error) {
+	switch x := s.(type) {
+	case atom:
+		switch x.text {
+		case "green-flag":
+			return blocks.HatGreenFlag, "", nil
+		case "clone-start":
+			return blocks.HatCloneStart, "", nil
+		}
+		return 0, "", r.error(x.at, "unknown hat %q (green-flag, clone-start, (key ...), (receive ...))", x.text)
+	case list:
+		if len(x.items) != 2 {
+			return 0, "", r.error(x.at, "hat forms take one argument")
+		}
+		kind, ok := x.items[0].(atom)
+		if !ok {
+			return 0, "", r.error(x.items[0].pos(), "expected key or receive")
+		}
+		arg, ok := x.items[1].(atom)
+		if !ok {
+			return 0, "", r.error(x.items[1].pos(), "hat argument must be a string")
+		}
+		switch kind.text {
+		case "key":
+			return blocks.HatKeyPress, arg.text, nil
+		case "receive":
+			return blocks.HatBroadcast, arg.text, nil
+		}
+		return 0, "", r.error(kind.at, "unknown hat form %q", kind.text)
+	}
+	return 0, "", r.error(s.pos(), "bad hat")
+}

@@ -1,0 +1,144 @@
+package parse
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/vclock"
+	"repro/internal/xmlio"
+)
+
+// concessionText is the full concession stand of Figures 7–9, written in
+// the textual project language.
+const concessionText = `
+(project "concession-text"
+  (global cups (list "Cup1" "Cup2" "Cup3"))
+  (sprite "Pitcher"
+    (at -150 100)
+    (when green-flag (do
+      (resettimer)
+      (parallelforeach cup $cups _ (do
+        (wait 3)
+        (broadcast $cup))))))
+  (sprite "Cup1" (when (receive "Cup1") (do (say "full!"))))
+  (sprite "Cup2" (when (receive "Cup2") (do (say "full!"))))
+  (sprite "Cup3" (when (receive "Cup3") (do (say "full!")))))
+`
+
+func TestProjectConcessionRunsAt3Timesteps(t *testing.T) {
+	p, err := Project(concessionText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.NewMachine(p, vclock.NewPaperInterference())
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stage.Timer.Elapsed(); got != 3 {
+		t.Errorf("textual concession stand = %d timesteps, want 3", got)
+	}
+	for _, cup := range []string{"Cup1", "Cup2", "Cup3"} {
+		if m.Stage.Actor(cup).Saying != "full!" {
+			t.Errorf("%s not filled", cup)
+		}
+	}
+}
+
+func TestProjectRoundTripsThroughXML(t *testing.T) {
+	p, err := Project(concessionText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := xmlio.EncodeProject(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := xmlio.DecodeProject(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.NewMachine(p2, vclock.NewPaperInterference())
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stage.Timer.Elapsed(); got != 3 {
+		t.Errorf("text → XML → machine = %d timesteps, want 3", got)
+	}
+}
+
+func TestProjectWithDefineAndLocalsAndKeys(t *testing.T) {
+	src := `
+(project "features"
+  (global score 0)
+  (define (double n) reporter (do (report (+ $n $n))))
+  (sprite "Player"
+    (at 10 20)
+    (local lives 3)
+    (when green-flag (do (set score (call (lambda (x) (+ $x $x)) 21))))
+    (when (key "space") (do (change score 1)))
+    (when clone-start (do (removeclone)))))
+`
+	p, err := Project(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Customs["double"] == nil || !p.Customs["double"].IsReporter {
+		t.Error("custom block lost")
+	}
+	sp := p.Sprite("Player")
+	if sp == nil || sp.X != 10 || sp.Y != 20 {
+		t.Fatal("sprite geometry lost")
+	}
+	if sp.Variables["lives"].String() != "3" {
+		t.Error("local variable lost")
+	}
+	m := interp.NewMachine(p, nil)
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	score, _ := m.GlobalFrame().Get("score")
+	if score.String() != "42" {
+		t.Errorf("score = %s", score)
+	}
+	m.PressKey("space")
+	m.Run(0)
+	score, _ = m.GlobalFrame().Get("score")
+	if score.String() != "43" {
+		t.Errorf("score after key = %s", score)
+	}
+}
+
+func TestProjectErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`(+ 1 2)`,
+		`(project)`,
+		`(project "x" (zorp))`,
+		`(project "x" 5)`,
+		`(project "x" (global))`,
+		`(project "x" (global "quoted" 1))`,
+		`(project "x" (global g (+ 1 2)))`,
+		`(project "x" (global g (numbers 1 3)))`,
+		`(project "x" (sprite))`,
+		`(project "x" (sprite "S" (zorp)))`,
+		`(project "x" (sprite "S" (at 1)))`,
+		`(project "x" (sprite "S" (at "a" "b")))`,
+		`(project "x" (sprite "S" (when bogus (do))))`,
+		`(project "x" (sprite "S" (when (key) (do))))`,
+		`(project "x" (sprite "S" (when (zorp "a") (do))))`,
+		`(project "x" (sprite "S" (when green-flag (+ 1 2))))`,
+		`(project "x" (define (f) reporter 5))`,
+		`(project "x" (define (f) maybe (do)))`,
+		`(project "x" (define f reporter (do)))`,
+		`(project "x") (project "y")`,
+	}
+	for _, src := range bad {
+		if _, err := Project(src); err == nil {
+			t.Errorf("Project(%q) should fail", src)
+		}
+	}
+}

@@ -1,0 +1,389 @@
+// Package sched simulates the supercomputer batch scheduler of §6.3:
+// "Supercomputers ... execute large, long-running jobs and use
+// sophisticated batch scheduling systems. The Snap! environment can be
+// extended to generate an outline of the batch submission script ...
+// submit the job, monitor waiting in the queue until execution, then
+// collect the results and display them to the user."
+//
+// The cluster is simulated in virtual ticks: jobs request nodes and a
+// walltime, wait in the queue under a FIFO or EASY-backfill policy, run
+// for their actual duration, and either complete (their output becomes
+// collectable) or get killed at the walltime limit — the full workflow the
+// paper's IDE vision needs, exercised without a machine room.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// State is a job's lifecycle state.
+type State int
+
+// The job states, in lifecycle order.
+const (
+	Pending State = iota
+	Running
+	Completed
+	Failed
+)
+
+// String names the state the way squeue would.
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "PENDING"
+	case Running:
+		return "RUNNING"
+	case Completed:
+		return "COMPLETED"
+	case Failed:
+		return "FAILED"
+	}
+	return fmt.Sprintf("STATE(%d)", int(s))
+}
+
+// Policy selects the queueing discipline.
+type Policy int
+
+// The scheduling policies.
+const (
+	// FIFO starts jobs strictly in submission order.
+	FIFO Policy = iota
+	// Backfill is EASY backfilling: later jobs may start early when
+	// they cannot delay the queue head's reservation.
+	Backfill
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == Backfill {
+		return "backfill"
+	}
+	return "fifo"
+}
+
+// JobSpec describes a submission.
+type JobSpec struct {
+	Name string
+	// Nodes requested; must be ≥ 1 and ≤ cluster size.
+	Nodes int
+	// Walltime is the requested limit in ticks.
+	Walltime int
+	// Duration is the job's actual runtime in ticks; jobs exceeding
+	// their walltime are killed.
+	Duration int
+	// Run produces the job's output; invoked at completion.
+	Run func() string
+	// After lists job IDs this job depends on (sbatch's
+	// --dependency=afterok): it stays pending until every listed job
+	// completes, and fails immediately if any of them fails.
+	After []int
+}
+
+// Job is a submitted job.
+type Job struct {
+	ID    int
+	Spec  JobSpec
+	State State
+	// SubmitTick, StartTick, EndTick trace the lifecycle (-1 = not yet).
+	SubmitTick, StartTick, EndTick int64
+	// Output holds the collected result after completion.
+	Output string
+	// Reason explains a failure.
+	Reason string
+}
+
+// Cluster is the simulated machine.
+type Cluster struct {
+	nodes  int
+	free   int
+	policy Policy
+	now    int64
+	nextID int
+
+	queue   []*Job
+	running []*Job
+	done    []*Job
+}
+
+// NewCluster builds a cluster with the given node count and policy.
+func NewCluster(nodes int, policy Policy) *Cluster {
+	if nodes < 1 {
+		nodes = 1
+	}
+	return &Cluster{nodes: nodes, free: nodes, policy: policy}
+}
+
+// Now reports the current tick.
+func (c *Cluster) Now() int64 { return c.now }
+
+// FreeNodes reports currently idle nodes.
+func (c *Cluster) FreeNodes() int { return c.free }
+
+// Submit enqueues a job.
+func (c *Cluster) Submit(spec JobSpec) (*Job, error) {
+	if spec.Nodes < 1 {
+		return nil, errors.New("a job needs at least one node")
+	}
+	if spec.Nodes > c.nodes {
+		return nil, fmt.Errorf("job wants %d nodes but the cluster has %d", spec.Nodes, c.nodes)
+	}
+	if spec.Walltime < 1 {
+		return nil, errors.New("a job needs a positive walltime")
+	}
+	if spec.Duration < 1 {
+		spec.Duration = 1
+	}
+	c.nextID++
+	j := &Job{ID: c.nextID, Spec: spec, State: Pending,
+		SubmitTick: c.now, StartTick: -1, EndTick: -1}
+	c.queue = append(c.queue, j)
+	c.schedule()
+	return j, nil
+}
+
+// SubmitScript parses a generated batch script (the #SBATCH directives of
+// codegen.BatchScript) and submits it — the paper's "submit the job" step.
+// duration is the job's actual runtime; run produces its output.
+func (c *Cluster) SubmitScript(script string, duration int, run func() string) (*Job, error) {
+	spec := JobSpec{Nodes: 1, Walltime: 60, Duration: duration, Run: run}
+	for _, line := range strings.Split(script, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "#SBATCH ") {
+			continue
+		}
+		directive := strings.TrimPrefix(line, "#SBATCH ")
+		key, val, ok := strings.Cut(directive, "=")
+		if !ok {
+			continue
+		}
+		switch key {
+		case "--job-name":
+			spec.Name = val
+		case "--nodes":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("bad --nodes %q", val)
+			}
+			spec.Nodes = n
+		case "--time":
+			// HH:MM:SS; one tick per minute.
+			parts := strings.Split(val, ":")
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("bad --time %q", val)
+			}
+			h, err1 := strconv.Atoi(parts[0])
+			m, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("bad --time %q", val)
+			}
+			spec.Walltime = h*60 + m
+		}
+	}
+	if spec.Name == "" {
+		return nil, errors.New("batch script names no job (--job-name)")
+	}
+	return c.Submit(spec)
+}
+
+// Tick advances virtual time by one tick: running jobs progress (and
+// complete or get killed), then the queue is scheduled.
+func (c *Cluster) Tick() {
+	c.now++
+	still := c.running[:0]
+	for _, j := range c.running {
+		elapsed := c.now - j.StartTick
+		switch {
+		case elapsed >= int64(j.Spec.Duration):
+			j.State = Completed
+			j.EndTick = c.now
+			if j.Spec.Run != nil {
+				j.Output = j.Spec.Run()
+			}
+			c.free += j.Spec.Nodes
+			c.done = append(c.done, j)
+		case elapsed >= int64(j.Spec.Walltime):
+			j.State = Failed
+			j.Reason = "walltime limit exceeded"
+			j.EndTick = c.now
+			c.free += j.Spec.Nodes
+			c.done = append(c.done, j)
+		default:
+			still = append(still, j)
+		}
+	}
+	c.running = still
+	c.schedule()
+}
+
+func (c *Cluster) start(j *Job) {
+	j.State = Running
+	j.StartTick = c.now
+	c.free -= j.Spec.Nodes
+	c.running = append(c.running, j)
+}
+
+// depState reports a job's dependency status: eligible, waiting, or doomed
+// (a dependency failed).
+type depState int
+
+const (
+	depReady depState = iota
+	depWaiting
+	depFailed
+)
+
+func (c *Cluster) deps(j *Job) depState {
+	state := depReady
+	for _, id := range j.Spec.After {
+		found := false
+		for _, d := range c.done {
+			if d.ID == id {
+				found = true
+				if d.State == Failed {
+					return depFailed
+				}
+			}
+		}
+		if !found {
+			state = depWaiting
+		}
+	}
+	return state
+}
+
+// failDoomed removes queued jobs whose dependencies failed.
+func (c *Cluster) failDoomed() {
+	kept := c.queue[:0]
+	for _, j := range c.queue {
+		if c.deps(j) == depFailed {
+			j.State = Failed
+			j.Reason = "dependency failed"
+			j.EndTick = c.now
+			c.done = append(c.done, j)
+			continue
+		}
+		kept = append(kept, j)
+	}
+	c.queue = kept
+}
+
+// schedule starts queued jobs per the policy.
+func (c *Cluster) schedule() {
+	c.failDoomed()
+	// Start in order while the head fits and its dependencies are met.
+	for len(c.queue) > 0 && c.queue[0].Spec.Nodes <= c.free &&
+		c.deps(c.queue[0]) == depReady {
+		c.start(c.queue[0])
+		c.queue = c.queue[1:]
+	}
+	if c.policy != Backfill || len(c.queue) == 0 {
+		return
+	}
+	// EASY backfill: compute the head's shadow start (the tick enough
+	// nodes free up), then start any later job that fits now and ends
+	// by the shadow start.
+	head := c.queue[0]
+	shadow, ok := c.shadowStart(head.Spec.Nodes)
+	if !ok {
+		return
+	}
+	rest := c.queue[1:]
+	kept := rest[:0]
+	for _, j := range rest {
+		fitsNow := j.Spec.Nodes <= c.free
+		endsInTime := c.now+int64(min(j.Spec.Duration, j.Spec.Walltime)) <= shadow
+		if fitsNow && endsInTime && c.deps(j) == depReady {
+			c.start(j)
+			continue
+		}
+		kept = append(kept, j)
+	}
+	c.queue = append(c.queue[:1], kept...)
+}
+
+// shadowStart computes the earliest tick at which `need` nodes will be
+// free, assuming running jobs release nodes at their walltime bound.
+func (c *Cluster) shadowStart(need int) (int64, bool) {
+	free := c.free
+	if free >= need {
+		return c.now, true
+	}
+	// Collect release times, earliest first.
+	type release struct {
+		at    int64
+		nodes int
+	}
+	var rels []release
+	for _, j := range c.running {
+		bound := int64(j.Spec.Walltime)
+		if int64(j.Spec.Duration) < bound {
+			bound = int64(j.Spec.Duration)
+		}
+		rels = append(rels, release{at: j.StartTick + bound, nodes: j.Spec.Nodes})
+	}
+	for i := 1; i < len(rels); i++ {
+		for k := i; k > 0 && rels[k].at < rels[k-1].at; k-- {
+			rels[k], rels[k-1] = rels[k-1], rels[k]
+		}
+	}
+	for _, r := range rels {
+		free += r.nodes
+		if free >= need {
+			return r.at, true
+		}
+	}
+	return 0, false
+}
+
+// RunUntilDone ticks until no jobs are pending or running (or the tick
+// budget runs out, which returns an error).
+func (c *Cluster) RunUntilDone(maxTicks int) error {
+	for i := 0; i < maxTicks; i++ {
+		if len(c.queue) == 0 && len(c.running) == 0 {
+			return nil
+		}
+		c.Tick()
+	}
+	if len(c.queue) == 0 && len(c.running) == 0 {
+		return nil
+	}
+	return fmt.Errorf("cluster still busy after %d ticks", maxTicks)
+}
+
+// Queue reports the pending jobs in order.
+func (c *Cluster) Queue() []*Job {
+	out := make([]*Job, len(c.queue))
+	copy(out, c.queue)
+	return out
+}
+
+// Done reports finished jobs in completion order.
+func (c *Cluster) Done() []*Job {
+	out := make([]*Job, len(c.done))
+	copy(out, c.done)
+	return out
+}
+
+// Collect returns a completed job's output — the paper's "collect the
+// results and display them to the user".
+func (c *Cluster) Collect(j *Job) (string, error) {
+	switch j.State {
+	case Completed:
+		return j.Output, nil
+	case Failed:
+		return "", fmt.Errorf("job %d failed: %s", j.ID, j.Reason)
+	default:
+		return "", fmt.Errorf("job %d is %s", j.ID, j.State)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

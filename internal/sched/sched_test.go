@@ -1,0 +1,246 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/codegen"
+)
+
+func TestSubmitValidation(t *testing.T) {
+	c := NewCluster(4, FIFO)
+	if _, err := c.Submit(JobSpec{Nodes: 0, Walltime: 5}); err == nil {
+		t.Error("zero nodes should be rejected")
+	}
+	if _, err := c.Submit(JobSpec{Nodes: 5, Walltime: 5}); err == nil {
+		t.Error("oversized job should be rejected")
+	}
+	if _, err := c.Submit(JobSpec{Nodes: 1, Walltime: 0}); err == nil {
+		t.Error("zero walltime should be rejected")
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	c := NewCluster(2, FIFO)
+	j, err := c.Submit(JobSpec{Name: "a", Nodes: 1, Walltime: 10, Duration: 3,
+		Run: func() string { return "result!" }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != Running {
+		t.Fatalf("job should start immediately on a free cluster, state = %v", j.State)
+	}
+	if _, err := c.Collect(j); err == nil {
+		t.Error("collecting a running job should error")
+	}
+	if err := c.RunUntilDone(100); err != nil {
+		t.Fatal(err)
+	}
+	if j.State != Completed || j.EndTick-j.StartTick != 3 {
+		t.Errorf("job = %v, ran %d ticks", j.State, j.EndTick-j.StartTick)
+	}
+	out, err := c.Collect(j)
+	if err != nil || out != "result!" {
+		t.Errorf("collect = %q, %v", out, err)
+	}
+}
+
+func TestQueueingFIFO(t *testing.T) {
+	c := NewCluster(2, FIFO)
+	big, _ := c.Submit(JobSpec{Name: "big", Nodes: 2, Walltime: 10, Duration: 5})
+	small, _ := c.Submit(JobSpec{Name: "small", Nodes: 1, Walltime: 10, Duration: 1})
+	if big.State != Running || small.State != Pending {
+		t.Fatalf("states: big=%v small=%v", big.State, small.State)
+	}
+	if len(c.Queue()) != 1 {
+		t.Error("queue length")
+	}
+	c.RunUntilDone(100)
+	if small.StartTick < big.EndTick {
+		t.Error("FIFO must not start the small job before the big one finishes")
+	}
+}
+
+func TestWalltimeKill(t *testing.T) {
+	c := NewCluster(1, FIFO)
+	j, _ := c.Submit(JobSpec{Name: "runaway", Nodes: 1, Walltime: 3, Duration: 100})
+	if err := c.RunUntilDone(50); err != nil {
+		t.Fatal(err)
+	}
+	if j.State != Failed || !strings.Contains(j.Reason, "walltime") {
+		t.Errorf("job = %v (%s), want walltime kill", j.State, j.Reason)
+	}
+	if _, err := c.Collect(j); err == nil {
+		t.Error("collecting a failed job should error")
+	}
+	if c.FreeNodes() != 1 {
+		t.Error("killed job must release its nodes")
+	}
+}
+
+func TestBackfillStartsSmallJobsEarly(t *testing.T) {
+	// Cluster of 4: a 2-node job runs; a 4-node job waits at the head;
+	// a short 1-node job can backfill into the idle nodes without
+	// delaying the head.
+	mk := func(policy Policy) (int64, int64) {
+		c := NewCluster(4, policy)
+		c.Submit(JobSpec{Name: "running", Nodes: 2, Walltime: 10, Duration: 10})
+		head, _ := c.Submit(JobSpec{Name: "head", Nodes: 4, Walltime: 10, Duration: 2})
+		tiny, _ := c.Submit(JobSpec{Name: "tiny", Nodes: 1, Walltime: 5, Duration: 3})
+		if err := c.RunUntilDone(200); err != nil {
+			t.Fatal(err)
+		}
+		return tiny.StartTick, head.StartTick
+	}
+	fifoTiny, fifoHead := mk(FIFO)
+	bfTiny, bfHead := mk(Backfill)
+	if !(bfTiny < fifoTiny) {
+		t.Errorf("backfill should start the tiny job earlier: fifo=%d backfill=%d",
+			fifoTiny, bfTiny)
+	}
+	if bfHead > fifoHead {
+		t.Errorf("backfilling must not delay the head: fifo=%d backfill=%d",
+			fifoHead, bfHead)
+	}
+}
+
+func TestBackfillRespectsShadow(t *testing.T) {
+	// A long later job must NOT backfill when it would outlast the
+	// head's shadow start.
+	c := NewCluster(4, Backfill)
+	c.Submit(JobSpec{Name: "running", Nodes: 2, Walltime: 5, Duration: 5})
+	head, _ := c.Submit(JobSpec{Name: "head", Nodes: 4, Walltime: 10, Duration: 2})
+	long, _ := c.Submit(JobSpec{Name: "long", Nodes: 1, Walltime: 50, Duration: 50})
+	if long.State == Running {
+		t.Fatal("long job must not backfill past the head's reservation")
+	}
+	c.RunUntilDone(500)
+	if head.StartTick > 5 {
+		t.Errorf("head delayed to %d by backfill", head.StartTick)
+	}
+}
+
+// TestBatchWorkflow is experiment E12: generate the batch script with the
+// codegen backend, submit it, watch it queue and run, collect the output —
+// the full §6.3 workflow on the simulated cluster.
+func TestBatchWorkflow(t *testing.T) {
+	script := codegen.BatchScript("snap-mapreduce", 2, 8, 10)
+	c := NewCluster(3, Backfill)
+	// Occupy two nodes so the submission has to wait in the queue.
+	blocker, _ := c.Submit(JobSpec{Name: "blocker", Nodes: 2, Walltime: 4, Duration: 4})
+	j, err := c.SubmitScript(script, 3, func() string { return "avg 50 C" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Spec.Name != "snap-mapreduce" || j.Spec.Nodes != 2 || j.Spec.Walltime != 10 {
+		t.Errorf("parsed spec = %+v", j.Spec)
+	}
+	if j.State != Pending {
+		t.Fatal("job should wait in the queue while nodes are busy")
+	}
+	if err := c.RunUntilDone(100); err != nil {
+		t.Fatal(err)
+	}
+	if j.StartTick < blocker.EndTick {
+		t.Error("job ran before nodes were free")
+	}
+	out, err := c.Collect(j)
+	if err != nil || out != "avg 50 C" {
+		t.Errorf("collect = %q, %v", out, err)
+	}
+}
+
+func TestSubmitScriptErrors(t *testing.T) {
+	c := NewCluster(2, FIFO)
+	if _, err := c.SubmitScript("#!/bin/bash\necho hi\n", 1, nil); err == nil {
+		t.Error("script without job name should error")
+	}
+	if _, err := c.SubmitScript("#SBATCH --job-name=x\n#SBATCH --nodes=many\n", 1, nil); err == nil {
+		t.Error("bad nodes should error")
+	}
+	if _, err := c.SubmitScript("#SBATCH --job-name=x\n#SBATCH --time=later\n", 1, nil); err == nil {
+		t.Error("bad time should error")
+	}
+	if _, err := c.SubmitScript("#SBATCH --job-name=x\n#SBATCH --time=a:b:c\n", 1, nil); err == nil {
+		t.Error("non-numeric time should error")
+	}
+}
+
+func TestStateAndPolicyNames(t *testing.T) {
+	if Pending.String() != "PENDING" || Running.String() != "RUNNING" ||
+		Completed.String() != "COMPLETED" || Failed.String() != "FAILED" ||
+		State(9).String() != "STATE(9)" {
+		t.Error("state names")
+	}
+	if FIFO.String() != "fifo" || Backfill.String() != "backfill" {
+		t.Error("policy names")
+	}
+}
+
+func TestClusterMinimumSize(t *testing.T) {
+	c := NewCluster(0, FIFO)
+	if c.FreeNodes() != 1 {
+		t.Error("cluster should clamp to one node")
+	}
+}
+
+func TestDependencies(t *testing.T) {
+	c := NewCluster(4, FIFO)
+	compile, _ := c.Submit(JobSpec{Name: "compile", Nodes: 1, Walltime: 5, Duration: 3,
+		Run: func() string { return "binary" }})
+	run, err := c.Submit(JobSpec{Name: "run", Nodes: 4, Walltime: 5, Duration: 2,
+		After: []int{compile.ID}, Run: func() string { return "result" }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.State != Pending {
+		t.Fatal("dependent job must wait even though nodes are free")
+	}
+	if err := c.RunUntilDone(100); err != nil {
+		t.Fatal(err)
+	}
+	if run.StartTick < compile.EndTick {
+		t.Errorf("dependent job started at %d before dependency ended at %d",
+			run.StartTick, compile.EndTick)
+	}
+	out, err := c.Collect(run)
+	if err != nil || out != "result" {
+		t.Errorf("collect = %q, %v", out, err)
+	}
+}
+
+func TestDependencyFailurePropagates(t *testing.T) {
+	c := NewCluster(2, Backfill)
+	bad, _ := c.Submit(JobSpec{Name: "bad", Nodes: 1, Walltime: 2, Duration: 100})
+	dep, _ := c.Submit(JobSpec{Name: "dep", Nodes: 1, Walltime: 5, Duration: 1,
+		After: []int{bad.ID}})
+	if err := c.RunUntilDone(100); err != nil {
+		t.Fatal(err)
+	}
+	if bad.State != Failed {
+		t.Fatal("walltime kill expected")
+	}
+	if dep.State != Failed || !strings.Contains(dep.Reason, "dependency") {
+		t.Errorf("dependent job = %v (%s), want dependency failure", dep.State, dep.Reason)
+	}
+}
+
+func TestBackfillRespectsDependencies(t *testing.T) {
+	// A small dependent job must not backfill before its dependency
+	// completes, even when it would fit.
+	c := NewCluster(4, Backfill)
+	longDep, _ := c.Submit(JobSpec{Name: "long", Nodes: 2, Walltime: 10, Duration: 6})
+	c.Submit(JobSpec{Name: "head", Nodes: 4, Walltime: 10, Duration: 2})
+	tiny, _ := c.Submit(JobSpec{Name: "tiny", Nodes: 1, Walltime: 2, Duration: 1,
+		After: []int{longDep.ID}})
+	if tiny.State == Running {
+		t.Fatal("dependent tiny job must not start yet")
+	}
+	if err := c.RunUntilDone(200); err != nil {
+		t.Fatal(err)
+	}
+	if tiny.StartTick < longDep.EndTick {
+		t.Errorf("tiny started at %d before its dependency ended at %d",
+			tiny.StartTick, longDep.EndTick)
+	}
+}

@@ -1,0 +1,291 @@
+// Package stage models the Snap! stage at run time: the white area in the
+// upper right of Figure 2 where sprites appear, exhibit their behavior, and
+// display their output. There are no pixels here — a sprite's observable
+// state is its position, heading, visibility, and what it is saying — but
+// that state is exactly what the paper's demos (the dragon of Figure 3, the
+// concession stand of Figures 7–10) read back to show parallelism working.
+package stage
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/value"
+	"repro/internal/vclock"
+)
+
+// Actor is a live sprite (or clone of one) on the stage.
+type Actor struct {
+	// Name is the sprite name; clones share their parent's name and are
+	// distinguished by ID.
+	Name string
+	// ID is unique per actor across the stage's lifetime.
+	ID int
+	// Parent is the actor this one was cloned from; nil for originals.
+	Parent *Actor
+
+	X, Y    float64
+	Heading float64 // degrees, 90 = right, Snap! convention (0 = up)
+	Visible bool
+	Saying  string
+
+	stage *Stage
+}
+
+// IsClone reports whether the actor is a temporary clone.
+func (a *Actor) IsClone() bool { return a.Parent != nil }
+
+// MoveForward moves n steps along the current heading.
+func (a *Actor) MoveForward(n float64) {
+	rad := (90 - a.Heading) * math.Pi / 180
+	a.X += n * math.Cos(rad)
+	a.Y += n * math.Sin(rad)
+	a.stage.trace("%s moves %g", a.Label(), n)
+}
+
+// Turn turns clockwise by deg degrees.
+func (a *Actor) Turn(deg float64) {
+	a.Heading = math.Mod(a.Heading+deg, 360)
+	if a.Heading < 0 {
+		a.Heading += 360
+	}
+	a.stage.trace("%s turns %g", a.Label(), deg)
+}
+
+// GotoXY teleports the actor.
+func (a *Actor) GotoXY(x, y float64) {
+	a.X, a.Y = x, y
+	a.stage.trace("%s goes to (%g, %g)", a.Label(), x, y)
+}
+
+// Say sets the speech balloon, the principal output channel of a Snap!
+// program. Saying the empty string clears the balloon.
+func (a *Actor) Say(text string) {
+	a.Saying = text
+	if text != "" {
+		a.stage.trace("%s says %q", a.Label(), text)
+	}
+}
+
+// Label renders "Name" for originals and "Name#ID" for clones.
+func (a *Actor) Label() string {
+	if a.IsClone() {
+		return fmt.Sprintf("%s#%d", a.Name, a.ID)
+	}
+	return a.Name
+}
+
+// Stage is the shared world all actors live in.
+type Stage struct {
+	mu     sync.Mutex
+	actors []*Actor
+	nextID int
+
+	Clock *vclock.Clock
+	Timer *vclock.Timer
+
+	// Trace accumulates one line per observable action, in order. Tests
+	// and the examples assert against it; it is the textual equivalent
+	// of watching the stage.
+	Trace []string
+
+	// Vars are stage-global watchers (the "timer" style readouts).
+	Vars map[string]value.Value
+}
+
+// New creates an empty stage over the given clock.
+func New(clock *vclock.Clock) *Stage {
+	if clock == nil {
+		clock = vclock.New()
+	}
+	return &Stage{
+		Clock: clock,
+		Timer: vclock.NewTimer(clock),
+		Vars:  map[string]value.Value{},
+	}
+}
+
+// AddActor places a new original sprite on the stage.
+func (s *Stage) AddActor(name string, x, y float64) *Actor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	a := &Actor{Name: name, ID: s.nextID, X: x, Y: y, Heading: 90, Visible: true, stage: s}
+	s.actors = append(s.actors, a)
+	return a
+}
+
+// Clone spawns a clone of the given actor, copying its visible state — the
+// mechanism parallelForEach uses "in a novel way to visually demonstrate
+// parallel behavior" (§3.3).
+func (s *Stage) Clone(parent *Actor) *Actor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	c := &Actor{
+		Name: parent.Name, ID: s.nextID, Parent: parent,
+		X: parent.X, Y: parent.Y, Heading: parent.Heading,
+		Visible: parent.Visible, stage: s,
+	}
+	s.actors = append(s.actors, c)
+	s.traceLocked("%s is cloned as %s", parent.Label(), c.Label())
+	return c
+}
+
+// Remove deletes an actor (clone deletion; originals may be removed too).
+func (s *Stage) Remove(a *Actor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, x := range s.actors {
+		if x == a {
+			s.actors = append(s.actors[:i], s.actors[i+1:]...)
+			s.traceLocked("%s is removed", a.Label())
+			return
+		}
+	}
+}
+
+// Actors returns a snapshot of the live actors.
+func (s *Stage) Actors() []*Actor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Actor, len(s.actors))
+	copy(out, s.actors)
+	return out
+}
+
+// Actor returns the first live actor with the given name, or nil.
+func (s *Stage) Actor(name string) *Actor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.actors {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// CloneCount reports how many clones of the named sprite are live.
+func (s *Stage) CloneCount(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, a := range s.actors {
+		if a.Name == name && a.IsClone() {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot renders the stage as sorted "label@(x,y) saying" lines, a
+// deterministic text rendering of what Figure 9's screenshots show.
+func (s *Stage) Snapshot() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.actors))
+	for _, a := range s.actors {
+		line := fmt.Sprintf("%s@(%g,%g)", a.Label(), round2(a.X), round2(a.Y))
+		if a.Saying != "" {
+			line += fmt.Sprintf(" saying %q", a.Saying)
+		}
+		out = append(out, line)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func round2(f float64) float64 { return math.Round(f*100) / 100 }
+
+func (s *Stage) trace(format string, args ...any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.traceLocked(format, args...)
+}
+
+func (s *Stage) traceLocked(format string, args ...any) {
+	s.Trace = append(s.Trace, fmt.Sprintf("[t=%d] ", s.Clock.Now())+fmt.Sprintf(format, args...))
+}
+
+// TraceLines returns a copy of the trace.
+func (s *Stage) TraceLines() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.Trace))
+	copy(out, s.Trace)
+	return out
+}
+
+// Render draws the stage as ASCII art: a cols×rows grid over Snap!'s
+// standard stage coordinates (x ∈ [-240, 240], y ∈ [-180, 180]), each
+// visible actor marked by the first rune of its name, speech balloons
+// listed below — a terminal-sized stand-in for the white area of Figure 2.
+func (s *Stage) Render(cols, rows int) string {
+	if cols < 8 {
+		cols = 8
+	}
+	if rows < 4 {
+		rows = 4
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	grid := make([][]rune, rows)
+	for r := range grid {
+		grid[r] = make([]rune, cols)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	var balloons []string
+	for _, a := range s.actors {
+		if !a.Visible {
+			continue
+		}
+		col := int((a.X + 240) / 480 * float64(cols-1))
+		row := int((180 - a.Y) / 360 * float64(rows-1))
+		if col < 0 {
+			col = 0
+		}
+		if col >= cols {
+			col = cols - 1
+		}
+		if row < 0 {
+			row = 0
+		}
+		if row >= rows {
+			row = rows - 1
+		}
+		mark := '?'
+		for _, r := range a.Name {
+			mark = r
+			break
+		}
+		grid[row][col] = mark
+		if a.Saying != "" {
+			balloons = append(balloons, fmt.Sprintf("%s: %q", a.Label(), a.Saying))
+		}
+	}
+	var b []byte
+	border := make([]byte, cols+2)
+	border[0], border[cols+1] = '+', '+'
+	for i := 1; i <= cols; i++ {
+		border[i] = '-'
+	}
+	b = append(b, border...)
+	b = append(b, '\n')
+	for _, row := range grid {
+		b = append(b, '|')
+		b = append(b, string(row)...)
+		b = append(b, '|', '\n')
+	}
+	b = append(b, border...)
+	b = append(b, '\n')
+	sort.Strings(balloons)
+	for _, line := range balloons {
+		b = append(b, "  "+line+"\n"...)
+	}
+	return string(b)
+}

@@ -1,0 +1,132 @@
+package stage
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+func TestActorMotion(t *testing.T) {
+	s := New(nil)
+	a := s.AddActor("Dragon", 0, 0)
+	if a.Heading != 90 {
+		t.Fatalf("default heading = %g, want 90 (facing right)", a.Heading)
+	}
+	a.MoveForward(10)
+	if math.Abs(a.X-10) > 1e-9 || math.Abs(a.Y) > 1e-9 {
+		t.Errorf("after forward 10: (%g,%g)", a.X, a.Y)
+	}
+	a.Turn(-90) // face up
+	a.MoveForward(5)
+	if math.Abs(a.X-10) > 1e-9 || math.Abs(a.Y-5) > 1e-9 {
+		t.Errorf("after turn+forward: (%g,%g)", a.X, a.Y)
+	}
+	if a.Heading != 0 {
+		t.Errorf("heading = %g, want 0", a.Heading)
+	}
+	a.Turn(-30)
+	if a.Heading != 330 {
+		t.Errorf("heading wraps to %g, want 330", a.Heading)
+	}
+	a.GotoXY(-3, 4)
+	if a.X != -3 || a.Y != 4 {
+		t.Error("gotoXY failed")
+	}
+}
+
+func TestCloning(t *testing.T) {
+	s := New(nil)
+	p := s.AddActor("Pitcher", 1, 2)
+	p.Heading = 45
+	c := s.Clone(p)
+	if !c.IsClone() || c.Parent != p {
+		t.Fatal("clone parentage")
+	}
+	if c.X != 1 || c.Y != 2 || c.Heading != 45 {
+		t.Error("clone should copy parent state")
+	}
+	if c.Label() == p.Label() {
+		t.Error("clone label must be distinguishable")
+	}
+	if s.CloneCount("Pitcher") != 1 {
+		t.Error("clone count")
+	}
+	s.Remove(c)
+	if s.CloneCount("Pitcher") != 0 {
+		t.Error("clone count after removal")
+	}
+	if len(s.Actors()) != 1 {
+		t.Error("actor roster after removal")
+	}
+	s.Remove(c) // removing twice is harmless
+}
+
+func TestSayAndTrace(t *testing.T) {
+	c := vclock.New()
+	s := New(c)
+	a := s.AddActor("Cup", 0, 0)
+	c.Tick()
+	a.Say("full!")
+	if a.Saying != "full!" {
+		t.Error("saying not set")
+	}
+	lines := s.TraceLines()
+	if len(lines) != 1 || !strings.Contains(lines[0], `[t=1] Cup says "full!"`) {
+		t.Errorf("trace = %v", lines)
+	}
+	a.Say("") // clearing the balloon is not traced
+	if len(s.TraceLines()) != 1 {
+		t.Error("clearing balloon should not trace")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	s := New(nil)
+	b := s.AddActor("B", 1, 1)
+	s.AddActor("A", 0, 0)
+	b.Say("hi")
+	snap := s.Snapshot()
+	if len(snap) != 2 || snap[0] != "A@(0,0)" || snap[1] != `B@(1,1) saying "hi"` {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestActorLookup(t *testing.T) {
+	s := New(nil)
+	a := s.AddActor("X", 0, 0)
+	if s.Actor("X") != a || s.Actor("Y") != nil {
+		t.Error("lookup")
+	}
+}
+
+func TestRender(t *testing.T) {
+	s := New(nil)
+	s.AddActor("Pitcher", -240, 180) // top-left corner
+	cup := s.AddActor("Cup1", 240, -180)
+	cup.Say("full!")
+	hidden := s.AddActor("Ghost", 0, 0)
+	hidden.Visible = false
+	out := s.Render(20, 6)
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[0], "+----") {
+		t.Errorf("missing border: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "P") {
+		t.Errorf("Pitcher missing from top row: %q", lines[1])
+	}
+	if !strings.Contains(lines[6], "C") {
+		t.Errorf("Cup missing from bottom row: %q", lines[6])
+	}
+	if strings.Contains(out, "G") {
+		t.Error("hidden actor rendered")
+	}
+	if !strings.Contains(out, `Cup1: "full!"`) {
+		t.Errorf("balloon missing:\n%s", out)
+	}
+	// Clamped minimum size must not panic.
+	if s.Render(1, 1) == "" {
+		t.Error("tiny render empty")
+	}
+}

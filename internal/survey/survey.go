@@ -1,0 +1,227 @@
+// Package survey reproduces the assessment of §5: the survey run at the
+// 18th Annual Women in Computing Day (WCD) at Virginia Tech, and the
+// event's session logistics (four groups of 24–25 students rotating
+// through four 50-minute activities).
+//
+// The paper reports only aggregate percentages; the raw responses are a
+// data gate. The canonical dataset below is synthesized so that the
+// paper's tabulation comes out exactly: 29% / 54% / 17% on the career
+// question, 57% of the non-CS respondents on the benefit question, and
+// 86% / 9% / 6% on the impression question (the paper's impression row
+// sums to 101% — rounding in the original; our dataset reproduces the
+// same rounded figures).
+package survey
+
+import (
+	"fmt"
+	"math"
+)
+
+// CareerAnswer is question 1: "whether computer science would be a
+// potential career choice for them".
+type CareerAnswer int
+
+// The career answers.
+const (
+	CareerCS CareerAnswer = iota
+	CareerOther
+	CareerNoAnswer
+)
+
+// Impression is question 3: impression of computer science after the
+// activity, versus before.
+type Impression int
+
+// The impression answers.
+const (
+	MoreFavorable Impression = iota
+	LessFavorable
+	SameOrNoOpinion
+)
+
+// Response is one middle schooler's survey form.
+type Response struct {
+	Career CareerAnswer
+	// BenefitsCareer is question 2, asked of those whose career choice
+	// is not CS: would CS benefit their chosen career?
+	BenefitsCareer bool
+	Impression     Impression
+}
+
+// Tabulation is the aggregate §5 reports.
+type Tabulation struct {
+	N int
+	// Career percentages (rounded to whole percent, as the paper
+	// reports them).
+	CareerCSPct, CareerOtherPct, CareerNoAnswerPct int
+	// BenefitPct is the share of non-CS-career respondents who said CS
+	// would benefit their chosen career.
+	BenefitPct int
+	// Impression percentages.
+	MoreFavorablePct, LessFavorablePct, SamePct int
+}
+
+// Tabulate computes the paper's three result rows from raw responses.
+func Tabulate(responses []Response) Tabulation {
+	t := Tabulation{N: len(responses)}
+	if t.N == 0 {
+		return t
+	}
+	var cs, other, noAns, benefit, more, less, same int
+	for _, r := range responses {
+		switch r.Career {
+		case CareerCS:
+			cs++
+		case CareerOther:
+			other++
+			if r.BenefitsCareer {
+				benefit++
+			}
+		default:
+			noAns++
+		}
+		switch r.Impression {
+		case MoreFavorable:
+			more++
+		case LessFavorable:
+			less++
+		default:
+			same++
+		}
+	}
+	pct := func(part, whole int) int {
+		if whole == 0 {
+			return 0
+		}
+		return int(math.Round(100 * float64(part) / float64(whole)))
+	}
+	t.CareerCSPct = pct(cs, t.N)
+	t.CareerOtherPct = pct(other, t.N)
+	t.CareerNoAnswerPct = pct(noAns, t.N)
+	t.BenefitPct = pct(benefit, other)
+	t.MoreFavorablePct = pct(more, t.N)
+	t.LessFavorablePct = pct(less, t.N)
+	t.SamePct = pct(same, t.N)
+	return t
+}
+
+// String renders the tabulation as the three sentences of §5.
+func (t Tabulation) String() string {
+	return fmt.Sprintf(
+		"career: %d%% CS, %d%% other, %d%% no answer; "+
+			"%d%% of non-CS say CS benefits their career; "+
+			"impression: %d%% more favorable, %d%% less, %d%% same",
+		t.CareerCSPct, t.CareerOtherPct, t.CareerNoAnswerPct,
+		t.BenefitPct,
+		t.MoreFavorablePct, t.LessFavorablePct, t.SamePct)
+}
+
+// CanonicalWCD synthesizes the N=104 response set ("approximately 100
+// seventh-grade girls") whose tabulation reproduces §5's percentages
+// exactly: 30 CS / 56 other / 18 no answer; 32 of the 56 say CS benefits
+// their career; 89 more favorable / 9 less / 6 same.
+func CanonicalWCD() []Response {
+	var out []Response
+	add := func(n int, r Response) {
+		for i := 0; i < n; i++ {
+			out = append(out, r)
+		}
+	}
+	// Impressions are distributed across the career groups; only the
+	// totals matter to the tabulation: 89 more, 9 less, 6 same.
+	add(28, Response{Career: CareerCS, Impression: MoreFavorable})
+	add(2, Response{Career: CareerCS, Impression: SameOrNoOpinion})
+	add(32, Response{Career: CareerOther, BenefitsCareer: true, Impression: MoreFavorable})
+	add(17, Response{Career: CareerOther, Impression: MoreFavorable})
+	add(5, Response{Career: CareerOther, Impression: LessFavorable})
+	add(2, Response{Career: CareerOther, Impression: SameOrNoOpinion})
+	add(12, Response{Career: CareerNoAnswer, Impression: MoreFavorable})
+	add(4, Response{Career: CareerNoAnswer, Impression: LessFavorable})
+	add(2, Response{Career: CareerNoAnswer, Impression: SameOrNoOpinion})
+	return out
+}
+
+// --- WCD session logistics ---
+
+// SessionPlan is the event schedule: groups rotating through activities.
+type SessionPlan struct {
+	// Groups maps group index -> the activity index it attends in each
+	// of the four 50-minute slots.
+	Groups [][]int
+	// Activities are the activity names; parallel Snap! is one of them.
+	Activities []string
+	// MinutesPerSession is the slot length (50 in §5).
+	MinutesPerSession int
+}
+
+// PlanWCD builds the §5 rotation: nGroups groups cycling through
+// len(activities) sessions so every group attends every activity exactly
+// once — "each group cycle[s] through four parallel 50-minute activity
+// sessions".
+func PlanWCD(nGroups int, activities []string, minutes int) (*SessionPlan, error) {
+	if nGroups != len(activities) {
+		return nil, fmt.Errorf("rotation needs as many groups (%d) as activities (%d)",
+			nGroups, len(activities))
+	}
+	p := &SessionPlan{Activities: activities, MinutesPerSession: minutes}
+	for g := 0; g < nGroups; g++ {
+		row := make([]int, len(activities))
+		for slot := range row {
+			row[slot] = (g + slot) % len(activities)
+		}
+		p.Groups = append(p.Groups, row)
+	}
+	return p, nil
+}
+
+// Validate checks the rotation invariants: every group sees every activity
+// exactly once, and no two groups share an activity in the same slot.
+func (p *SessionPlan) Validate() error {
+	for g, row := range p.Groups {
+		seen := map[int]bool{}
+		for _, a := range row {
+			if seen[a] {
+				return fmt.Errorf("group %d repeats activity %d", g, a)
+			}
+			seen[a] = true
+		}
+		if len(seen) != len(p.Activities) {
+			return fmt.Errorf("group %d misses an activity", g)
+		}
+	}
+	for slot := 0; slot < len(p.Activities); slot++ {
+		seen := map[int]bool{}
+		for g, row := range p.Groups {
+			if seen[row[slot]] {
+				return fmt.Errorf("slot %d double-books activity %d (group %d)",
+					slot, row[slot], g)
+			}
+			seen[row[slot]] = true
+		}
+	}
+	return nil
+}
+
+// SessionsTaught reports, for the named activity, how many separate
+// cohorts its instructors teach — §5's "every 50 minutes, our task
+// entailed teaching a new set of 24-25 girls".
+func (p *SessionPlan) SessionsTaught(activity string) int {
+	idx := -1
+	for i, a := range p.Activities {
+		if a == activity {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return 0
+	}
+	count := 0
+	for _, row := range p.Groups {
+		for _, a := range row {
+			if a == idx {
+				count++
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,124 @@
+package survey
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestSurveySection5 is experiment E9: the canonical WCD dataset must
+// tabulate to exactly the percentages §5 reports.
+func TestSurveySection5(t *testing.T) {
+	tab := Tabulate(CanonicalWCD())
+	if tab.N != 104 {
+		t.Errorf("N = %d, want 104 (approximately 100 middle schoolers)", tab.N)
+	}
+	if tab.CareerCSPct != 29 || tab.CareerOtherPct != 54 || tab.CareerNoAnswerPct != 17 {
+		t.Errorf("career = %d/%d/%d, paper reports 29/54/17",
+			tab.CareerCSPct, tab.CareerOtherPct, tab.CareerNoAnswerPct)
+	}
+	if tab.BenefitPct != 57 {
+		t.Errorf("benefit = %d%%, paper reports 57%%", tab.BenefitPct)
+	}
+	if tab.MoreFavorablePct != 86 || tab.LessFavorablePct != 9 || tab.SamePct != 6 {
+		t.Errorf("impression = %d/%d/%d, paper reports 86/9/6",
+			tab.MoreFavorablePct, tab.LessFavorablePct, tab.SamePct)
+	}
+}
+
+func TestTabulationString(t *testing.T) {
+	s := Tabulate(CanonicalWCD()).String()
+	want := "career: 29% CS, 54% other, 17% no answer; " +
+		"57% of non-CS say CS benefits their career; " +
+		"impression: 86% more favorable, 9% less, 6% same"
+	if s != want {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestTabulateEmptyAndEdge(t *testing.T) {
+	tab := Tabulate(nil)
+	if tab.N != 0 || tab.CareerCSPct != 0 || tab.BenefitPct != 0 {
+		t.Error("empty tabulation should be zero")
+	}
+	// All-CS respondents: benefit question has no denominators.
+	tab = Tabulate([]Response{{Career: CareerCS}})
+	if tab.BenefitPct != 0 {
+		t.Error("benefit with no non-CS respondents should be 0")
+	}
+	if tab.CareerCSPct != 100 {
+		t.Error("single CS respondent should be 100%")
+	}
+}
+
+// Property: the career percentages always describe a partition — each in
+// [0,100] and summing to 100 ± rounding slack.
+func TestPropertyPercentagesPartition(t *testing.T) {
+	f := func(picks []uint8) bool {
+		if len(picks) == 0 {
+			return true
+		}
+		rs := make([]Response, len(picks))
+		for i, p := range picks {
+			rs[i] = Response{
+				Career:         CareerAnswer(p % 3),
+				BenefitsCareer: p%2 == 0,
+				Impression:     Impression(p % 3),
+			}
+		}
+		tab := Tabulate(rs)
+		sum := tab.CareerCSPct + tab.CareerOtherPct + tab.CareerNoAnswerPct
+		if sum < 98 || sum > 102 {
+			return false
+		}
+		sum = tab.MoreFavorablePct + tab.LessFavorablePct + tab.SamePct
+		return sum >= 98 && sum <= 102
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanWCD(t *testing.T) {
+	activities := []string{"parallel Snap!", "robotics", "crypto", "design"}
+	p, err := PlanWCD(4, activities, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("rotation invalid: %v", err)
+	}
+	// §5: "every 50 minutes, our task entailed teaching a new set of
+	// 24-25 girls" — the Snap! activity teaches four cohorts.
+	if got := p.SessionsTaught("parallel Snap!"); got != 4 {
+		t.Errorf("Snap! sessions = %d, want 4", got)
+	}
+	if p.SessionsTaught("underwater basket weaving") != 0 {
+		t.Error("unknown activity should teach zero sessions")
+	}
+	if p.MinutesPerSession != 50 {
+		t.Error("session length")
+	}
+}
+
+func TestPlanWCDErrors(t *testing.T) {
+	if _, err := PlanWCD(3, []string{"a", "b"}, 50); err == nil {
+		t.Error("mismatched groups/activities should error")
+	}
+}
+
+func TestValidateCatchesBadPlans(t *testing.T) {
+	p := &SessionPlan{
+		Activities: []string{"a", "b"},
+		Groups:     [][]int{{0, 0}, {1, 0}},
+	}
+	if err := p.Validate(); err == nil {
+		t.Error("repeated activity should fail validation")
+	}
+	p = &SessionPlan{
+		Activities: []string{"a", "b"},
+		Groups:     [][]int{{0, 1}, {0, 1}},
+	}
+	if err := p.Validate(); err == nil {
+		t.Error("double-booked slot should fail validation")
+	}
+}

@@ -1,0 +1,64 @@
+package value
+
+import "strings"
+
+// Equal implements Snap!'s "=" block semantics: numeric comparison when both
+// sides coerce to numbers, case-insensitive text comparison otherwise, and
+// structural (deep) comparison for lists. Rings and opaque values compare
+// by identity.
+func Equal(a, b Value) bool {
+	if a == nil {
+		a = Nothing{}
+	}
+	if b == nil {
+		b = Nothing{}
+	}
+	la, aIsList := a.(*List)
+	lb, bIsList := b.(*List)
+	if aIsList || bIsList {
+		if !aIsList || !bIsList {
+			return false
+		}
+		if la.Len() != lb.Len() {
+			return false
+		}
+		for i := range la.items {
+			if !Equal(la.items[i], lb.items[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	// Numeric comparison when both sides are numeric (number, bool, or
+	// numeric text) — Snap! treats "3" = 3 as true.
+	na, errA := ToNumber(a)
+	nb, errB := ToNumber(b)
+	if errA == nil && errB == nil {
+		return na == nb
+	}
+	if a.Kind() == KindRing || b.Kind() == KindRing ||
+		a.Kind() == KindOpaque || b.Kind() == KindOpaque {
+		return a == b
+	}
+	// Fall back to case-insensitive text comparison, as Snap! does.
+	return strings.EqualFold(a.String(), b.String())
+}
+
+// Less implements Snap!'s "<" block: numeric when possible, otherwise
+// case-insensitive lexicographic.
+func Less(a, b Value) (bool, error) {
+	na, errA := ToNumber(a)
+	nb, errB := ToNumber(b)
+	if errA == nil && errB == nil {
+		return na < nb, nil
+	}
+	sa := strings.ToLower(a.String())
+	sb := strings.ToLower(b.String())
+	return sa < sb, nil
+}
+
+// Greater implements Snap!'s ">" block.
+func Greater(a, b Value) (bool, error) {
+	lt, err := Less(b, a)
+	return lt, err
+}

@@ -1,0 +1,106 @@
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ToNumber coerces a value to a Number following Snap!'s (JavaScript's)
+// loose rules: numbers pass through, booleans become 0/1, numeric text
+// parses, and everything else is an error (Snap! shows a red halo).
+func ToNumber(v Value) (Number, error) {
+	switch x := v.(type) {
+	case nil:
+		return 0, nil
+	case Number:
+		return x, nil
+	case Bool:
+		if x {
+			return 1, nil
+		}
+		return 0, nil
+	case Text:
+		s := strings.TrimSpace(string(x))
+		if s == "" {
+			return 0, nil
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("expecting a number but getting text %q", s)
+		}
+		return Number(f), nil
+	case Nothing:
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("expecting a number but getting a %s", v.Kind())
+	}
+}
+
+// ToBool coerces a value to a Bool. Snap! accepts booleans and the texts
+// "true"/"false"; everything else errors.
+func ToBool(v Value) (Bool, error) {
+	switch x := v.(type) {
+	case nil:
+		return false, nil
+	case Bool:
+		return x, nil
+	case Text:
+		switch strings.ToLower(strings.TrimSpace(string(x))) {
+		case "true":
+			return true, nil
+		case "false":
+			return false, nil
+		}
+		return false, fmt.Errorf("expecting a boolean but getting text %q", string(x))
+	case Nothing:
+		return false, nil
+	default:
+		return false, fmt.Errorf("expecting a boolean but getting a %s", v.Kind())
+	}
+}
+
+// ToText coerces any value to its textual rendering. ToText never fails;
+// every value has a display string.
+func ToText(v Value) Text {
+	if v == nil {
+		return ""
+	}
+	return Text(v.String())
+}
+
+// ToList coerces v to a *List. Lists pass through; any other value becomes
+// a one-item list, mirroring how Snap!'s list-ingesting blocks behave.
+func ToList(v Value) *List {
+	if l, ok := v.(*List); ok {
+		return l
+	}
+	if v == nil {
+		return NewList()
+	}
+	if _, ok := v.(Nothing); ok {
+		return NewList()
+	}
+	return NewList(v)
+}
+
+// ToInt coerces to a Go int, erroring when the number is not integral.
+func ToInt(v Value) (int, error) {
+	n, err := ToNumber(v)
+	if err != nil {
+		return 0, err
+	}
+	if !n.IsInt() {
+		return 0, fmt.Errorf("expecting a whole number but getting %s", n)
+	}
+	return int(n), nil
+}
+
+// IsNothing reports whether v is absent (nil or Nothing).
+func IsNothing(v Value) bool {
+	if v == nil {
+		return true
+	}
+	_, ok := v.(Nothing)
+	return ok
+}

@@ -1,0 +1,393 @@
+// Package value implements the Snap! data model used throughout pblocks.
+//
+// Snap! is dynamically typed. A slot in a block may hold a number, a piece
+// of text, a boolean, "nothing" (an empty slot), a first-class list, or a
+// first-class procedure (a "ring"). This package defines the Value
+// interface shared by all of those, the concrete scalar and list types, and
+// the structured-clone deep copy used when values cross a worker boundary
+// (workers are share-nothing, exactly like HTML5 Web Workers).
+//
+// Rings are defined in package blocks (they close over block ASTs) but
+// implement the Value interface declared here, so lists may contain rings,
+// rings may return rings, and so on — first-class procedures per §2 of the
+// paper.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the dynamic type of a Value.
+type Kind int
+
+// The dynamic types of the Snap! data model.
+const (
+	KindNothing Kind = iota
+	KindBool
+	KindNumber
+	KindText
+	KindList
+	KindRing   // first-class procedure; concrete type lives in package blocks
+	KindOpaque // host values (worker handles, parallel jobs) stored in context scratch
+)
+
+// String returns the lower-case name of the kind, matching the names Snap!
+// shows in its "type of" reporter.
+func (k Kind) String() string {
+	switch k {
+	case KindNothing:
+		return "nothing"
+	case KindBool:
+		return "boolean"
+	case KindNumber:
+		return "number"
+	case KindText:
+		return "text"
+	case KindList:
+		return "list"
+	case KindRing:
+		return "ring"
+	case KindOpaque:
+		return "opaque"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Value is any datum that can occupy a block input slot or a list cell.
+type Value interface {
+	// Kind reports the dynamic type.
+	Kind() Kind
+	// String renders the value the way Snap! would display it in a
+	// speech balloon or watcher.
+	String() string
+	// Clone produces a structured clone: a deep copy sharing no mutable
+	// state with the original. Rings clone to themselves (procedures are
+	// immutable once reified); opaque host values refuse to clone and
+	// instead return themselves, mirroring the browser's inability to
+	// postMessage such objects.
+	Clone() Value
+}
+
+// Nothing is the absent value: an empty input slot, or the result of a
+// command block.
+type Nothing struct{}
+
+// Kind implements Value.
+func (Nothing) Kind() Kind { return KindNothing }
+
+// String implements Value; Snap! displays nothing as an empty string.
+func (Nothing) String() string { return "" }
+
+// Clone implements Value.
+func (Nothing) Clone() Value { return Nothing{} }
+
+// Bool is a Snap! boolean.
+type Bool bool
+
+// Kind implements Value.
+func (Bool) Kind() Kind { return KindBool }
+
+// String implements Value.
+func (b Bool) String() string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// Clone implements Value.
+func (b Bool) Clone() Value { return b }
+
+// Number is a Snap! number. Snap! (being JavaScript) has a single numeric
+// type, an IEEE-754 double; so do we.
+type Number float64
+
+// Kind implements Value.
+func (Number) Kind() Kind { return KindNumber }
+
+// String renders integers without a decimal point, as Snap! does.
+func (n Number) String() string {
+	f := float64(n)
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Clone implements Value.
+func (n Number) Clone() Value { return n }
+
+// IsInt reports whether the number holds an exact integer.
+func (n Number) IsInt() bool {
+	f := float64(n)
+	return f == math.Trunc(f) && !math.IsInf(f, 0)
+}
+
+// Text is a Snap! text string.
+type Text string
+
+// Kind implements Value.
+func (Text) Kind() Kind { return KindText }
+
+// String implements Value.
+func (t Text) String() string { return string(t) }
+
+// Clone implements Value.
+func (t Text) Clone() Value { return t }
+
+// Opaque wraps a host Go value (for example a parallel job handle) so it can
+// be stashed in a context's input scratch, the way Listing 2 of the paper
+// stores the Parallel object in this.context.inputs[3]. Opaque values are
+// not cloneable across workers and not renderable.
+type Opaque struct {
+	// Tag names what the payload is, for diagnostics.
+	Tag string
+	// Payload is the host value.
+	Payload any
+}
+
+// Kind implements Value.
+func (*Opaque) Kind() Kind { return KindOpaque }
+
+// String implements Value.
+func (o *Opaque) String() string { return "<" + o.Tag + ">" }
+
+// Clone implements Value. Opaque handles are host-side and cannot be deep
+// copied; Clone returns the same handle.
+func (o *Opaque) Clone() Value { return o }
+
+// List is a first-class Snap! list. Lists have reference semantics: two
+// variables may hold the same list, and mutation through one is visible
+// through the other — exactly like Snap! (and unlike Scratch, which has no
+// first-class lists at all).
+type List struct {
+	items []Value
+}
+
+// NewList builds a list holding the given items. The slice is copied, the
+// items are not (reference semantics).
+func NewList(items ...Value) *List {
+	l := &List{items: make([]Value, len(items))}
+	copy(l.items, items)
+	return l
+}
+
+// NewListCap builds an empty list with capacity for n items.
+func NewListCap(n int) *List { return &List{items: make([]Value, 0, n)} }
+
+// FromFloats builds a list of Numbers.
+func FromFloats(xs []float64) *List {
+	l := &List{items: make([]Value, len(xs))}
+	for i, x := range xs {
+		l.items[i] = Number(x)
+	}
+	return l
+}
+
+// FromStrings builds a list of Texts.
+func FromStrings(ss []string) *List {
+	l := &List{items: make([]Value, len(ss))}
+	for i, s := range ss {
+		l.items[i] = Text(s)
+	}
+	return l
+}
+
+// FromInts builds a list of Numbers from ints.
+func FromInts(xs []int) *List {
+	l := &List{items: make([]Value, len(xs))}
+	for i, x := range xs {
+		l.items[i] = Number(float64(x))
+	}
+	return l
+}
+
+// Range builds the list (from, from+step, ..., to) inclusive, Snap!'s
+// "numbers from _ to _" reporter generalized with a step.
+func Range(from, to, step float64) *List {
+	if step == 0 {
+		step = 1
+	}
+	l := &List{}
+	if step > 0 {
+		for x := from; x <= to; x += step {
+			l.items = append(l.items, Number(x))
+		}
+	} else {
+		for x := from; x >= to; x += step {
+			l.items = append(l.items, Number(x))
+		}
+	}
+	return l
+}
+
+// Kind implements Value.
+func (*List) Kind() Kind { return KindList }
+
+// String renders the list the way a Snap! watcher does: items separated by
+// spaces inside brackets; nested lists nest.
+func (l *List) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, it := range l.items {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if it == nil {
+			continue
+		}
+		b.WriteString(it.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Clone implements Value with a structured clone: a deep copy of the list
+// spine and, recursively, of every item.
+func (l *List) Clone() Value {
+	c := &List{items: make([]Value, len(l.items))}
+	for i, it := range l.items {
+		if it == nil {
+			c.items[i] = Nothing{}
+			continue
+		}
+		c.items[i] = it.Clone()
+	}
+	return c
+}
+
+// Len reports the number of items.
+func (l *List) Len() int { return len(l.items) }
+
+// Item returns the 1-based item i, matching Snap!'s 1-based "item _ of _".
+// It returns an error for out-of-range indices, like Snap!'s red error halo.
+func (l *List) Item(i int) (Value, error) {
+	if i < 1 || i > len(l.items) {
+		return nil, fmt.Errorf("list index %d out of range [1..%d]", i, len(l.items))
+	}
+	v := l.items[i-1]
+	if v == nil {
+		return Nothing{}, nil
+	}
+	return v, nil
+}
+
+// MustItem is Item for indices the caller has already bounds-checked;
+// it panics on a bad index.
+func (l *List) MustItem(i int) Value {
+	v, err := l.Item(i)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// SetItem replaces the 1-based item i.
+func (l *List) SetItem(i int, v Value) error {
+	if i < 1 || i > len(l.items) {
+		return fmt.Errorf("list index %d out of range [1..%d]", i, len(l.items))
+	}
+	l.items[i-1] = v
+	return nil
+}
+
+// Add appends v to the end of the list (Snap!'s "add _ to _").
+func (l *List) Add(v Value) { l.items = append(l.items, v) }
+
+// InsertAt inserts v so it becomes the 1-based item i. i may be Len()+1,
+// which appends.
+func (l *List) InsertAt(i int, v Value) error {
+	if i < 1 || i > len(l.items)+1 {
+		return fmt.Errorf("list insert index %d out of range [1..%d]", i, len(l.items)+1)
+	}
+	l.items = append(l.items, nil)
+	copy(l.items[i:], l.items[i-1:])
+	l.items[i-1] = v
+	return nil
+}
+
+// DeleteAt removes the 1-based item i.
+func (l *List) DeleteAt(i int) error {
+	if i < 1 || i > len(l.items) {
+		return fmt.Errorf("list delete index %d out of range [1..%d]", i, len(l.items))
+	}
+	copy(l.items[i-1:], l.items[i:])
+	l.items = l.items[:len(l.items)-1]
+	return nil
+}
+
+// Clear removes all items.
+func (l *List) Clear() { l.items = l.items[:0] }
+
+// Contains reports whether the list contains an item equal (per Equal) to v.
+func (l *List) Contains(v Value) bool {
+	for _, it := range l.items {
+		if Equal(it, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// IndexOf returns the 1-based index of the first item equal to v, or 0.
+func (l *List) IndexOf(v Value) int {
+	for i, it := range l.items {
+		if Equal(it, v) {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Items returns the backing slice. Callers must treat it as read-only; it
+// is exposed for iteration without per-item bounds checks.
+func (l *List) Items() []Value { return l.items }
+
+// Append appends all items of other (by reference) to l.
+func (l *List) Append(other *List) {
+	l.items = append(l.items, other.items...)
+}
+
+// Slice returns a new list holding items from..to inclusive, 1-based.
+func (l *List) Slice(from, to int) (*List, error) {
+	if from < 1 {
+		from = 1
+	}
+	if to > len(l.items) {
+		to = len(l.items)
+	}
+	if from > to {
+		return NewList(), nil
+	}
+	out := &List{items: make([]Value, to-from+1)}
+	copy(out.items, l.items[from-1:to])
+	return out, nil
+}
+
+// Floats converts a list of numbers (or numeric text) to a float slice.
+func (l *List) Floats() ([]float64, error) {
+	out := make([]float64, len(l.items))
+	for i, it := range l.items {
+		n, err := ToNumber(it)
+		if err != nil {
+			return nil, fmt.Errorf("item %d: %w", i+1, err)
+		}
+		out[i] = float64(n)
+	}
+	return out, nil
+}
+
+// Strings converts every item to its display string.
+func (l *List) Strings() []string {
+	out := make([]string, len(l.items))
+	for i, it := range l.items {
+		if it == nil {
+			continue
+		}
+		out[i] = it.String()
+	}
+	return out
+}

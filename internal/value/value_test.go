@@ -1,0 +1,455 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		KindNothing: "nothing",
+		KindBool:    "boolean",
+		KindNumber:  "number",
+		KindText:    "text",
+		KindList:    "list",
+		KindRing:    "ring",
+		KindOpaque:  "opaque",
+		Kind(99):    "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestNumberString(t *testing.T) {
+	cases := []struct {
+		n    Number
+		want string
+	}{
+		{0, "0"},
+		{3, "3"},
+		{-7, "-7"},
+		{30, "30"},
+		{3.5, "3.5"},
+		{-0.25, "-0.25"},
+		{1e20, "1e+20"},
+	}
+	for _, c := range cases {
+		if got := c.n.String(); got != c.want {
+			t.Errorf("Number(%v).String() = %q, want %q", float64(c.n), got, c.want)
+		}
+	}
+}
+
+func TestNumberIsInt(t *testing.T) {
+	if !Number(4).IsInt() {
+		t.Error("4 should be an int")
+	}
+	if Number(4.5).IsInt() {
+		t.Error("4.5 should not be an int")
+	}
+	if Number(math.Inf(1)).IsInt() {
+		t.Error("+Inf should not be an int")
+	}
+}
+
+func TestBoolAndNothing(t *testing.T) {
+	if Bool(true).String() != "true" || Bool(false).String() != "false" {
+		t.Error("bool rendering wrong")
+	}
+	if (Nothing{}).String() != "" {
+		t.Error("nothing should render empty")
+	}
+	if (Nothing{}).Kind() != KindNothing {
+		t.Error("nothing kind wrong")
+	}
+}
+
+func TestListBasics(t *testing.T) {
+	l := NewList(Number(3), Number(7), Number(8))
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	v, err := l.Item(2)
+	if err != nil || v.(Number) != 7 {
+		t.Fatalf("Item(2) = %v, %v", v, err)
+	}
+	if _, err := l.Item(0); err == nil {
+		t.Error("Item(0) should error")
+	}
+	if _, err := l.Item(4); err == nil {
+		t.Error("Item(4) should error")
+	}
+	if l.String() != "[3 7 8]" {
+		t.Errorf("String = %q", l.String())
+	}
+}
+
+func TestListMutation(t *testing.T) {
+	l := NewList()
+	l.Add(Text("a"))
+	l.Add(Text("c"))
+	if err := l.InsertAt(2, Text("b")); err != nil {
+		t.Fatal(err)
+	}
+	if l.String() != "[a b c]" {
+		t.Fatalf("after insert: %q", l.String())
+	}
+	if err := l.DeleteAt(1); err != nil {
+		t.Fatal(err)
+	}
+	if l.String() != "[b c]" {
+		t.Fatalf("after delete: %q", l.String())
+	}
+	if err := l.SetItem(2, Text("z")); err != nil {
+		t.Fatal(err)
+	}
+	if l.String() != "[b z]" {
+		t.Fatalf("after set: %q", l.String())
+	}
+	if err := l.InsertAt(0, Text("x")); err == nil {
+		t.Error("InsertAt(0) should error")
+	}
+	if err := l.DeleteAt(9); err == nil {
+		t.Error("DeleteAt(9) should error")
+	}
+	if err := l.SetItem(9, Text("x")); err == nil {
+		t.Error("SetItem(9) should error")
+	}
+	l.Clear()
+	if l.Len() != 0 {
+		t.Error("Clear left items")
+	}
+}
+
+func TestListReferenceSemantics(t *testing.T) {
+	a := NewList(Number(1))
+	b := a // same list, two variables — Snap! reference semantics
+	b.Add(Number(2))
+	if a.Len() != 2 {
+		t.Error("mutation through alias not visible")
+	}
+	c := a.Clone().(*List) // structured clone severs sharing
+	c.Add(Number(3))
+	if a.Len() != 2 {
+		t.Error("clone still shares state with original")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	inner := NewList(Number(1))
+	outer := NewList(inner, Text("x"))
+	cl := outer.Clone().(*List)
+	cl.MustItem(1).(*List).Add(Number(2))
+	if inner.Len() != 1 {
+		t.Error("clone shares nested list")
+	}
+}
+
+func TestCloneNilItem(t *testing.T) {
+	l := &List{items: []Value{nil}}
+	cl := l.Clone().(*List)
+	if _, ok := cl.MustItem(1).(Nothing); !ok {
+		t.Error("nil item should clone to Nothing")
+	}
+}
+
+func TestRange(t *testing.T) {
+	if got := Range(1, 5, 1).String(); got != "[1 2 3 4 5]" {
+		t.Errorf("Range(1,5,1) = %s", got)
+	}
+	if got := Range(5, 1, -2).String(); got != "[5 3 1]" {
+		t.Errorf("Range(5,1,-2) = %s", got)
+	}
+	if got := Range(1, 3, 0).String(); got != "[1 2 3]" {
+		t.Errorf("Range with 0 step should default to 1: %s", got)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	l := FromInts([]int{1, 2, 3, 4, 5})
+	s, err := l.Slice(2, 4)
+	if err != nil || s.String() != "[2 3 4]" {
+		t.Fatalf("Slice(2,4) = %v, %v", s, err)
+	}
+	s, _ = l.Slice(-3, 99)
+	if s.Len() != 5 {
+		t.Error("clamped slice should return whole list")
+	}
+	s, _ = l.Slice(4, 2)
+	if s.Len() != 0 {
+		t.Error("inverted slice should be empty")
+	}
+}
+
+func TestContainsIndexOf(t *testing.T) {
+	l := FromStrings([]string{"apple", "Banana"})
+	if !l.Contains(Text("banana")) {
+		t.Error("Contains should be case-insensitive like Snap! =")
+	}
+	if l.IndexOf(Text("APPLE")) != 1 {
+		t.Error("IndexOf apple != 1")
+	}
+	if l.IndexOf(Text("pear")) != 0 {
+		t.Error("IndexOf missing != 0")
+	}
+}
+
+func TestFloatsStrings(t *testing.T) {
+	l := NewList(Number(1.5), Text("2"), Bool(true))
+	fs, err := l.Floats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs[0] != 1.5 || fs[1] != 2 || fs[2] != 1 {
+		t.Errorf("Floats = %v", fs)
+	}
+	bad := NewList(Text("pear"))
+	if _, err := bad.Floats(); err == nil {
+		t.Error("Floats over text should error")
+	}
+	ss := l.Strings()
+	if ss[0] != "1.5" || ss[1] != "2" || ss[2] != "true" {
+		t.Errorf("Strings = %v", ss)
+	}
+}
+
+func TestAppendLists(t *testing.T) {
+	a := FromInts([]int{1, 2})
+	b := FromInts([]int{3})
+	a.Append(b)
+	if a.String() != "[1 2 3]" {
+		t.Errorf("Append = %s", a.String())
+	}
+}
+
+func TestToNumber(t *testing.T) {
+	cases := []struct {
+		in   Value
+		want float64
+		ok   bool
+	}{
+		{Number(4), 4, true},
+		{Text("3.5"), 3.5, true},
+		{Text("  42 "), 42, true},
+		{Text(""), 0, true},
+		{Bool(true), 1, true},
+		{Bool(false), 0, true},
+		{Nothing{}, 0, true},
+		{Text("pear"), 0, false},
+		{NewList(), 0, false},
+	}
+	for _, c := range cases {
+		n, err := ToNumber(c.in)
+		if c.ok && (err != nil || float64(n) != c.want) {
+			t.Errorf("ToNumber(%v) = %v, %v; want %v", c.in, n, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ToNumber(%v) should error", c.in)
+		}
+	}
+	if _, err := ToNumber(nil); err != nil {
+		t.Error("ToNumber(nil) should be 0")
+	}
+}
+
+func TestToBool(t *testing.T) {
+	if b, err := ToBool(Bool(true)); err != nil || !bool(b) {
+		t.Error("ToBool(true) failed")
+	}
+	if b, err := ToBool(Text("TRUE")); err != nil || !bool(b) {
+		t.Error(`ToBool("TRUE") failed`)
+	}
+	if b, err := ToBool(Text("false")); err != nil || bool(b) {
+		t.Error(`ToBool("false") failed`)
+	}
+	if _, err := ToBool(Text("maybe")); err == nil {
+		t.Error(`ToBool("maybe") should error`)
+	}
+	if _, err := ToBool(Number(1)); err == nil {
+		t.Error("ToBool(1) should error (Snap! does not coerce numbers)")
+	}
+	if b, err := ToBool(nil); err != nil || bool(b) {
+		t.Error("ToBool(nil) should be false")
+	}
+	if b, err := ToBool(Nothing{}); err != nil || bool(b) {
+		t.Error("ToBool(Nothing) should be false")
+	}
+}
+
+func TestToTextToListToInt(t *testing.T) {
+	if ToText(Number(30)) != "30" {
+		t.Error("ToText(30)")
+	}
+	if ToText(nil) != "" {
+		t.Error("ToText(nil)")
+	}
+	l := ToList(Number(5))
+	if l.Len() != 1 || l.MustItem(1).(Number) != 5 {
+		t.Error("ToList(scalar) should wrap")
+	}
+	same := NewList(Number(1))
+	if ToList(same) != same {
+		t.Error("ToList(list) should pass through")
+	}
+	if ToList(nil).Len() != 0 || ToList(Nothing{}).Len() != 0 {
+		t.Error("ToList(nothing) should be empty")
+	}
+	if n, err := ToInt(Number(7)); err != nil || n != 7 {
+		t.Error("ToInt(7)")
+	}
+	if _, err := ToInt(Number(7.5)); err == nil {
+		t.Error("ToInt(7.5) should error")
+	}
+	if _, err := ToInt(Text("x")); err == nil {
+		t.Error("ToInt(text) should error")
+	}
+}
+
+func TestEqualSemantics(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Number(3), Text("3"), true},
+		{Text("Hello"), Text("hello"), true},
+		{Bool(true), Number(1), true},
+		{Number(3), Number(4), false},
+		{NewList(Number(1)), NewList(Number(1)), true},
+		{NewList(Number(1)), NewList(Number(2)), false},
+		{NewList(Number(1)), NewList(Number(1), Number(2)), false},
+		{NewList(Number(1)), Number(1), false},
+		{Nothing{}, Nothing{}, true},
+		{nil, Nothing{}, true},
+	}
+	for _, c := range cases {
+		if got := Equal(c.a, c.b); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqualNestedLists(t *testing.T) {
+	a := NewList(NewList(Number(1), Text("x")), Number(2))
+	b := NewList(NewList(Number(1), Text("X")), Text("2"))
+	if !Equal(a, b) {
+		t.Error("deep equal with coercions failed")
+	}
+}
+
+func TestLessGreater(t *testing.T) {
+	lt, err := Less(Number(2), Number(10))
+	if err != nil || !lt {
+		t.Error("2 < 10")
+	}
+	lt, _ = Less(Text("2"), Number(10))
+	if !lt {
+		t.Error(`"2" < 10 should be numeric comparison`)
+	}
+	lt, _ = Less(Text("apple"), Text("Banana"))
+	if !lt {
+		t.Error("apple < Banana case-insensitively")
+	}
+	gt, _ := Greater(Number(10), Number(2))
+	if !gt {
+		t.Error("10 > 2")
+	}
+}
+
+func TestOpaque(t *testing.T) {
+	o := &Opaque{Tag: "job", Payload: 42}
+	if o.Kind() != KindOpaque || o.String() != "<job>" {
+		t.Error("opaque rendering")
+	}
+	if o.Clone() != Value(o) {
+		t.Error("opaque must clone to itself")
+	}
+	if !Equal(o, o) {
+		t.Error("opaque equal by identity")
+	}
+	if Equal(o, &Opaque{Tag: "job"}) {
+		t.Error("distinct opaques must not be equal")
+	}
+}
+
+// Property: structured clone is observationally equal to the original but
+// shares no mutable state.
+func TestPropertyCloneEqual(t *testing.T) {
+	f := func(xs []float64, ss []string) bool {
+		l := NewList()
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				x = 0
+			}
+			l.Add(Number(x))
+		}
+		sub := FromStrings(ss)
+		l.Add(sub)
+		c := l.Clone().(*List)
+		if !Equal(l, c) {
+			return false
+		}
+		// Mutating the clone's nested list must not affect the original.
+		c.MustItem(c.Len()).(*List).Add(Text("mutant"))
+		return sub.Len() == len(ss)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Equal is reflexive and symmetric over scalar values.
+func TestPropertyEqualReflexiveSymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		va, vb := Number(a), Number(b)
+		return Equal(va, va) && Equal(va, vb) == Equal(vb, va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: InsertAt then DeleteAt at the same index is the identity.
+func TestPropertyInsertDelete(t *testing.T) {
+	f := func(xs []int, at uint8) bool {
+		l := FromInts(xs)
+		i := int(at)%(l.Len()+1) + 1
+		before := l.String()
+		if err := l.InsertAt(i, Text("probe")); err != nil {
+			return false
+		}
+		if err := l.DeleteAt(i); err != nil {
+			return false
+		}
+		return l.String() == before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Range(1,n,1) has n items and item i equals i.
+func TestPropertyRange(t *testing.T) {
+	f := func(n uint8) bool {
+		m := int(n%200) + 1
+		l := Range(1, float64(m), 1)
+		if l.Len() != m {
+			return false
+		}
+		for i := 1; i <= m; i++ {
+			if l.MustItem(i).(Number) != Number(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPlainClock(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatal("clock should start at 0")
+	}
+	for i := 1; i <= 9; i++ {
+		if got := c.Tick(); got != int64(i) {
+			t.Fatalf("tick %d -> %d", i, got)
+		}
+	}
+	if c.Stalls() != 0 {
+		t.Error("plain clock must not stall")
+	}
+	if c.Busy() != 9 {
+		t.Errorf("busy = %d, want 9", c.Busy())
+	}
+}
+
+func TestInterferenceReproducesFootnote5(t *testing.T) {
+	// Sequential concession stand: 9 busy timesteps of pouring read 12
+	// on the timer (Figure 10c).
+	c := NewPaperInterference()
+	for i := 0; i < 9; i++ {
+		c.Tick()
+	}
+	if c.Now() != 12 {
+		t.Errorf("sequential run = %d timesteps, paper reports 12", c.Now())
+	}
+	if c.Stalls() != 3 {
+		t.Errorf("stalls = %d, want 3", c.Stalls())
+	}
+
+	// Parallel concession stand: 3 busy timesteps read exactly 3
+	// (Figure 9c) — the grace period means short runs see no
+	// interference, the paper's "the effect is more noticeable for
+	// [the sequential case] than for the parallel case".
+	c2 := NewPaperInterference()
+	c2.Tick()
+	c2.Tick()
+	if got := c2.Tick(); got != 3 {
+		t.Errorf("parallel run = %d timesteps, paper reports 3", got)
+	}
+	if c2.Stalls() != 0 {
+		t.Error("parallel run should see no interference")
+	}
+}
+
+func TestTickIdleDrawsNoInterference(t *testing.T) {
+	c := NewWithInterference(0, 1, 5)
+	c.TickIdle()
+	c.TickIdle()
+	c.TickIdle()
+	if c.Now() != 3 || c.Stalls() != 0 {
+		t.Errorf("idle ticks: now=%d stalls=%d", c.Now(), c.Stalls())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewWithInterference(0, 2, 1)
+	c.Tick()
+	c.Tick()
+	c.Reset()
+	if c.Now() != 0 || c.Stalls() != 0 || c.Busy() != 0 {
+		t.Error("reset should zero the clock")
+	}
+}
+
+func TestTimer(t *testing.T) {
+	c := New()
+	c.Tick()
+	tm := NewTimer(c)
+	c.Tick()
+	c.Tick()
+	if tm.Elapsed() != 2 {
+		t.Errorf("elapsed = %d, want 2", tm.Elapsed())
+	}
+	tm.Reset()
+	if tm.Elapsed() != 0 {
+		t.Error("reset timer should read 0")
+	}
+}
+
+// Property: with interference (g, p, s), n busy ticks cost
+// n + floor(max(0, n-g)/p)*s total timesteps.
+func TestPropertyInterferenceArithmetic(t *testing.T) {
+	f := func(n, g, p, s uint8) bool {
+		grace := int(g % 10)
+		period := int(p%7) + 1
+		stall := int(s % 4)
+		ticks := int(n % 100)
+		c := NewWithInterference(grace, period, stall)
+		for i := 0; i < ticks; i++ {
+			c.Tick()
+		}
+		extra := 0
+		if ticks > grace {
+			extra = (ticks - grace) / period * stall
+		}
+		return c.Now() == int64(ticks+extra) && c.Busy() == int64(ticks)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the clock is monotonic under any interleaving of Tick/TickIdle.
+func TestPropertyMonotonic(t *testing.T) {
+	f := func(ops []bool) bool {
+		c := NewWithInterference(1, 3, 2)
+		prev := c.Now()
+		for _, busy := range ops {
+			var now int64
+			if busy {
+				now = c.Tick()
+			} else {
+				now = c.TickIdle()
+			}
+			if now <= prev {
+				return false
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

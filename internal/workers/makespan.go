@@ -1,0 +1,60 @@
+package workers
+
+// VirtualMakespan computes, in deterministic virtual time, how the three
+// assignment policies distribute n elements with the given per-element
+// cost across w workers, returning each worker's total cost and the
+// makespan (the busiest worker's total).
+//
+// For Block and Interleaved the assignment is static, so this is exact.
+// For Dynamic the model is greedy list scheduling — each element goes to
+// the worker that frees up first — which is what the shared-queue policy
+// converges to on truly parallel hardware. The benchmark harness reports these
+// virtual quantities because wall-clock speedup is host-dependent (and
+// saturates at 1× on a single-core host), exactly as the paper reports its
+// own results in virtual timestep units.
+func VirtualMakespan(n, w int, policy Assignment, cost func(i int) int64) (makespan int64, perWorker []int64) {
+	if w < 1 {
+		w = 1
+	}
+	if w > n && n > 0 {
+		w = n
+	}
+	perWorker = make([]int64, w)
+	if n <= 0 {
+		return 0, perWorker
+	}
+	switch policy {
+	case Block:
+		chunk := (n + w - 1) / w
+		for k := 0; k < w; k++ {
+			lo, hi := k*chunk, (k+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				perWorker[k] += cost(i)
+			}
+		}
+	case Interleaved:
+		for i := 0; i < n; i++ {
+			perWorker[i%w] += cost(i)
+		}
+	case Dynamic:
+		// Greedy: the next element goes to the least-loaded worker.
+		for i := 0; i < n; i++ {
+			min := 0
+			for k := 1; k < w; k++ {
+				if perWorker[k] < perWorker[min] {
+					min = k
+				}
+			}
+			perWorker[min] += cost(i)
+		}
+	}
+	for _, c := range perWorker {
+		if c > makespan {
+			makespan = c
+		}
+	}
+	return makespan, perWorker
+}

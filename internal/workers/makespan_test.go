@@ -1,0 +1,89 @@
+package workers
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVirtualMakespanUniformCosts(t *testing.T) {
+	unit := func(int) int64 { return 1 }
+	for _, policy := range []Assignment{Block, Interleaved, Dynamic} {
+		mk, per := VirtualMakespan(100, 4, policy, unit)
+		if mk != 25 {
+			t.Errorf("%v: makespan = %d, want 25", policy, mk)
+		}
+		var total int64
+		for _, c := range per {
+			total += c
+		}
+		if total != 100 {
+			t.Errorf("%v: total = %d", policy, total)
+		}
+	}
+}
+
+func TestVirtualMakespanSkew(t *testing.T) {
+	// Linear skew: block is unfair (last block is heaviest), dynamic and
+	// interleaved balance.
+	cost := func(i int) int64 { return int64(i + 1) }
+	blockMk, _ := VirtualMakespan(1000, 4, Block, cost)
+	interMk, _ := VirtualMakespan(1000, 4, Interleaved, cost)
+	dynMk, _ := VirtualMakespan(1000, 4, Dynamic, cost)
+	total := int64(1000 * 1001 / 2)
+	ideal := total / 4
+	if blockMk <= interMk || blockMk <= dynMk {
+		t.Errorf("block (%d) should be worse than interleaved (%d) and dynamic (%d)",
+			blockMk, interMk, dynMk)
+	}
+	if dynMk > ideal+1000 {
+		t.Errorf("dynamic makespan %d far from ideal %d", dynMk, ideal)
+	}
+}
+
+func TestVirtualMakespanEdges(t *testing.T) {
+	cost := func(int) int64 { return 1 }
+	mk, per := VirtualMakespan(0, 4, Dynamic, cost)
+	if mk != 0 || len(per) != 4 {
+		t.Errorf("empty: %d %v", mk, per)
+	}
+	mk, per = VirtualMakespan(3, 8, Block, cost)
+	if len(per) != 3 || mk != 1 {
+		t.Errorf("workers clamp to n: %d %v", mk, per)
+	}
+	mk, _ = VirtualMakespan(5, 0, Interleaved, cost)
+	if mk != 5 {
+		t.Errorf("w=0 clamps to 1: %d", mk)
+	}
+}
+
+// Property: for every policy, per-worker costs sum to the total and the
+// makespan is at least total/w (a lower bound no schedule can beat).
+func TestPropertyMakespanBounds(t *testing.T) {
+	f := func(nRaw, wRaw, pRaw uint8) bool {
+		n := int(nRaw)%300 + 1
+		w := int(wRaw)%8 + 1
+		policy := Assignment(int(pRaw) % 3)
+		cost := func(i int) int64 { return int64(i%13 + 1) }
+		var total int64
+		for i := 0; i < n; i++ {
+			total += cost(i)
+		}
+		mk, per := VirtualMakespan(n, w, policy, cost)
+		var sum int64
+		for _, c := range per {
+			sum += c
+		}
+		if sum != total {
+			return false
+		}
+		eff := w
+		if eff > n {
+			eff = n
+		}
+		lower := (total + int64(eff) - 1) / int64(eff)
+		return mk >= lower && mk <= total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

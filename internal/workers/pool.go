@@ -1,0 +1,369 @@
+package workers
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/value"
+)
+
+// Assignment selects how list elements are handed to workers when there are
+// more elements than workers. Parallel.js says workers "systematically
+// process the remaining elements from the list until completed" — a shared
+// work queue, our Dynamic policy. Block and Interleaved are the static
+// alternatives ablated in experiment E10.
+type Assignment int
+
+// The element-assignment policies.
+const (
+	// Dynamic hands each idle worker the next unprocessed element
+	// (a shared queue; self-balancing under skew).
+	Dynamic Assignment = iota
+	// Block gives worker k the k-th contiguous chunk.
+	Block
+	// Interleaved gives worker k elements k, k+W, k+2W, ...
+	Interleaved
+)
+
+// String names the policy.
+func (a Assignment) String() string {
+	switch a {
+	case Dynamic:
+		return "dynamic"
+	case Block:
+		return "block"
+	case Interleaved:
+		return "interleaved"
+	}
+	return fmt.Sprintf("assignment(%d)", int(a))
+}
+
+// Options configures a Parallel pool, mirroring Parallel.js's options
+// object ({maxWorkers: 2} in Listing 1).
+type Options struct {
+	// MaxWorkers caps the worker count; 0 means DefaultWorkers().
+	MaxWorkers int
+	// Assignment picks the element-assignment policy; default Dynamic.
+	Assignment Assignment
+	// NoClone disables the structured clone at the worker boundary.
+	// Real Web Workers cannot do this; the option exists only for the
+	// clone-cost ablation bench and must stay off elsewhere.
+	NoClone bool
+	// Cost, when set, assigns a virtual cost to element i (0-based).
+	// Each worker accumulates the cost of the elements it processes,
+	// readable via Job.WorkerCosts — the instrumentation behind the
+	// load-balance experiment E10.
+	Cost func(i int) int64
+}
+
+// Parallel reproduces the Parallel.js entry point:
+//
+//	p := workers.New(list, workers.Options{MaxWorkers: 2})
+//	job := p.Map(double)
+//
+// matching Listing 1's `new Parallel([1,2,3,4], {maxWorkers: 2}); p.map(...)`.
+type Parallel struct {
+	data *value.List
+	opts Options
+}
+
+// New builds a pool over data.
+func New(data *value.List, opts Options) *Parallel {
+	if opts.MaxWorkers <= 0 {
+		opts.MaxWorkers = DefaultWorkers()
+	}
+	return &Parallel{data: data, opts: opts}
+}
+
+// Data returns the pool's input list (Listing 1 reads p.data after the map;
+// before any operation this is the input, afterwards use Job.Wait).
+func (p *Parallel) Data() *value.List { return p.data }
+
+// MaxWorkers reports the effective worker count for this pool.
+func (p *Parallel) MaxWorkers() int { return p.opts.MaxWorkers }
+
+// Job is an in-flight parallel operation. Listing 2 polls
+// `p.operation._resolved` from the Snap! scheduler; Resolved is that flag.
+type Job struct {
+	resolved atomic.Bool
+	canceled atomic.Bool
+	done     chan struct{}
+
+	mu     sync.Mutex
+	result *value.List
+	err    error
+
+	loads []int64 // elements processed per worker, for E10
+	costs []int64 // virtual cost processed per worker, for E10
+}
+
+func newJob(workers int) *Job {
+	return &Job{
+		done:  make(chan struct{}),
+		loads: make([]int64, workers),
+		costs: make([]int64, workers),
+	}
+}
+
+// Resolved reports, without blocking, whether the job has finished — the
+// poll the paper's reportParallelMap performs on every runStep.
+func (j *Job) Resolved() bool { return j.resolved.Load() }
+
+// ErrCanceled resolves a job whose work was canceled before completion —
+// the Worker.terminate() of a pool operation (pressing the red stop button
+// while workers grind).
+var ErrCanceled = errors.New("parallel job canceled")
+
+// Cancel asks the job's workers to stop after their current element. The
+// job then resolves with ErrCanceled. Canceling a resolved job is a no-op.
+func (j *Job) Cancel() { j.canceled.Store(true) }
+
+// Wait blocks until the job resolves and returns its result.
+func (j *Job) Wait() (*value.List, error) {
+	<-j.done
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// WorkerLoads reports how many elements each worker processed. Only valid
+// after the job resolves.
+func (j *Job) WorkerLoads() []int64 {
+	out := make([]int64, len(j.loads))
+	for i := range j.loads {
+		out[i] = atomic.LoadInt64(&j.loads[i])
+	}
+	return out
+}
+
+// WorkerCosts reports each worker's accumulated virtual cost (see
+// Options.Cost). Only valid after the job resolves.
+func (j *Job) WorkerCosts() []int64 {
+	out := make([]int64, len(j.costs))
+	for i := range j.costs {
+		out[i] = atomic.LoadInt64(&j.costs[i])
+	}
+	return out
+}
+
+func (j *Job) finish(result *value.List, err error) {
+	j.mu.Lock()
+	j.result, j.err = result, err
+	j.mu.Unlock()
+	j.resolved.Store(true)
+	close(j.done)
+}
+
+// Map applies fn to every element of the pool's data on the worker pool and
+// resolves to the list of results in input order. Each element is
+// structured-cloned into its worker and each result cloned back out, the
+// postMessage discipline.
+func (p *Parallel) Map(fn Handler) *Job {
+	n := p.data.Len()
+	w := p.opts.MaxWorkers
+	if w > n && n > 0 {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	job := newJob(w)
+	items := p.data.Items()
+	results := make([]value.Value, n)
+	var firstErr atomic.Value
+	clone := !p.opts.NoClone
+
+	runOne := func(worker, i int) bool {
+		if job.canceled.Load() {
+			return false
+		}
+		in := items[i]
+		if clone {
+			in = safeClone(in)
+		}
+		out, err := runHandler(fn, in)
+		if err != nil {
+			firstErr.CompareAndSwap(nil, fmt.Errorf("element %d: %w", i+1, err))
+			return false
+		}
+		if clone {
+			out = safeClone(out)
+		}
+		results[i] = out
+		atomic.AddInt64(&job.loads[worker], 1)
+		if p.opts.Cost != nil {
+			atomic.AddInt64(&job.costs[worker], p.opts.Cost(i))
+		}
+		return true
+	}
+
+	go func() {
+		var wg sync.WaitGroup
+		switch p.opts.Assignment {
+		case Dynamic:
+			var next atomic.Int64
+			for k := 0; k < w; k++ {
+				wg.Add(1)
+				go func(worker int) {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= n {
+							return
+						}
+						if !runOne(worker, i) {
+							return
+						}
+					}
+				}(k)
+			}
+		case Block:
+			chunk := (n + w - 1) / w
+			for k := 0; k < w; k++ {
+				lo, hi := k*chunk, (k+1)*chunk
+				if hi > n {
+					hi = n
+				}
+				if lo >= hi {
+					continue
+				}
+				wg.Add(1)
+				go func(worker, lo, hi int) {
+					defer wg.Done()
+					for i := lo; i < hi; i++ {
+						if !runOne(worker, i) {
+							return
+						}
+					}
+				}(k, lo, hi)
+			}
+		case Interleaved:
+			for k := 0; k < w; k++ {
+				wg.Add(1)
+				go func(worker int) {
+					defer wg.Done()
+					for i := worker; i < n; i += w {
+						if !runOne(worker, i) {
+							return
+						}
+					}
+				}(k)
+			}
+		}
+		wg.Wait()
+		if e := firstErr.Load(); e != nil {
+			job.finish(nil, e.(error))
+			return
+		}
+		if job.canceled.Load() {
+			job.finish(nil, ErrCanceled)
+			return
+		}
+		job.finish(value.NewList(results...), nil)
+	}()
+	return job
+}
+
+// ReduceFunc combines two values; it must be associative for the parallel
+// reduction to be deterministic up to association.
+type ReduceFunc func(a, b value.Value) (value.Value, error)
+
+// Reduce folds the pool's data with fn: each worker folds a contiguous
+// chunk, then the partials are folded left-to-right. The empty list
+// resolves to Nothing.
+func (p *Parallel) Reduce(fn ReduceFunc) *Job {
+	n := p.data.Len()
+	w := p.opts.MaxWorkers
+	if w > n && n > 0 {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	job := newJob(w)
+	items := p.data.Items()
+	clone := !p.opts.NoClone
+
+	go func() {
+		if n == 0 {
+			job.finish(value.NewList(value.Nothing{}), nil)
+			return
+		}
+		partials := make([]value.Value, w)
+		errs := make([]error, w)
+		var wg sync.WaitGroup
+		chunk := (n + w - 1) / w
+		for k := 0; k < w; k++ {
+			lo, hi := k*chunk, (k+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(worker, lo, hi int) {
+				defer wg.Done()
+				acc := items[lo]
+				if clone {
+					acc = safeClone(acc)
+				}
+				atomic.AddInt64(&job.loads[worker], 1)
+				for i := lo + 1; i < hi; i++ {
+					if job.canceled.Load() {
+						errs[worker] = ErrCanceled
+						return
+					}
+					in := items[i]
+					if clone {
+						in = safeClone(in)
+					}
+					out, err := runReduce(fn, acc, in)
+					if err != nil {
+						errs[worker] = err
+						return
+					}
+					acc = out
+					atomic.AddInt64(&job.loads[worker], 1)
+				}
+				partials[worker] = acc
+			}(k, lo, hi)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				job.finish(nil, err)
+				return
+			}
+		}
+		var acc value.Value
+		for _, part := range partials {
+			if part == nil {
+				continue
+			}
+			if acc == nil {
+				acc = part
+				continue
+			}
+			out, err := runReduce(fn, acc, part)
+			if err != nil {
+				job.finish(nil, err)
+				return
+			}
+			acc = out
+		}
+		job.finish(value.NewList(acc), nil)
+	}()
+	return job
+}
+
+func runReduce(fn ReduceFunc, a, b value.Value) (out value.Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("worker script error: %v", r)
+		}
+	}()
+	return fn(a, b)
+}

@@ -1,0 +1,34 @@
+package xmlio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/demos"
+)
+
+// FuzzDecodeProject feeds arbitrary bytes to the project decoder: it must
+// reject garbage with an error, never a panic, and anything it accepts
+// must re-encode without panicking.
+func FuzzDecodeProject(f *testing.F) {
+	var buf bytes.Buffer
+	if err := EncodeProject(&buf, demos.Concession(true)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`<project name="x"><variables/><blocks/><sprites/></project>`)
+	f.Add(`<project><sprites><sprite name="S"><scripts><script hat="whenGreenFlag"><block s="forward"><l kind="number">10</l></block></script></scripts></sprite></sprites></project>`)
+	f.Add(`<notxml`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := DecodeProject(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := EncodeProject(&out, p); err != nil {
+			t.Errorf("accepted project failed to re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package xmlio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/vclock"
+)
+
+// The projects/ directory at the repository root ships ready-to-run XML
+// project files (the artifacts a Snap! user would save); these tests keep
+// them loadable and behaviorally correct.
+
+func projectPath(t *testing.T, name string) string {
+	t.Helper()
+	p := filepath.Join("..", "..", "projects", name)
+	if _, err := os.Stat(p); err != nil {
+		t.Skipf("project file %s not present: %v", name, err)
+	}
+	return p
+}
+
+func loadShipped(t *testing.T, name string) *interp.Machine {
+	t.Helper()
+	f, err := os.Open(projectPath(t, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p, err := DecodeProject(f)
+	if err != nil {
+		t.Fatalf("decode %s: %v", name, err)
+	}
+	return interp.NewMachine(p, vclock.NewPaperInterference())
+}
+
+func TestShippedConcessionParallel(t *testing.T) {
+	m := loadShipped(t, "concession-parallel.xml")
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stage.Timer.Elapsed(); got != 3 {
+		t.Errorf("shipped parallel project = %d timesteps, want 3", got)
+	}
+}
+
+func TestShippedConcessionSequential(t *testing.T) {
+	m := loadShipped(t, "concession-sequential.xml")
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stage.Timer.Elapsed(); got != 12 {
+		t.Errorf("shipped sequential project = %d timesteps, want 12", got)
+	}
+}
+
+func TestShippedDragon(t *testing.T) {
+	m := loadShipped(t, "dragon.xml")
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	d := m.Stage.Actor("Dragon")
+	if d == nil || d.X != 50 {
+		t.Errorf("shipped dragon should fly to x=50")
+	}
+	m.PressKey("left arrow")
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if d.Heading != 75 {
+		t.Errorf("heading = %g, want 75", d.Heading)
+	}
+}

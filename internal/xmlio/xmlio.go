@@ -1,0 +1,497 @@
+// Package xmlio serializes projects to and from a Snap!-style XML format.
+// Snap! stores projects as XML documents (the paper's §6 pipeline begins
+// from such a project, and Snap!'s reference manual defines the format);
+// this package provides the same capability for pblocks projects so block
+// programs can be saved, shared, and fed to the cmd-line tools — the
+// "consume existing data files ... without compromising the user-friendly
+// interface" requirement of §6.3.
+//
+// The format follows Snap!'s conventions: <project>, <sprite>, <script>
+// elements; <block s="selector"> for blocks with child elements per input;
+// <l> for literals; <ring> for ringified expressions. A `kind` attribute
+// distinguishes number/text/bool literals so round-trips are exact (Snap!
+// itself re-parses numerals; we prefer fidelity).
+package xmlio
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/blocks"
+	"repro/internal/value"
+)
+
+// node is the generic XML element tree both directions share.
+type node struct {
+	XMLName  xml.Name
+	S        string `xml:"s,attr,omitempty"`
+	Name     string `xml:"name,attr,omitempty"`
+	Kind     string `xml:"kind,attr,omitempty"`
+	Params   string `xml:"params,attr,omitempty"`
+	Hat      string `xml:"hat,attr,omitempty"`
+	Arg      string `xml:"arg,attr,omitempty"`
+	X        string `xml:"x,attr,omitempty"`
+	Y        string `xml:"y,attr,omitempty"`
+	Type     string `xml:"type,attr,omitempty"`
+	Text     string `xml:",chardata"`
+	Children []node `xml:",any"`
+}
+
+func elem(name string, children ...node) node {
+	return node{XMLName: xml.Name{Local: name}, Children: children}
+}
+
+// --- encoding ---
+
+// EncodeProject writes a project as XML.
+func EncodeProject(w io.Writer, p *blocks.Project) error {
+	root := elem("project")
+	root.Name = p.Name
+	root.Children = append(root.Children, encodeVariables(p.Globals))
+	customs := elem("blocks")
+	for _, name := range sortedCustomNames(p.Customs) {
+		customs.Children = append(customs.Children, encodeCustom(p.Customs[name]))
+	}
+	root.Children = append(root.Children, customs)
+	sprites := elem("sprites")
+	for _, sp := range p.Sprites {
+		sprites.Children = append(sprites.Children, encodeSprite(sp))
+	}
+	root.Children = append(root.Children, sprites)
+
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(root); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+func sortedCustomNames(m map[string]*blocks.CustomBlock) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+func encodeVariables(vars map[string]value.Value) node {
+	out := elem("variables")
+	for _, name := range sortedVarNames(vars) {
+		v := elem("variable", encodeValue(vars[name]))
+		v.Name = name
+		out.Children = append(out.Children, v)
+	}
+	return out
+}
+
+func sortedVarNames(m map[string]value.Value) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+func encodeCustom(cb *blocks.CustomBlock) node {
+	out := elem("block-definition", encodeScriptNode(cb.Body))
+	out.S = cb.Name
+	out.Params = strings.Join(cb.Params, " ")
+	if cb.IsReporter {
+		out.Type = "reporter"
+	} else {
+		out.Type = "command"
+	}
+	return out
+}
+
+func encodeSprite(sp *blocks.Sprite) node {
+	out := elem("sprite")
+	out.Name = sp.Name
+	out.X = formatFloat(sp.X)
+	out.Y = formatFloat(sp.Y)
+	out.Children = append(out.Children, encodeVariables(sp.Variables))
+	customs := elem("blocks")
+	for _, name := range sortedCustomNames(sp.Customs) {
+		customs.Children = append(customs.Children, encodeCustom(sp.Customs[name]))
+	}
+	out.Children = append(out.Children, customs)
+	scripts := elem("scripts")
+	for _, hs := range sp.Scripts {
+		s := encodeScriptNode(hs.Script)
+		s.Hat = hs.Hat.String()
+		s.Arg = hs.Arg
+		scripts.Children = append(scripts.Children, s)
+	}
+	out.Children = append(out.Children, scripts)
+	return out
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func encodeScriptNode(s *blocks.Script) node {
+	out := elem("script")
+	if s == nil {
+		return out
+	}
+	for _, b := range s.Blocks {
+		out.Children = append(out.Children, encodeBlock(b))
+	}
+	return out
+}
+
+func encodeBlock(b *blocks.Block) node {
+	out := elem("block")
+	out.S = b.Op
+	for _, in := range b.Inputs {
+		out.Children = append(out.Children, encodeInput(in))
+	}
+	return out
+}
+
+func encodeInput(n blocks.Node) node {
+	switch x := n.(type) {
+	case nil:
+		return elem("empty")
+	case blocks.EmptySlot:
+		return elem("empty")
+	case blocks.Literal:
+		return encodeValue(x.Val)
+	case blocks.VarGet:
+		v := elem("varref")
+		v.Name = x.Name
+		return v
+	case *blocks.Block:
+		return encodeBlock(x)
+	case blocks.ScriptNode:
+		return encodeScriptNode(x.Script)
+	case blocks.RingNode:
+		r := elem("ring")
+		r.Params = strings.Join(x.Params, " ")
+		switch body := x.Body.(type) {
+		case *blocks.Script:
+			r.Children = append(r.Children, encodeScriptNode(body))
+		case blocks.Node:
+			r.Children = append(r.Children, encodeInput(body))
+		}
+		return r
+	default:
+		bad := elem("unsupported")
+		bad.Text = fmt.Sprintf("%T", n)
+		return bad
+	}
+}
+
+func encodeValue(v value.Value) node {
+	switch x := v.(type) {
+	case nil, value.Nothing:
+		return elem("l")
+	case value.Number:
+		l := elem("l")
+		l.Kind = "number"
+		l.Text = x.String()
+		return l
+	case value.Text:
+		l := elem("l")
+		l.Kind = "text"
+		l.Text = string(x)
+		return l
+	case value.Bool:
+		l := elem("bool")
+		l.Text = x.String()
+		return l
+	case *value.List:
+		out := elem("list")
+		for _, it := range x.Items() {
+			out.Children = append(out.Children, elem("item", encodeValue(it)))
+		}
+		return out
+	default:
+		bad := elem("unsupported")
+		bad.Text = v.Kind().String()
+		return bad
+	}
+}
+
+// --- decoding ---
+
+// DecodeProject reads a project from XML.
+func DecodeProject(r io.Reader) (*blocks.Project, error) {
+	var root node
+	if err := xml.NewDecoder(r).Decode(&root); err != nil {
+		return nil, fmt.Errorf("parse project XML: %w", err)
+	}
+	if root.XMLName.Local != "project" {
+		return nil, fmt.Errorf("expected <project>, got <%s>", root.XMLName.Local)
+	}
+	p := blocks.NewProject(root.Name)
+	for _, child := range root.Children {
+		switch child.XMLName.Local {
+		case "variables":
+			vars, err := decodeVariables(child)
+			if err != nil {
+				return nil, err
+			}
+			p.Globals = vars
+		case "blocks":
+			for _, def := range child.Children {
+				cb, err := decodeCustom(def)
+				if err != nil {
+					return nil, err
+				}
+				p.Customs[cb.Name] = cb
+			}
+		case "sprites":
+			for _, sn := range child.Children {
+				sp, err := decodeSprite(sn)
+				if err != nil {
+					return nil, err
+				}
+				p.Sprites = append(p.Sprites, sp)
+			}
+		}
+	}
+	return p, nil
+}
+
+func decodeVariables(n node) (map[string]value.Value, error) {
+	out := map[string]value.Value{}
+	for _, v := range n.Children {
+		if v.XMLName.Local != "variable" {
+			continue
+		}
+		if len(v.Children) == 0 {
+			out[v.Name] = value.Nothing{}
+			continue
+		}
+		val, err := decodeValue(v.Children[0])
+		if err != nil {
+			return nil, fmt.Errorf("variable %q: %w", v.Name, err)
+		}
+		out[v.Name] = val
+	}
+	return out, nil
+}
+
+func decodeCustom(n node) (*blocks.CustomBlock, error) {
+	if n.XMLName.Local != "block-definition" {
+		return nil, fmt.Errorf("expected <block-definition>, got <%s>", n.XMLName.Local)
+	}
+	cb := &blocks.CustomBlock{Name: n.S, IsReporter: n.Type == "reporter"}
+	if n.Params != "" {
+		cb.Params = strings.Fields(n.Params)
+	}
+	for _, c := range n.Children {
+		if c.XMLName.Local == "script" {
+			s, err := decodeScript(c)
+			if err != nil {
+				return nil, err
+			}
+			cb.Body = s
+		}
+	}
+	return cb, nil
+}
+
+func decodeSprite(n node) (*blocks.Sprite, error) {
+	if n.XMLName.Local != "sprite" {
+		return nil, fmt.Errorf("expected <sprite>, got <%s>", n.XMLName.Local)
+	}
+	sp := blocks.NewSprite(n.Name)
+	sp.X, _ = strconv.ParseFloat(n.X, 64)
+	sp.Y, _ = strconv.ParseFloat(n.Y, 64)
+	for _, c := range n.Children {
+		switch c.XMLName.Local {
+		case "variables":
+			vars, err := decodeVariables(c)
+			if err != nil {
+				return nil, err
+			}
+			sp.Variables = vars
+		case "blocks":
+			for _, def := range c.Children {
+				cb, err := decodeCustom(def)
+				if err != nil {
+					return nil, err
+				}
+				sp.Customs[cb.Name] = cb
+			}
+		case "scripts":
+			for _, sn := range c.Children {
+				script, err := decodeScript(sn)
+				if err != nil {
+					return nil, err
+				}
+				hat, err := parseHat(sn.Hat)
+				if err != nil {
+					return nil, err
+				}
+				sp.Scripts = append(sp.Scripts, &blocks.HatScript{
+					Hat: hat, Arg: sn.Arg, Script: script,
+				})
+			}
+		}
+	}
+	return sp, nil
+}
+
+func parseHat(s string) (blocks.HatKind, error) {
+	switch s {
+	case "", blocks.HatGreenFlag.String():
+		return blocks.HatGreenFlag, nil
+	case blocks.HatKeyPress.String():
+		return blocks.HatKeyPress, nil
+	case blocks.HatBroadcast.String():
+		return blocks.HatBroadcast, nil
+	case blocks.HatCloneStart.String():
+		return blocks.HatCloneStart, nil
+	}
+	return 0, fmt.Errorf("unknown hat kind %q", s)
+}
+
+func decodeScript(n node) (*blocks.Script, error) {
+	s := blocks.NewScript()
+	for _, c := range n.Children {
+		if c.XMLName.Local != "block" {
+			return nil, fmt.Errorf("scripts contain <block> elements, got <%s>", c.XMLName.Local)
+		}
+		b, err := decodeBlock(c)
+		if err != nil {
+			return nil, err
+		}
+		s.Append(b)
+	}
+	return s, nil
+}
+
+func decodeBlock(n node) (*blocks.Block, error) {
+	if n.S == "" {
+		return nil, fmt.Errorf("<block> without selector")
+	}
+	b := blocks.NewBlock(n.S)
+	for _, c := range n.Children {
+		in, err := decodeInput(c)
+		if err != nil {
+			return nil, fmt.Errorf("block %q: %w", n.S, err)
+		}
+		b.Inputs = append(b.Inputs, in)
+	}
+	return b, nil
+}
+
+func decodeInput(n node) (blocks.Node, error) {
+	switch n.XMLName.Local {
+	case "empty":
+		return blocks.EmptySlot{}, nil
+	case "l", "bool", "list":
+		v, err := decodeValue(n)
+		if err != nil {
+			return nil, err
+		}
+		return blocks.Literal{Val: v}, nil
+	case "varref":
+		return blocks.VarGet{Name: n.Name}, nil
+	case "block":
+		return decodeBlock(n)
+	case "script":
+		s, err := decodeScript(n)
+		if err != nil {
+			return nil, err
+		}
+		return blocks.ScriptNode{Script: s}, nil
+	case "ring":
+		r := blocks.RingNode{}
+		if n.Params != "" {
+			r.Params = strings.Fields(n.Params)
+		}
+		if len(n.Children) != 1 {
+			return nil, fmt.Errorf("<ring> needs exactly one body")
+		}
+		body := n.Children[0]
+		if body.XMLName.Local == "script" {
+			s, err := decodeScript(body)
+			if err != nil {
+				return nil, err
+			}
+			r.Body = s
+			return r, nil
+		}
+		inner, err := decodeInput(body)
+		if err != nil {
+			return nil, err
+		}
+		r.Body = inner
+		return r, nil
+	}
+	return nil, fmt.Errorf("unknown input element <%s>", n.XMLName.Local)
+}
+
+func decodeValue(n node) (value.Value, error) {
+	switch n.XMLName.Local {
+	case "l":
+		text := strings.TrimSpace(n.Text)
+		switch n.Kind {
+		case "number":
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad number literal %q", text)
+			}
+			return value.Number(f), nil
+		case "text":
+			return value.Text(n.Text), nil
+		case "":
+			if text == "" {
+				return value.Nothing{}, nil
+			}
+			// Untyped literal (hand-written XML): numeric if it
+			// parses, text otherwise — Snap!'s own rule.
+			if f, err := strconv.ParseFloat(text, 64); err == nil {
+				return value.Number(f), nil
+			}
+			return value.Text(n.Text), nil
+		default:
+			return nil, fmt.Errorf("unknown literal kind %q", n.Kind)
+		}
+	case "bool":
+		switch strings.TrimSpace(n.Text) {
+		case "true":
+			return value.Bool(true), nil
+		case "false":
+			return value.Bool(false), nil
+		}
+		return nil, fmt.Errorf("bad bool literal %q", n.Text)
+	case "list":
+		out := value.NewList()
+		for _, item := range n.Children {
+			if item.XMLName.Local != "item" || len(item.Children) != 1 {
+				return nil, fmt.Errorf("malformed <list> item")
+			}
+			v, err := decodeValue(item.Children[0])
+			if err != nil {
+				return nil, err
+			}
+			out.Add(v)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("unknown value element <%s>", n.XMLName.Local)
+}

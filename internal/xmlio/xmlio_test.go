@@ -1,0 +1,193 @@
+package xmlio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/blocks"
+	"repro/internal/demos"
+	"repro/internal/interp"
+	"repro/internal/value"
+	"repro/internal/vclock"
+)
+
+func roundTrip(t *testing.T, p *blocks.Project) *blocks.Project {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeProject(&buf, p); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	p2, err := DecodeProject(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v\n%s", err, buf.String())
+	}
+	return p2
+}
+
+func TestRoundTripEmptyProject(t *testing.T) {
+	p2 := roundTrip(t, blocks.NewProject("empty"))
+	if p2.Name != "empty" || len(p2.Sprites) != 0 {
+		t.Errorf("round trip changed the project: %+v", p2)
+	}
+}
+
+func TestRoundTripGlobals(t *testing.T) {
+	p := blocks.NewProject("vars")
+	p.Globals["n"] = value.Number(3.5)
+	p.Globals["s"] = value.Text("hello world")
+	p.Globals["numeric text"] = value.Text("42")
+	p.Globals["b"] = value.Bool(true)
+	p.Globals["nested"] = value.NewList(
+		value.Number(1), value.NewList(value.Text("x")), value.Bool(false))
+	p.Globals["none"] = value.Nothing{}
+	p2 := roundTrip(t, p)
+	for name, want := range p.Globals {
+		got, ok := p2.Globals[name]
+		if !ok {
+			t.Errorf("global %q lost", name)
+			continue
+		}
+		if got.Kind() != want.Kind() || got.String() != want.String() {
+			t.Errorf("global %q = %v (%v), want %v (%v)",
+				name, got, got.Kind(), want, want.Kind())
+		}
+	}
+	// kind attribute keeps text "42" as text, not number.
+	if p2.Globals["numeric text"].Kind() != value.KindText {
+		t.Error("typed literal lost its textiness")
+	}
+}
+
+func TestRoundTripScriptsAndBlocks(t *testing.T) {
+	p := blocks.NewProject("scripts")
+	sp := p.AddSprite(blocks.NewSprite("S"))
+	sp.X, sp.Y = -12.5, 40
+	sp.Variables["local"] = value.Number(1)
+	sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.SetVar("local", blocks.Sum(blocks.Var("local"), blocks.Num(1))),
+		blocks.If(blocks.GreaterThan(blocks.Var("local"), blocks.Num(0)),
+			blocks.Body(blocks.Say(blocks.Txt("positive")))),
+		blocks.Report(blocks.Map(
+			blocks.RingOf(blocks.Product(blocks.Empty(), blocks.Num(10))),
+			blocks.ListOf(blocks.Num(3), blocks.Num(7), blocks.Num(8)))),
+	))
+	sp.AddScript(blocks.HatKeyPress, "space", blocks.NewScript(
+		blocks.TurnRight(blocks.Num(15)),
+	))
+	p2 := roundTrip(t, p)
+	sp2 := p2.Sprite("S")
+	if sp2 == nil {
+		t.Fatal("sprite lost")
+	}
+	if sp2.X != -12.5 || sp2.Y != 40 {
+		t.Errorf("position = (%g, %g)", sp2.X, sp2.Y)
+	}
+	if len(sp2.Scripts) != 2 {
+		t.Fatalf("scripts = %d", len(sp2.Scripts))
+	}
+	if sp2.Scripts[1].Hat != blocks.HatKeyPress || sp2.Scripts[1].Arg != "space" {
+		t.Error("hat metadata lost")
+	}
+	// Structural equality via Describe.
+	if got, want := sp2.Scripts[0].Script.Describe(), sp.Scripts[0].Script.Describe(); got != want {
+		t.Errorf("script changed:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestRoundTripCustomBlocks(t *testing.T) {
+	p := blocks.NewProject("byob")
+	p.Customs["double"] = &blocks.CustomBlock{
+		Name: "double", Params: []string{"n"}, IsReporter: true,
+		Body: blocks.NewScript(blocks.Report(blocks.Sum(blocks.Var("n"), blocks.Var("n")))),
+	}
+	sp := p.AddSprite(blocks.NewSprite("S"))
+	sp.Customs["local cmd"] = &blocks.CustomBlock{
+		Name: "local cmd", Body: blocks.NewScript(blocks.Forward(blocks.Num(1))),
+	}
+	p2 := roundTrip(t, p)
+	cb := p2.Customs["double"]
+	if cb == nil || !cb.IsReporter || len(cb.Params) != 1 || cb.Params[0] != "n" {
+		t.Fatalf("custom block lost: %+v", cb)
+	}
+	if cb.Body.Describe() != p.Customs["double"].Body.Describe() {
+		t.Error("custom body changed")
+	}
+	lc := p2.Sprite("S").Customs["local cmd"]
+	if lc == nil || lc.IsReporter {
+		t.Error("sprite-local custom block lost")
+	}
+}
+
+// TestRoundTripConcessionRuns round-trips the full concession-stand
+// project — parallel blocks, rings, C-slots, broadcasts — and re-runs it:
+// the reloaded project must still reproduce the paper's 3-timestep result.
+func TestRoundTripConcessionRuns(t *testing.T) {
+	p2 := roundTrip(t, demos.Concession(true))
+	m := interp.NewMachine(p2, vclock.NewPaperInterference())
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stage.Timer.Elapsed(); got != 3 {
+		t.Errorf("reloaded concession stand = %d timesteps, want 3", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		`not xml at all <<<`,
+		`<notproject/>`,
+		`<project><sprites><sprite><scripts><script><block/></script></scripts></sprite></sprites></project>`,
+		`<project><sprites><sprite><scripts><script hat="whenMartiansLand"><block s="doStopThis"/></script></scripts></sprite></sprites></project>`,
+		`<project><variables><variable name="x"><l kind="number">pear</l></variable></variables></project>`,
+		`<project><variables><variable name="x"><bool>maybe</bool></variable></variables></project>`,
+		`<project><variables><variable name="x"><l kind="alien">z</l></variable></variables></project>`,
+		`<project><sprites><sprite><scripts><script><block s="f"><ring/></block></script></scripts></sprite></sprites></project>`,
+		`<project><sprites><sprite><scripts><script><zorp/></script></scripts></sprite></sprites></project>`,
+		`<project><variables><variable name="x"><list><item/></list></variable></variables></project>`,
+	}
+	for i, src := range cases {
+		if _, err := DecodeProject(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d should fail to decode", i)
+		}
+	}
+}
+
+func TestDecodeUntypedLiteral(t *testing.T) {
+	// Hand-written XML without kind attributes parses with Snap!'s
+	// numeric-if-it-parses rule.
+	src := `<project name="hand">
+  <variables>
+    <variable name="n"><l>42</l></variable>
+    <variable name="s"><l>hello</l></variable>
+  </variables>
+</project>`
+	p, err := DecodeProject(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Globals["n"].Kind() != value.KindNumber {
+		t.Error("bare 42 should parse as a number")
+	}
+	if p.Globals["s"].Kind() != value.KindText {
+		t.Error("bare hello should parse as text")
+	}
+}
+
+func TestEncodeIsStable(t *testing.T) {
+	p := demos.Concession(false)
+	var a, b bytes.Buffer
+	if err := EncodeProject(&a, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeProject(&b, p); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("encoding must be deterministic")
+	}
+	if !strings.Contains(a.String(), `s="doParallelForEach"`) {
+		t.Error("parallel block missing from XML")
+	}
+}
