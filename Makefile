@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro lint fmt vet cover clean
+.PHONY: all build test race bench bench-all check repro lint fmt vet cover clean
 
 all: build test
 
@@ -15,7 +15,21 @@ test:
 race:
 	$(GO) test -race ./...
 
+# check is the pre-merge gate: vet everything, then run the race detector
+# over the packages with real concurrency (the worker pool and the
+# MapReduce engine).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/workers/... ./internal/mapreduce/...
+
+# bench runs the paper's E-series experiment benchmarks with allocation
+# stats and records the results as JSON (benchmark name -> ns/op,
+# allocs/op, and any custom metrics) for before/after comparisons.
 bench:
+	$(GO) test -bench 'BenchmarkE[0-9]' -benchmem -run '^$$' . \
+		| $(GO) run ./cmd/benchjson > BENCH_PR1.json
+
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every paper figure/listing/result as text.

@@ -1,0 +1,115 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// object on stdout, keyed by benchmark name (with the -cpu suffix kept, so
+// sub-benchmarks like BenchmarkE2ParallelMap/workers=4-8 stay distinct).
+// Each entry records the iteration count and every metric column the
+// benchmark reported: ns/op always, B/op and allocs/op under -benchmem, and
+// any testing.B.ReportMetric extras (timesteps, vspeedup, ...).
+//
+// Usage:
+//
+//	go test -bench 'E[0-9]' -benchmem ./... | go run ./cmd/benchjson > BENCH_PR1.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// entry is one benchmark result: N iterations plus metric columns keyed by
+// their unit string ("ns/op", "allocs/op", "timesteps", ...).
+type entry struct {
+	N       int64              `json:"n"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	results := map[string]entry{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		// Echo pass-through so the tool can sit inside a pipe without
+		// hiding failures or the ok/FAIL trailer from the operator.
+		fmt.Fprintln(os.Stderr, line)
+		name, e, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		results[name] = e
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	out, err := marshalSorted(results)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(out)
+	os.Stdout.WriteString("\n")
+}
+
+// parseLine recognizes the standard benchmark result format:
+//
+//	BenchmarkName-8   1234   987.6 ns/op   120 B/op   3 allocs/op
+//
+// Metric columns always come in (value, unit) pairs after the iteration
+// count.
+func parseLine(line string) (string, entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", entry{}, false
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", entry{}, false
+	}
+	e := entry{N: n, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", entry{}, false
+		}
+		e.Metrics[fields[i+1]] = v
+	}
+	if len(e.Metrics) == 0 {
+		return "", entry{}, false
+	}
+	return fields[0], e, true
+}
+
+// marshalSorted renders the results with keys in sorted order so the
+// committed JSON diffs cleanly between benchmark runs.
+func marshalSorted(results map[string]entry) ([]byte, error) {
+	keys := make([]string, 0, len(results))
+	for k := range results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, k := range keys {
+		ev, err := json.Marshal(results[k])
+		if err != nil {
+			return nil, err
+		}
+		kv, _ := json.Marshal(k)
+		fmt.Fprintf(&b, "  %s: %s", kv, ev)
+		if i < len(keys)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}")
+	return []byte(b.String()), nil
+}

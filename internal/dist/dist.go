@@ -121,11 +121,7 @@ func MapReduce(input *value.List, m mapreduce.Mapper, r mapreduce.Reducer, cfg C
 		}
 		part := value.NewListCap(hi - lo)
 		for i := lo; i < hi; i++ {
-			it := items[i]
-			if it == nil {
-				it = value.Nothing{}
-			}
-			part.Add(it.Clone()) // shipping input to the node
+			part.Add(value.CloneValue(items[i])) // shipping input to the node
 		}
 		parts[k] = part
 	}
@@ -158,9 +154,7 @@ func MapReduce(input *value.List, m mapreduce.Mapper, r mapreduce.Reducer, cfg C
 				shuffleMsgs.Add(1)
 				shuffleBytes.Add(int64(len(kv.Key)) + 8)
 				// Structured clone across the node boundary.
-				if kv.Val != nil {
-					kv.Val = kv.Val.Clone()
-				}
+				kv.Val = value.CloneValue(kv.Val)
 			}
 			buckets[dst] = append(buckets[dst], kv)
 		}

@@ -17,12 +17,28 @@ import (
 	"repro/internal/value"
 )
 
+// frameSmallMax is the inline-binding capacity of a Frame. Nearly every
+// lexical scope the interpreter creates holds zero to three variables (a
+// loop counter, a ring parameter, an item binding), so bindings live in a
+// small linear-scanned slice; only a scope that grows past this threshold
+// upgrades to a map. The interpreter allocates one Frame per block-body
+// entry, which made the old always-allocated map the dominant frame cost.
+const frameSmallMax = 8
+
 // Frame is one lexical scope: a variable table chained to its parent.
 // The chain for a sprite script is process frame → sprite frame → global
 // frame, matching Snap!'s variable lookup order.
 type Frame struct {
 	parent *Frame
-	vars   map[string]value.Value
+
+	// Inline storage for up to frameSmallMax bindings; names and vals are
+	// parallel slices, linear-scanned (faster than a map at this size and
+	// allocation-free for the common empty scope).
+	names []string
+	vals  []value.Value
+	// vars is non-nil once the scope outgrows the inline storage; it then
+	// holds every binding and the inline slices are retired.
+	vars map[string]value.Value
 
 	// implicits are the arguments bound to a ring's empty slots for the
 	// duration of one call (§3.1: "the empty input signals where the
@@ -32,21 +48,58 @@ type Frame struct {
 }
 
 // NewFrame creates a child scope of parent (parent may be nil for a root).
+// The scope starts with no variable storage at all; most frames never
+// declare a variable and stay that way.
 func NewFrame(parent *Frame) *Frame {
-	return &Frame{parent: parent, vars: map[string]value.Value{}}
+	return &Frame{parent: parent}
 }
 
 // Declare creates (or overwrites) name in this frame.
 func (f *Frame) Declare(name string, v value.Value) {
-	f.vars[name] = v
+	if f.vars != nil {
+		f.vars[name] = v
+		return
+	}
+	for i, n := range f.names {
+		if n == name {
+			f.vals[i] = v
+			return
+		}
+	}
+	if len(f.names) >= frameSmallMax {
+		f.vars = make(map[string]value.Value, len(f.names)+1)
+		for i, n := range f.names {
+			f.vars[n] = f.vals[i]
+		}
+		f.names, f.vals = nil, nil
+		f.vars[name] = v
+		return
+	}
+	f.names = append(f.names, name)
+	f.vals = append(f.vals, v)
+}
+
+// lookup finds name in this single scope (not the chain), reporting
+// whether it is declared here.
+func (f *Frame) lookup(name string) (value.Value, bool) {
+	if f.vars != nil {
+		v, ok := f.vars[name]
+		return v, ok
+	}
+	for i, n := range f.names {
+		if n == name {
+			return f.vals[i], true
+		}
+	}
+	return nil, false
 }
 
 // Get looks name up the scope chain.
 func (f *Frame) Get(name string) (value.Value, error) {
 	for s := f; s != nil; s = s.parent {
-		if v, ok := s.vars[name]; ok {
+		if v, ok := s.lookup(name); ok {
 			if v == nil {
-				return value.Nothing{}, nil
+				return value.TheNothing, nil
 			}
 			return v, nil
 		}
@@ -58,9 +111,18 @@ func (f *Frame) Get(name string) (value.Value, error) {
 // red halo) when no scope declares it.
 func (f *Frame) Set(name string, v value.Value) error {
 	for s := f; s != nil; s = s.parent {
-		if _, ok := s.vars[name]; ok {
-			s.vars[name] = v
-			return nil
+		if s.vars != nil {
+			if _, ok := s.vars[name]; ok {
+				s.vars[name] = v
+				return nil
+			}
+			continue
+		}
+		for i, n := range s.names {
+			if n == name {
+				s.vals[i] = v
+				return nil
+			}
 		}
 	}
 	return fmt.Errorf("a variable of name %q does not exist in this context", name)
@@ -89,7 +151,7 @@ func (f *Frame) TakeImplicit() value.Value {
 			s.implicitIdx++
 			return v
 		}
-		return value.Nothing{}
+		return value.TheNothing
 	}
-	return value.Nothing{}
+	return value.TheNothing
 }

@@ -1,0 +1,153 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+// These tests pin Frame scoping behavior independently of the interpreter,
+// so the storage representation (map vs. inline slice) can change without
+// moving the semantics.
+
+func TestFrameShadowedSetWritesNearestScope(t *testing.T) {
+	outer := NewFrame(nil)
+	outer.Declare("x", value.NumInt(1))
+	inner := NewFrame(outer)
+	inner.Declare("x", value.NumInt(2))
+
+	if err := inner.Set("x", value.NumInt(3)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := inner.Get("x")
+	if got.String() != "3" {
+		t.Fatalf("inner x = %s, want 3", got)
+	}
+	got, _ = outer.Get("x")
+	if got.String() != "1" {
+		t.Fatalf("outer x = %s, want 1 (Set must write the nearest scope)", got)
+	}
+
+	// Set on a name declared only in the outer scope walks the chain up.
+	outer.Declare("y", value.NumInt(10))
+	if err := inner.Set("y", value.NumInt(20)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = outer.Get("y")
+	if got.String() != "20" {
+		t.Fatalf("outer y = %s, want 20", got)
+	}
+}
+
+func TestFrameSetUndeclaredErrors(t *testing.T) {
+	f := NewFrame(nil)
+	if err := f.Set("ghost", value.NumInt(1)); err == nil {
+		t.Fatal("Set of an undeclared variable must error (red halo)")
+	}
+	if _, err := f.Get("ghost"); err == nil {
+		t.Fatal("Get of an undeclared variable must error")
+	}
+}
+
+func TestFrameDeclaredNilYieldsNothing(t *testing.T) {
+	f := NewFrame(nil)
+	f.Declare("v", nil)
+	got, err := f.Get("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.IsNothing(got) {
+		t.Fatalf("declared-nil variable should read as Nothing, got %T", got)
+	}
+
+	// Same through a child frame's chain lookup.
+	child := NewFrame(f)
+	got, err = child.Get("v")
+	if err != nil || !value.IsNothing(got) {
+		t.Fatalf("chained Get of declared-nil = %v, %v", got, err)
+	}
+}
+
+func TestFrameDeclareOverwritesInPlace(t *testing.T) {
+	f := NewFrame(nil)
+	f.Declare("x", value.NumInt(1))
+	f.Declare("x", value.NumInt(2))
+	got, _ := f.Get("x")
+	if got.String() != "2" {
+		t.Fatalf("redeclare should overwrite, got %s", got)
+	}
+}
+
+func TestFrameManyVariables(t *testing.T) {
+	// Push well past any small-frame threshold and make sure every
+	// binding stays reachable and shadowing still resolves innermost.
+	f := NewFrame(nil)
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j",
+		"k", "l", "m", "n", "o", "p", "q", "r", "s", "t"}
+	for i, name := range names {
+		f.Declare(name, value.NumInt(i))
+	}
+	for i, name := range names {
+		got, err := f.Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		if got != value.NumInt(i) {
+			t.Fatalf("%q = %s, want %d", name, got, i)
+		}
+	}
+	// Overwrite after the upgrade boundary.
+	f.Declare("c", value.Str("new"))
+	got, _ := f.Get("c")
+	if got.String() != "new" {
+		t.Fatalf("c = %s after redeclare", got)
+	}
+	// Set through a child still finds every outer binding.
+	child := NewFrame(f)
+	for _, name := range names {
+		if err := child.Set(name, value.Str(name)); err != nil {
+			t.Fatalf("Set(%q): %v", name, err)
+		}
+	}
+	got, _ = f.Get("t")
+	if got.String() != "t" {
+		t.Fatalf("t = %s, want t", got)
+	}
+}
+
+func TestTakeImplicitSingleArgFanOut(t *testing.T) {
+	// With exactly one argument, every empty slot receives it — how
+	// "map (_ × _) over L" squares a list.
+	f := NewFrame(nil)
+	f.BindImplicits([]value.Value{value.NumInt(6)})
+	for i := 0; i < 3; i++ {
+		got := f.TakeImplicit()
+		if got.String() != "6" {
+			t.Fatalf("take %d = %s, want 6 (single arg fans out)", i, got)
+		}
+	}
+}
+
+func TestTakeImplicitMultiArgLeftToRight(t *testing.T) {
+	f := NewFrame(nil)
+	f.BindImplicits([]value.Value{value.NumInt(1), value.NumInt(2)})
+	if got := f.TakeImplicit(); got.String() != "1" {
+		t.Fatalf("first take = %s", got)
+	}
+	if got := f.TakeImplicit(); got.String() != "2" {
+		t.Fatalf("second take = %s", got)
+	}
+	// Exhausted implicits yield Nothing.
+	if got := f.TakeImplicit(); !value.IsNothing(got) {
+		t.Fatalf("exhausted take = %v, want Nothing", got)
+	}
+}
+
+func TestTakeImplicitFindsBindingUpChain(t *testing.T) {
+	outer := NewFrame(nil)
+	outer.BindImplicits([]value.Value{value.NumInt(9)})
+	inner := NewFrame(outer)
+	if got := inner.TakeImplicit(); got.String() != "9" {
+		t.Fatalf("chained implicit = %s, want 9", got)
+	}
+}

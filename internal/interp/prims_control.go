@@ -74,7 +74,7 @@ func primChangeVar(p *Process, ctx *Context) (value.Value, Control, error) {
 	if err != nil {
 		return nil, Done, err
 	}
-	return nil, Done, ctx.Frame.Set(name, n+d)
+	return nil, Done, ctx.Frame.Set(name, value.Num(float64(n+d)))
 }
 
 func primIf(p *Process, ctx *Context) (value.Value, Control, error) {
@@ -117,7 +117,7 @@ func primRepeat(p *Process, ctx *Context) (value.Value, Control, error) {
 	if n < 1 {
 		return nil, Done, nil
 	}
-	ctx.Inputs[0] = n - 1 // the mutated-counter trick Snap! itself uses
+	ctx.Inputs[0] = value.Num(float64(n - 1)) // the mutated-counter trick Snap! itself uses
 	if !p.Warped() {
 		p.PushYield()
 	}
@@ -186,7 +186,7 @@ func primFor(p *Process, ctx *Context) (value.Value, Control, error) {
 		loop := NewFrame(ringEnv(body, p))
 		s := &forState{i: float64(from), to: float64(to), step: step,
 			frame: loop, varName: ctx.Inputs[0].String()}
-		loop.Declare(s.varName, value.Number(from))
+		loop.Declare(s.varName, value.Num(float64(from)))
 		putScratch(ctx, "forState", s)
 		st = s
 	}
@@ -194,7 +194,7 @@ func primFor(p *Process, ctx *Context) (value.Value, Control, error) {
 	if (s.step > 0 && s.i > s.to) || (s.step < 0 && s.i < s.to) {
 		return nil, Done, nil
 	}
-	s.frame.Declare(s.varName, value.Number(s.i))
+	s.frame.Declare(s.varName, value.Num(s.i))
 	s.i += s.step
 	if !p.Warped() {
 		p.PushYield()

@@ -42,7 +42,7 @@ func numericBinary(f func(a, b float64) float64) Primitive {
 		if err != nil {
 			return nil, Done, err
 		}
-		return value.Number(f(float64(a), float64(b))), Done, nil
+		return value.Num(f(float64(a), float64(b))), Done, nil
 	}
 }
 
@@ -58,7 +58,7 @@ func primQuotient(p *Process, ctx *Context) (value.Value, Control, error) {
 	if b == 0 {
 		return nil, Done, fmt.Errorf("division by zero")
 	}
-	return a / b, Done, nil
+	return value.Num(float64(a / b)), Done, nil
 }
 
 func primModulus(p *Process, ctx *Context) (value.Value, Control, error) {
@@ -78,7 +78,7 @@ func primModulus(p *Process, ctx *Context) (value.Value, Control, error) {
 	if m != 0 && (m < 0) != (float64(b) < 0) {
 		m += float64(b)
 	}
-	return value.Number(m), Done, nil
+	return value.Num(m), Done, nil
 }
 
 func primRound(p *Process, ctx *Context) (value.Value, Control, error) {
@@ -86,7 +86,7 @@ func primRound(p *Process, ctx *Context) (value.Value, Control, error) {
 	if err != nil {
 		return nil, Done, err
 	}
-	return value.Number(math.Round(float64(a))), Done, nil
+	return value.Num(math.Round(float64(a))), Done, nil
 }
 
 func primMonadic(p *Process, ctx *Context) (value.Value, Control, error) {
@@ -132,7 +132,7 @@ func primMonadic(p *Process, ctx *Context) (value.Value, Control, error) {
 	default:
 		return nil, Done, fmt.Errorf("unknown function %q", fn)
 	}
-	return value.Number(r), Done, nil
+	return value.Num(r), Done, nil
 }
 
 // workerRand serves detached (worker) processes, which have no machine to
@@ -157,23 +157,23 @@ func primRandom(p *Process, ctx *Context) (value.Value, Control, error) {
 		rng = p.Machine.Rand()
 	}
 	if a.IsInt() && b.IsInt() {
-		return value.Number(float64(int(lo) + rng.Intn(int(hi)-int(lo)+1))), Done, nil
+		return value.NumInt(int(lo) + rng.Intn(int(hi)-int(lo)+1)), Done, nil
 	}
-	return value.Number(lo + rng.Float64()*(hi-lo)), Done, nil
+	return value.Num(lo + rng.Float64()*(hi-lo)), Done, nil
 }
 
 func primLessThan(p *Process, ctx *Context) (value.Value, Control, error) {
 	lt, err := value.Less(ctx.Inputs[0], ctx.Inputs[1])
-	return value.Bool(lt), Done, err
+	return value.BoolVal(lt), Done, err
 }
 
 func primEquals(p *Process, ctx *Context) (value.Value, Control, error) {
-	return value.Bool(value.Equal(ctx.Inputs[0], ctx.Inputs[1])), Done, nil
+	return value.BoolVal(value.Equal(ctx.Inputs[0], ctx.Inputs[1])), Done, nil
 }
 
 func primGreaterThan(p *Process, ctx *Context) (value.Value, Control, error) {
 	gt, err := value.Greater(ctx.Inputs[0], ctx.Inputs[1])
-	return value.Bool(gt), Done, err
+	return value.BoolVal(gt), Done, err
 }
 
 func primAnd(p *Process, ctx *Context) (value.Value, Control, error) {
@@ -185,7 +185,7 @@ func primAnd(p *Process, ctx *Context) (value.Value, Control, error) {
 	if err != nil {
 		return nil, Done, err
 	}
-	return value.Bool(a && b), Done, nil
+	return value.BoolVal(bool(a && b)), Done, nil
 }
 
 func primOr(p *Process, ctx *Context) (value.Value, Control, error) {
@@ -197,7 +197,7 @@ func primOr(p *Process, ctx *Context) (value.Value, Control, error) {
 	if err != nil {
 		return nil, Done, err
 	}
-	return value.Bool(a || b), Done, nil
+	return value.BoolVal(bool(a || b)), Done, nil
 }
 
 func primNot(p *Process, ctx *Context) (value.Value, Control, error) {
@@ -205,7 +205,7 @@ func primNot(p *Process, ctx *Context) (value.Value, Control, error) {
 	if err != nil {
 		return nil, Done, err
 	}
-	return value.Bool(!a), Done, nil
+	return value.BoolVal(bool(!a)), Done, nil
 }
 
 func primJoin(p *Process, ctx *Context) (value.Value, Control, error) {
@@ -223,13 +223,13 @@ func primLetter(p *Process, ctx *Context) (value.Value, Control, error) {
 	}
 	s := []rune(ctx.Inputs[1].String())
 	if i < 1 || i > len(s) {
-		return value.Text(""), Done, nil
+		return value.Str(""), Done, nil
 	}
-	return value.Text(string(s[i-1])), Done, nil
+	return value.Str(string(s[i-1])), Done, nil
 }
 
 func primStringSize(p *Process, ctx *Context) (value.Value, Control, error) {
-	return value.Number(float64(len([]rune(ctx.Inputs[0].String())))), Done, nil
+	return value.NumInt(len([]rune(ctx.Inputs[0].String()))), Done, nil
 }
 
 func primTextSplit(p *Process, ctx *Context) (value.Value, Control, error) {

@@ -92,6 +92,7 @@ type Process struct {
 
 	context      *Context
 	freeCtx      *Context // recycled contexts (single-threaded freelist)
+	trace        func(*Process, *blocks.Block)
 	rootFrame    *Frame
 	result       value.Value
 	err          error
@@ -283,6 +284,13 @@ func (p *Process) MarkWaitConsumed() { p.consumedWait = true }
 // as a runaway guard.
 func (p *Process) RunStep(maxOps int) {
 	p.readyToYield = false
+	// Resolve the trace hook once per slice: the evaluator loop then pays
+	// a single nil check per block instead of chasing Machine.TraceBlock
+	// through two pointers on every application.
+	p.trace = nil
+	if p.Machine != nil {
+		p.trace = p.Machine.TraceBlock
+	}
 	ops := 0
 	for p.context != nil && !p.stopped {
 		if p.readyToYield && p.warp == 0 {
@@ -388,8 +396,8 @@ func (p *Process) evaluateBlock(ctx *Context, b *blocks.Block) error {
 	if !ok {
 		return fmt.Errorf("missing implementation for block %q", b.Op)
 	}
-	if p.Machine != nil && p.Machine.TraceBlock != nil {
-		p.Machine.TraceBlock(p, b)
+	if p.trace != nil {
+		p.trace(p, b)
 	}
 	v, control, err := prim(p, ctx)
 	if err != nil {
@@ -469,11 +477,7 @@ func CallFunction(ring *blocks.Ring, args []value.Value, maxSteps int) (value.Va
 	// environment is reached read-only via the frame chain.
 	callArgs := make([]value.Value, len(args))
 	for i, a := range args {
-		if a == nil {
-			callArgs[i] = value.Nothing{}
-			continue
-		}
-		callArgs[i] = a.Clone()
+		callArgs[i] = value.CloneValue(a)
 	}
 	p := &Process{rootFrame: NewFrame(nil)}
 	p.context = &Context{Expr: collector{}, Frame: p.rootFrame}

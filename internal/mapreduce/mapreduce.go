@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/value"
 	"repro/internal/workers"
@@ -126,59 +127,96 @@ func ReduceSorted(mid []KVP, r Reducer, workers int) (Result, error) {
 	return reducePhase(groupPhase(sorted), r, workers)
 }
 
-func mapPhase(input *value.List, m Mapper, w int) ([]KVP, error) {
-	n := input.Len()
+// phaseGrain is how many records one executor claims per fetch-add in the
+// map and reduce phases, amortizing the shared counter the way the worker
+// pool's dynamic assignment does; small enough that skewed groups still
+// balance across workers.
+func phaseGrain(n, w int) int {
+	g := n / (w * 4)
+	if g < 1 {
+		g = 1
+	}
+	if g > 64 {
+		g = 64
+	}
+	return g
+}
+
+// runPhase executes fn(i) for i in [0, n) across w executors on the
+// persistent worker pool, each claiming grain-sized chunks off a shared
+// counter. fn returning an error stops that executor; the first error in
+// executor order is returned.
+func runPhase(n, w int, fn func(i int) error) error {
 	if w > n {
 		w = n
 	}
 	if w < 1 {
 		w = 1
 	}
-	items := input.Items()
-	parts := make([][]KVP, n)
+	if n == 0 {
+		return nil
+	}
+	grain := phaseGrain(n, w)
 	errs := make([]error, w)
-	var next int64
-	var mu sync.Mutex
+	var next atomic.Int64
 	var wg sync.WaitGroup
+	pool := workers.SharedPool()
+	wg.Add(w)
 	for k := 0; k < w; k++ {
-		wg.Add(1)
-		go func(worker int) {
+		worker := k
+		pool.Submit(func() {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				i := int(next)
-				next++
-				mu.Unlock()
-				if i >= n {
+				lo := int(next.Add(int64(grain))) - grain
+				if lo >= n {
 					return
 				}
-				item := items[i]
-				if item == nil {
-					item = value.Nothing{}
+				hi := lo + grain
+				if hi > n {
+					hi = n
 				}
-				kvs, err := safeMap(m, item.Clone())
-				if err != nil {
-					errs[worker] = fmt.Errorf("map item %d: %w", i+1, err)
-					return
-				}
-				for j := range kvs {
-					if kvs[j].Val != nil {
-						kvs[j].Val = kvs[j].Val.Clone()
-					} else {
-						kvs[j].Val = value.Nothing{}
+				for i := lo; i < hi; i++ {
+					if err := fn(i); err != nil {
+						errs[worker] = err
+						return
 					}
 				}
-				parts[i] = kvs
 			}
-		}(k)
+		})
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	var mid []KVP
+	return nil
+}
+
+func mapPhase(input *value.List, m Mapper, w int) ([]KVP, error) {
+	n := input.Len()
+	items := input.Items()
+	parts := make([][]KVP, n)
+	err := runPhase(n, w, func(i int) error {
+		item := items[i]
+		kvs, err := safeMap(m, value.CloneValue(item))
+		if err != nil {
+			return fmt.Errorf("map item %d: %w", i+1, err)
+		}
+		for j := range kvs {
+			kvs[j].Val = value.CloneValue(kvs[j].Val)
+		}
+		parts[i] = kvs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	mid := make([]KVP, 0, total)
 	for _, p := range parts {
 		mid = append(mid, p...)
 	}
@@ -212,47 +250,21 @@ func groupPhase(mid []KVP) []group {
 
 func reducePhase(groups []group, r Reducer, w int) (Result, error) {
 	n := len(groups)
-	if w > n {
-		w = n
-	}
-	if w < 1 {
-		w = 1
-	}
 	out := make(Result, n)
-	errs := make([]error, w)
-	var next int64
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for k := 0; k < w; k++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := int(next)
-				next++
-				mu.Unlock()
-				if i >= n {
-					return
-				}
-				g := groups[i]
-				v, err := safeReduce(r, g.key, g.vals.Clone().(*value.List))
-				if err != nil {
-					errs[worker] = fmt.Errorf("reduce key %q: %w", g.key, err)
-					return
-				}
-				if v == nil {
-					v = value.Nothing{}
-				}
-				out[i] = KVP{Key: g.key, Val: v.Clone()}
-			}
-		}(k)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := runPhase(n, w, func(i int) error {
+		g := groups[i]
+		v, err := safeReduce(r, g.key, g.vals.Clone().(*value.List))
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("reduce key %q: %w", g.key, err)
 		}
+		if v == nil {
+			v = value.TheNothing
+		}
+		out[i] = KVP{Key: g.key, Val: value.CloneValue(v)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -284,7 +296,7 @@ func SingleKey(item value.Value) ([]KVP, error) {
 
 // WordCount maps a word to (word, 1) — the canonical example of Figure 11.
 func WordCount(item value.Value) ([]KVP, error) {
-	return []KVP{{Key: item.String(), Val: value.Number(1)}}, nil
+	return []KVP{{Key: item.String(), Val: value.NumInt(1)}}, nil
 }
 
 // FahrenheitToCelsius maps a °F reading to ("", °C) for a global average,
@@ -321,7 +333,7 @@ func SumReduce(key string, vals *value.List) (value.Value, error) {
 
 // CountReduce reports the group's size.
 func CountReduce(key string, vals *value.List) (value.Value, error) {
-	return value.Number(float64(vals.Len())), nil
+	return value.NumInt(vals.Len()), nil
 }
 
 // AvgReduce averages the group — the Figure 20 reducer. For small groups

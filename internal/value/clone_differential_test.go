@@ -1,0 +1,157 @@
+package value
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// legacyClone is the pre-elision structured clone: a deep copy of every
+// value, scalars included, exactly as Value.Clone behaved before scalar
+// sharing. The differential tests below check that CloneValue is
+// observably equivalent to it.
+func legacyClone(v Value) Value {
+	switch x := v.(type) {
+	case nil:
+		return Nothing{}
+	case Nothing:
+		return Nothing{}
+	case Bool:
+		return Bool(bool(x))
+	case Number:
+		return Number(float64(x))
+	case Text:
+		return Text(string(x))
+	case *List:
+		c := &List{items: make([]Value, len(x.items))}
+		for i, it := range x.items {
+			c.items[i] = legacyClone(it)
+		}
+		return c
+	default:
+		return v.Clone()
+	}
+}
+
+// randomValue builds an arbitrary value tree of bounded depth.
+func randomValue(rng *rand.Rand, depth int) Value {
+	switch k := rng.Intn(6); {
+	case k == 0:
+		return Nothing{}
+	case k == 1:
+		return Bool(rng.Intn(2) == 0)
+	case k == 2:
+		return Number(float64(rng.Intn(4000) - 2000))
+	case k == 3:
+		return Number(rng.NormFloat64() * 1e6)
+	case k == 4:
+		return Text(fmt.Sprintf("s%d", rng.Intn(1000)))
+	default:
+		if depth <= 0 {
+			return NumInt(rng.Intn(100))
+		}
+		n := rng.Intn(6)
+		l := NewListCap(n)
+		for i := 0; i < n; i++ {
+			l.Add(randomValue(rng, depth-1))
+		}
+		return l
+	}
+}
+
+// deepEqual compares two value trees structurally (Equal compares scalars
+// loosely; here we want exact structural identity of the rendering).
+func deepEqual(a, b Value) bool {
+	la, aok := a.(*List)
+	lb, bok := b.(*List)
+	if aok != bok {
+		return false
+	}
+	if aok {
+		if la.Len() != lb.Len() {
+			return false
+		}
+		for i := 1; i <= la.Len(); i++ {
+			if !deepEqual(la.MustItem(i), lb.MustItem(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	return a.Kind() == b.Kind() && a.String() == b.String()
+}
+
+// TestCloneDifferential checks, over many random value trees, that the
+// eliding CloneValue and the legacy deep copy produce structurally
+// identical results.
+func TestCloneDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		v := randomValue(rng, 4)
+		a := CloneValue(v)
+		b := legacyClone(v)
+		if !deepEqual(a, b) {
+			t.Fatalf("trial %d: clones differ:\n eliding: %s\n legacy:  %s", trial, a, b)
+		}
+		if !deepEqual(a, v) {
+			t.Fatalf("trial %d: clone differs from original", trial)
+		}
+	}
+}
+
+// TestCloneIsolation checks the share-nothing property the worker boundary
+// depends on: after cloning, no mutation through the original is visible
+// through the clone, at any nesting depth.
+func TestCloneIsolation(t *testing.T) {
+	inner := NewList(NumInt(1), NumInt(2))
+	orig := NewList(NumInt(0), inner, Text("keep"))
+	c := CloneValue(orig).(*List)
+
+	// Mutate the original's spine and its nested list.
+	orig.SetItem(1, Text("mutated"))
+	orig.Add(Text("extra"))
+	inner.SetItem(2, Text("mutated"))
+	inner.Add(NumInt(99))
+
+	if got := c.String(); got != "[0 [1 2] keep]" {
+		t.Fatalf("clone observed mutation of original: %s", got)
+	}
+
+	// And the reverse: mutating the clone must not touch the original.
+	c.MustItem(2).(*List).Add(Text("clone-side"))
+	if got := orig.MustItem(2).String(); got != "[1 mutated 99]" {
+		t.Fatalf("original observed mutation of clone: %s", got)
+	}
+}
+
+// TestCloneScalarSharing documents the elision itself: scalar boxes may be
+// shared between original and clone (that is the optimization), while list
+// boxes must never be.
+func TestCloneScalarSharing(t *testing.T) {
+	l := NewList(NumInt(7), Text("hi"), Bool(true), Nothing{})
+	c := CloneValue(l).(*List)
+	if c == l {
+		t.Fatal("list spine must be copied")
+	}
+	for i := 1; i <= l.Len(); i++ {
+		if c.MustItem(i) != l.MustItem(i) {
+			t.Errorf("item %d: scalar box not shared (elision regressed)", i)
+		}
+	}
+
+	nested := NewList(NewList(NumInt(1)))
+	nc := CloneValue(nested).(*List)
+	if nc.MustItem(1) == nested.MustItem(1) {
+		t.Fatal("nested list box must not be shared")
+	}
+}
+
+// TestCloneNilItems pins the nil-item behavior of the old path: a nil cell
+// clones to Nothing.
+func TestCloneNilItems(t *testing.T) {
+	l := &List{items: []Value{nil, NumInt(1)}}
+	c := CloneValue(l).(*List)
+	if _, ok := c.MustItem(1).(Nothing); !ok {
+		t.Fatalf("nil item should clone to Nothing, got %T", c.MustItem(1))
+	}
+}

@@ -1,0 +1,114 @@
+package value
+
+// Interning and clone elision: the allocation discipline of the hot path.
+//
+// Converting a Number or Text to the Value interface boxes it (one heap
+// allocation for the data word). The interpreter and the worker pool do
+// this for every block result and every value crossing a worker boundary,
+// so the runtime pre-boxes the values that occur overwhelmingly often —
+// small integers, the booleans, Nothing, and one-character strings — and
+// hands out the shared boxes instead.
+//
+// Sharing boxes is sound because every scalar kind is immutable: Nothing,
+// Bool, Number, and Text have no mutable state, so two holders of the same
+// box can never observe each other. The same immutability argument powers
+// CloneValue's elision: a structured clone only needs to copy values that
+// can be mutated (lists, and lists inside lists); scalars can cross a
+// worker boundary by reference without breaking the share-nothing model.
+// See docs/PERFORMANCE.md for the invariants this relies on.
+
+// Pre-boxed singletons for the zero-information values.
+var (
+	// TheNothing is the shared boxed Nothing.
+	TheNothing Value = Nothing{}
+	// True and False are the shared boxed booleans.
+	True  Value = Bool(true)
+	False Value = Bool(false)
+)
+
+// Small-integer interning range. Loop counters, list indices, character
+// codes, and the constants of example programs land here; the range is
+// deliberately wider above zero than below, like every VM's small-int
+// cache.
+const (
+	internNumLo = -128
+	internNumHi = 1024
+)
+
+var internedNums [internNumHi - internNumLo + 1]Value
+
+// internedChars holds the 128 one-byte ASCII strings plus the empty
+// string, the dominant products of letter-of and text-split blocks.
+var (
+	internedChars [128]Value
+	emptyText     Value = Text("")
+)
+
+func init() {
+	for i := range internedNums {
+		internedNums[i] = Number(float64(i + internNumLo))
+	}
+	for i := range internedChars {
+		internedChars[i] = Text(string(rune(i)))
+	}
+}
+
+// Num boxes a float64 as a Value, returning the shared box for small
+// integers. Use it anywhere a Number becomes a Value on a hot path.
+func Num(f float64) Value {
+	if i := int(f); float64(i) == f && i >= internNumLo && i <= internNumHi {
+		return internedNums[i-internNumLo]
+	}
+	return Number(f)
+}
+
+// NumInt boxes an int as a Value through the small-integer cache.
+func NumInt(i int) Value {
+	if i >= internNumLo && i <= internNumHi {
+		return internedNums[i-internNumLo]
+	}
+	return Number(float64(i))
+}
+
+// BoolVal returns the shared box for a bool.
+func BoolVal(b bool) Value {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Str boxes a string as a Value, returning the shared box for the empty
+// string and single-byte ASCII strings.
+func Str(s string) Value {
+	switch len(s) {
+	case 0:
+		return emptyText
+	case 1:
+		if c := s[0]; c < 128 {
+			return internedChars[c]
+		}
+	}
+	return Text(s)
+}
+
+// CloneValue is the structured clone used at every worker boundary. It
+// deep-copies mutable containers (lists) and elides the copy for immutable
+// scalars, returning the same box: calling Clone() on a Number or Text
+// value re-boxes it (an allocation), while returning the interface word
+// unchanged is free and observably identical, because scalars cannot be
+// mutated through any holder.
+//
+// Rings clone to themselves (procedures are immutable once reified) and
+// opaque host values refuse to clone, both per the Value.Clone contract;
+// CloneValue defers to Clone for any kind it does not recognize.
+func CloneValue(v Value) Value {
+	switch v.(type) {
+	case nil:
+		return TheNothing
+	case Nothing, Bool, Number, Text:
+		return v
+	default:
+		return v.Clone()
+	}
+}

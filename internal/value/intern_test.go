@@ -1,0 +1,69 @@
+package value
+
+import "testing"
+
+func TestNumInterning(t *testing.T) {
+	// Small integers come back as the same box every time.
+	if Num(5) != Num(5) {
+		t.Error("Num(5) not interned")
+	}
+	if NumInt(-128) != Num(-128) || NumInt(1024) != Num(1024) {
+		t.Error("interning range endpoints disagree between Num and NumInt")
+	}
+	// Values outside the range or non-integral still box correctly.
+	for _, f := range []float64{-129, 1025, 0.5, 1e18, -1e18} {
+		v := Num(f)
+		if n, ok := v.(Number); !ok || float64(n) != f {
+			t.Errorf("Num(%g) = %v", f, v)
+		}
+	}
+	// Interned boxes hold the right values.
+	for _, f := range []float64{-128, -1, 0, 1, 42, 1024} {
+		if n := Num(f).(Number); float64(n) != f {
+			t.Errorf("Num(%g) holds %g", f, float64(n))
+		}
+	}
+}
+
+func TestStrInterning(t *testing.T) {
+	if Str("") != Str("") {
+		t.Error("empty string not interned")
+	}
+	if Str("a") != Str("a") {
+		t.Error("single ASCII char not interned")
+	}
+	for _, s := range []string{"", "a", "Z", " ", "hello", "é", "日本"} {
+		if got := Str(s).String(); got != s {
+			t.Errorf("Str(%q).String() = %q", s, got)
+		}
+	}
+}
+
+func TestBoolAndNothingSingletons(t *testing.T) {
+	if BoolVal(true) != True || BoolVal(false) != False {
+		t.Error("BoolVal does not return the shared boxes")
+	}
+	if !IsNothing(TheNothing) {
+		t.Error("TheNothing is not Nothing")
+	}
+	if CloneValue(nil) != TheNothing {
+		t.Error("CloneValue(nil) should be TheNothing")
+	}
+}
+
+func TestCloneValueScalarsFree(t *testing.T) {
+	// The elision contract: cloning a scalar returns the identical box.
+	for _, v := range []Value{NumInt(3), Str("x"), True, TheNothing, Number(2.5), Text("word")} {
+		if CloneValue(v) != v {
+			t.Errorf("CloneValue(%v) re-boxed a scalar", v)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = CloneValue(True)
+		_ = CloneValue(NumInt(7))
+		_ = CloneValue(Str("q"))
+	})
+	if allocs != 0 {
+		t.Errorf("scalar CloneValue allocates (%v allocs/run)", allocs)
+	}
+}

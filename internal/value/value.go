@@ -182,7 +182,7 @@ func NewListCap(n int) *List { return &List{items: make([]Value, 0, n)} }
 func FromFloats(xs []float64) *List {
 	l := &List{items: make([]Value, len(xs))}
 	for i, x := range xs {
-		l.items[i] = Number(x)
+		l.items[i] = Num(x)
 	}
 	return l
 }
@@ -191,7 +191,7 @@ func FromFloats(xs []float64) *List {
 func FromStrings(ss []string) *List {
 	l := &List{items: make([]Value, len(ss))}
 	for i, s := range ss {
-		l.items[i] = Text(s)
+		l.items[i] = Str(s)
 	}
 	return l
 }
@@ -200,7 +200,7 @@ func FromStrings(ss []string) *List {
 func FromInts(xs []int) *List {
 	l := &List{items: make([]Value, len(xs))}
 	for i, x := range xs {
-		l.items[i] = Number(float64(x))
+		l.items[i] = NumInt(x)
 	}
 	return l
 }
@@ -214,11 +214,11 @@ func Range(from, to, step float64) *List {
 	l := &List{}
 	if step > 0 {
 		for x := from; x <= to; x += step {
-			l.items = append(l.items, Number(x))
+			l.items = append(l.items, Num(x))
 		}
 	} else {
 		for x := from; x >= to; x += step {
-			l.items = append(l.items, Number(x))
+			l.items = append(l.items, Num(x))
 		}
 	}
 	return l
@@ -246,15 +246,14 @@ func (l *List) String() string {
 }
 
 // Clone implements Value with a structured clone: a deep copy of the list
-// spine and, recursively, of every item.
+// spine and, recursively, of every mutable item. Immutable scalar items are
+// shared between original and clone (see CloneValue); only containers are
+// copied, which preserves the share-nothing semantics while skipping the
+// re-boxing allocation per scalar element.
 func (l *List) Clone() Value {
 	c := &List{items: make([]Value, len(l.items))}
 	for i, it := range l.items {
-		if it == nil {
-			c.items[i] = Nothing{}
-			continue
-		}
-		c.items[i] = it.Clone()
+		c.items[i] = CloneValue(it)
 	}
 	return c
 }

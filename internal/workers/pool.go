@@ -54,8 +54,14 @@ type Options struct {
 	// Cost, when set, assigns a virtual cost to element i (0-based).
 	// Each worker accumulates the cost of the elements it processes,
 	// readable via Job.WorkerCosts — the instrumentation behind the
-	// load-balance experiment E10.
+	// load-balance experiment E10. Setting Cost forces Grain to 1 so the
+	// per-element assignment the ablation studies stays observable.
 	Cost func(i int) int64
+	// Grain is how many elements one dynamic fetch-add claims. 0 picks
+	// an automatic grain that amortizes the shared-counter contention
+	// while leaving enough chunks for load balance; 1 reproduces the
+	// strict per-element queue of Parallel.js (and of E10).
+	Grain int
 }
 
 // Parallel reproduces the Parallel.js entry point:
@@ -156,10 +162,38 @@ func (j *Job) finish(result *value.List, err error) {
 	close(j.done)
 }
 
+// grain resolves the effective dynamic-assignment grain for n elements on
+// w workers: the configured Grain, forced to 1 when per-element cost
+// instrumentation is on (the E10 ablation observes element-level
+// assignment), else an automatic chunk that amortizes the shared
+// fetch-add while leaving ~4 chunks per worker for balance.
+func (p *Parallel) grain(n, w int) int {
+	if p.opts.Cost != nil {
+		return 1
+	}
+	if p.opts.Grain > 0 {
+		return p.opts.Grain
+	}
+	g := n / (w * 4)
+	if g < 1 {
+		g = 1
+	}
+	if g > 64 {
+		g = 64
+	}
+	return g
+}
+
 // Map applies fn to every element of the pool's data on the worker pool and
 // resolves to the list of results in input order. Each element is
 // structured-cloned into its worker and each result cloned back out, the
 // postMessage discipline.
+//
+// The work runs on the persistent SharedPool: one executor per requested
+// worker, each claiming elements in grain-sized chunks off a shared atomic
+// counter (Dynamic) or by its static schedule (Block, Interleaved). The
+// last executor to finish resolves the job, so an operation costs zero
+// goroutine spawns when the pool has idle workers.
 func (p *Parallel) Map(fn Handler) *Job {
 	n := p.data.Len()
 	w := p.opts.MaxWorkers
@@ -170,6 +204,12 @@ func (p *Parallel) Map(fn Handler) *Job {
 		w = 1
 	}
 	job := newJob(w)
+	if n == 0 {
+		// Nothing to map: resolve synchronously with an empty result
+		// instead of spinning up executor scaffolding.
+		job.finish(value.NewList(), nil)
+		return job
+	}
 	items := p.data.Items()
 	results := make([]value.Value, n)
 	var firstErr atomic.Value
@@ -199,60 +239,11 @@ func (p *Parallel) Map(fn Handler) *Job {
 		return true
 	}
 
-	go func() {
-		var wg sync.WaitGroup
-		switch p.opts.Assignment {
-		case Dynamic:
-			var next atomic.Int64
-			for k := 0; k < w; k++ {
-				wg.Add(1)
-				go func(worker int) {
-					defer wg.Done()
-					for {
-						i := int(next.Add(1)) - 1
-						if i >= n {
-							return
-						}
-						if !runOne(worker, i) {
-							return
-						}
-					}
-				}(k)
-			}
-		case Block:
-			chunk := (n + w - 1) / w
-			for k := 0; k < w; k++ {
-				lo, hi := k*chunk, (k+1)*chunk
-				if hi > n {
-					hi = n
-				}
-				if lo >= hi {
-					continue
-				}
-				wg.Add(1)
-				go func(worker, lo, hi int) {
-					defer wg.Done()
-					for i := lo; i < hi; i++ {
-						if !runOne(worker, i) {
-							return
-						}
-					}
-				}(k, lo, hi)
-			}
-		case Interleaved:
-			for k := 0; k < w; k++ {
-				wg.Add(1)
-				go func(worker int) {
-					defer wg.Done()
-					for i := worker; i < n; i += w {
-						if !runOne(worker, i) {
-							return
-						}
-					}
-				}(k)
-			}
+	var pending atomic.Int32
+	finishIfLast := func() {
+		if pending.Add(-1) != 0 {
+			return
 		}
-		wg.Wait()
 		if e := firstErr.Load(); e != nil {
 			job.finish(nil, e.(error))
 			return
@@ -262,7 +253,76 @@ func (p *Parallel) Map(fn Handler) *Job {
 			return
 		}
 		job.finish(value.NewList(results...), nil)
-	}()
+	}
+
+	pool := SharedPool()
+	switch p.opts.Assignment {
+	case Dynamic:
+		grain := p.grain(n, w)
+		var next atomic.Int64
+		pending.Store(int32(w))
+		for k := 0; k < w; k++ {
+			worker := k
+			pool.Submit(func() {
+				defer finishIfLast()
+				for {
+					lo := int(next.Add(int64(grain))) - grain
+					if lo >= n {
+						return
+					}
+					hi := lo + grain
+					if hi > n {
+						hi = n
+					}
+					for i := lo; i < hi; i++ {
+						if !runOne(worker, i) {
+							return
+						}
+					}
+				}
+			})
+		}
+	case Block:
+		chunk := (n + w - 1) / w
+		active := 0
+		for k := 0; k < w; k++ {
+			if k*chunk < n {
+				active++
+			}
+		}
+		pending.Store(int32(active))
+		for k := 0; k < w; k++ {
+			lo, hi := k*chunk, (k+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				continue
+			}
+			worker, lo, hi := k, lo, hi
+			pool.Submit(func() {
+				defer finishIfLast()
+				for i := lo; i < hi; i++ {
+					if !runOne(worker, i) {
+						return
+					}
+				}
+			})
+		}
+	case Interleaved:
+		pending.Store(int32(w))
+		for k := 0; k < w; k++ {
+			worker := k
+			pool.Submit(func() {
+				defer finishIfLast()
+				for i := worker; i < n; i += w {
+					if !runOne(worker, i) {
+						return
+					}
+				}
+			})
+		}
+	}
 	return job
 }
 
@@ -271,8 +331,9 @@ func (p *Parallel) Map(fn Handler) *Job {
 type ReduceFunc func(a, b value.Value) (value.Value, error)
 
 // Reduce folds the pool's data with fn: each worker folds a contiguous
-// chunk, then the partials are folded left-to-right. The empty list
-// resolves to Nothing.
+// chunk on the persistent SharedPool, then the last worker to finish folds
+// the partials left-to-right and resolves the job. The empty list resolves
+// to Nothing.
 func (p *Parallel) Reduce(fn ReduceFunc) *Job {
 	n := p.data.Len()
 	w := p.opts.MaxWorkers
@@ -283,55 +344,28 @@ func (p *Parallel) Reduce(fn ReduceFunc) *Job {
 		w = 1
 	}
 	job := newJob(w)
+	if n == 0 {
+		job.finish(value.NewList(value.Nothing{}), nil)
+		return job
+	}
 	items := p.data.Items()
 	clone := !p.opts.NoClone
 
-	go func() {
-		if n == 0 {
-			job.finish(value.NewList(value.Nothing{}), nil)
+	partials := make([]value.Value, w)
+	errs := make([]error, w)
+	chunk := (n + w - 1) / w
+	active := 0
+	for k := 0; k < w; k++ {
+		if k*chunk < n {
+			active++
+		}
+	}
+	var pending atomic.Int32
+	pending.Store(int32(active))
+	finishIfLast := func() {
+		if pending.Add(-1) != 0 {
 			return
 		}
-		partials := make([]value.Value, w)
-		errs := make([]error, w)
-		var wg sync.WaitGroup
-		chunk := (n + w - 1) / w
-		for k := 0; k < w; k++ {
-			lo, hi := k*chunk, (k+1)*chunk
-			if hi > n {
-				hi = n
-			}
-			if lo >= hi {
-				continue
-			}
-			wg.Add(1)
-			go func(worker, lo, hi int) {
-				defer wg.Done()
-				acc := items[lo]
-				if clone {
-					acc = safeClone(acc)
-				}
-				atomic.AddInt64(&job.loads[worker], 1)
-				for i := lo + 1; i < hi; i++ {
-					if job.canceled.Load() {
-						errs[worker] = ErrCanceled
-						return
-					}
-					in := items[i]
-					if clone {
-						in = safeClone(in)
-					}
-					out, err := runReduce(fn, acc, in)
-					if err != nil {
-						errs[worker] = err
-						return
-					}
-					acc = out
-					atomic.AddInt64(&job.loads[worker], 1)
-				}
-				partials[worker] = acc
-			}(k, lo, hi)
-		}
-		wg.Wait()
 		for _, err := range errs {
 			if err != nil {
 				job.finish(nil, err)
@@ -355,7 +389,45 @@ func (p *Parallel) Reduce(fn ReduceFunc) *Job {
 			acc = out
 		}
 		job.finish(value.NewList(acc), nil)
-	}()
+	}
+
+	pool := SharedPool()
+	for k := 0; k < w; k++ {
+		lo, hi := k*chunk, (k+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		worker, lo, hi := k, lo, hi
+		pool.Submit(func() {
+			defer finishIfLast()
+			acc := items[lo]
+			if clone {
+				acc = safeClone(acc)
+			}
+			atomic.AddInt64(&job.loads[worker], 1)
+			for i := lo + 1; i < hi; i++ {
+				if job.canceled.Load() {
+					errs[worker] = ErrCanceled
+					return
+				}
+				in := items[i]
+				if clone {
+					in = safeClone(in)
+				}
+				out, err := runReduce(fn, acc, in)
+				if err != nil {
+					errs[worker] = err
+					return
+				}
+				acc = out
+				atomic.AddInt64(&job.loads[worker], 1)
+			}
+			partials[worker] = acc
+		})
+	}
 	return job
 }
 

@@ -1,0 +1,91 @@
+package workers
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent, reusable set of goroutines that execute submitted
+// tasks. Before the pool existed, every Parallel.Map/Reduce and every
+// mapreduce phase spawned fresh goroutines and tore them down again — per
+// operation, on a hot path the interpreter polls thousands of times. A
+// Pool keeps its goroutines parked on a channel between operations, so a
+// steady stream of parallel blocks reuses the same threads, the way a
+// browser keeps its Web Workers alive between postMessage rounds.
+//
+// Submission uses a direct handoff: a task is given to an idle worker if
+// one is waiting, and otherwise runs on a fresh goroutine ("spill"). The
+// spill rule is what makes the pool safe under nested parallelism — a
+// handler running on a pool worker may itself start a parallel job, and
+// queuing that inner job behind the blocked outer tasks would deadlock.
+// Spilling degenerates to exactly the old spawn-per-task behavior, so the
+// pool is never slower than what it replaced.
+type Pool struct {
+	tasks   chan func()
+	size    int
+	spilled atomic.Int64
+	closed  atomic.Bool
+}
+
+// NewPool starts a pool of size persistent workers.
+func NewPool(size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool{tasks: make(chan func()), size: size}
+	for i := 0; i < size; i++ {
+		go p.loop()
+	}
+	return p
+}
+
+func (p *Pool) loop() {
+	for f := range p.tasks {
+		f()
+	}
+}
+
+// Submit runs f on an idle pool worker when one is available, and on a
+// fresh goroutine otherwise. It never blocks and never queues.
+func (p *Pool) Submit(f func()) {
+	if !p.closed.Load() {
+		select {
+		case p.tasks <- f:
+			return
+		default:
+		}
+	}
+	p.spilled.Add(1)
+	go f()
+}
+
+// Size reports the number of persistent workers.
+func (p *Pool) Size() int { return p.size }
+
+// Spilled reports how many submissions ran on fresh goroutines because no
+// pool worker was idle — a contention diagnostic.
+func (p *Pool) Spilled() int64 { return p.spilled.Load() }
+
+// Close retires the persistent workers. Tasks submitted after Close still
+// run (on fresh goroutines); Close exists so tests can create and discard
+// pools without leaking goroutines. Close must be called at most once and
+// must not race with in-flight Submit calls (quiesce the pool first, the
+// same contract as closing any channel).
+func (p *Pool) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.tasks)
+	}
+}
+
+var (
+	sharedOnce sync.Once
+	sharedP    *Pool
+)
+
+// SharedPool returns the process-wide persistent pool, sized to the
+// hardware concurrency, creating it on first use. It is never closed: the
+// paper's runtime keeps its Web Workers for the life of the page.
+func SharedPool() *Pool {
+	sharedOnce.Do(func() { sharedP = NewPool(DefaultWorkers()) })
+	return sharedP
+}

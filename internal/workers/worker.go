@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/value"
 )
@@ -55,7 +56,10 @@ type Worker struct {
 	done   chan struct{}
 	once   sync.Once
 
-	processed int64 // messages handled; read after termination or via pool stats
+	// processed counts messages handled. It is incremented on the worker
+	// goroutine and read concurrently from pool stats, so it must be
+	// atomic: the old plain int64 was a data race under -race.
+	processed atomic.Int64
 }
 
 // Spawn starts a worker running the given handler. The worker loops,
@@ -85,7 +89,7 @@ func (w *Worker) loop(h Handler) {
 			}
 			in := safeClone(v)
 			out, err := runHandler(h, in)
-			w.processed++
+			w.processed.Add(1)
 			if err != nil {
 				w.outbox <- Message{Err: err}
 				continue
@@ -107,11 +111,12 @@ func runHandler(h Handler, in value.Value) (out value.Value, err error) {
 	return h(in)
 }
 
+// safeClone is the worker-boundary structured clone: a deep copy for
+// mutable containers, elided (the same box returned) for immutable
+// scalars — see value.CloneValue for why sharing scalar boxes preserves
+// the share-nothing semantics.
 func safeClone(v value.Value) value.Value {
-	if v == nil {
-		return value.Nothing{}
-	}
-	return v.Clone()
+	return value.CloneValue(v)
 }
 
 // PostMessage sends data to the worker. The value is cloned on the worker
@@ -133,6 +138,10 @@ func (w *Worker) Terminate() {
 
 // ID reports the worker's index within its pool.
 func (w *Worker) ID() int { return w.id }
+
+// Processed reports how many messages the worker has handled so far. Safe
+// to call while the worker is running.
+func (w *Worker) Processed() int64 { return w.processed.Load() }
 
 // ErrTerminated is returned by pool operations after Terminate.
 var ErrTerminated = errors.New("worker pool terminated")
