@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-all check repro lint fmt vet cover clean
+.PHONY: all build test race bench bench-all check serve-smoke repro lint fmt vet cover clean
 
 all: build test
 
@@ -16,11 +16,17 @@ race:
 	$(GO) test -race ./...
 
 # check is the pre-merge gate: vet everything, then run the race detector
-# over the packages with real concurrency (the worker pool and the
-# MapReduce engine).
+# over the packages with real concurrency (the worker pool, the MapReduce
+# engine, the interpreter, and the execution service).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/workers/... ./internal/mapreduce/...
+	$(GO) test -race ./internal/workers/... ./internal/mapreduce/... \
+		./internal/interp/... ./internal/runtime/... ./internal/server/...
+
+# serve-smoke boots snapserved in its self-test mode: serve on an
+# ephemeral port, POST one project, assert a 200, exit.
+serve-smoke:
+	$(GO) run ./cmd/snapserved -smoke
 
 # bench runs the paper's E-series experiment benchmarks with allocation
 # stats and records the results as JSON (benchmark name -> ns/op,

@@ -1,0 +1,133 @@
+// Command snapserved is the multi-tenant execution daemon: an HTTP/JSON
+// service that runs uploaded block projects as governed sessions (wall-
+// clock deadlines, step budgets, bounded traces), translates blocks to
+// text languages (§6), and sheds load when full. It is the headless
+// analogue of hosting Snap! for a classroom: many students, one runtime,
+// nobody's forever-loop takes the service down.
+//
+//	snapserved -addr :8080 -max-concurrent 8 -timeout 10s
+//	snapserved -smoke        # self-test: start, run one request, exit
+//
+// Endpoints: POST /v1/run, POST /v1/codegen, GET /v1/sessions/{id},
+// GET /healthz, GET /metrics. See docs/SERVER.md.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/server"
+	"repro/internal/workers"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		maxConcurrent = flag.Int("max-concurrent", 4, "sessions executing at once")
+		maxQueue      = flag.Int("max-queue", 0, "sessions waiting for a slot (0 = same as -max-concurrent)")
+		queueWait     = flag.Duration("queue-wait", 5*time.Second, "longest a session waits for a slot before 429")
+		timeout       = flag.Duration("timeout", runtime.DefaultLimits.Timeout, "default per-session wall-clock deadline")
+		maxSteps      = flag.Int64("maxsteps", runtime.DefaultLimits.MaxSteps, "default per-session evaluator-step budget")
+		maxRounds     = flag.Int("maxrounds", runtime.DefaultLimits.MaxRounds, "default per-session scheduler-round cap")
+		maxTrace      = flag.Int("maxtrace", runtime.DefaultLimits.MaxTraceLines, "default bound on a session's stage output log")
+		maxList       = flag.Int("maxlist", 1_000_000, "process-wide cap on list length (0 = uncapped)")
+		maxText       = flag.Int("maxtext", 1<<20, "process-wide cap on text bytes (0 = uncapped)")
+		maxBody       = flag.Int64("maxbody", 1<<20, "request body cap in bytes")
+		nworkers      = flag.Int("workers", 0, "shared worker-pool size (0 = hardware concurrency)")
+		smoke         = flag.Bool("smoke", false, "self-test: serve on an ephemeral port, run one project, exit")
+	)
+	flag.Parse()
+
+	if *nworkers > 0 {
+		if !workers.ConfigureSharedPool(*nworkers) {
+			log.Printf("worker pool already built; -workers %d ignored", *nworkers)
+		}
+	}
+	runtime.SetGlobalCaps(*maxList, *maxText)
+
+	defaults := runtime.Limits{
+		Timeout:       *timeout,
+		MaxSteps:      *maxSteps,
+		MaxRounds:     *maxRounds,
+		MaxTraceLines: *maxTrace,
+	}
+	srv := server.New(server.Config{
+		Runtime: runtime.Config{
+			MaxConcurrent: *maxConcurrent,
+			MaxQueue:      *maxQueue,
+			QueueWait:     *queueWait,
+			Defaults:      defaults,
+			// Nothing may ask for more than the daemon-wide defaults.
+			Ceiling: defaults,
+		},
+		MaxBodyBytes: *maxBody,
+	})
+
+	if *smoke {
+		if err := runSmoke(srv); err != nil {
+			fmt.Fprintln(os.Stderr, "smoke:", err)
+			os.Exit(1)
+		}
+		fmt.Println("smoke ok")
+		return
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Println("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx) //nolint:errcheck
+	}()
+	log.Printf("snapserved listening on %s (max %d concurrent sessions, %d workers)",
+		*addr, *maxConcurrent, workers.SharedPool().Size())
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}
+
+// runSmoke boots the server on an ephemeral port, POSTs one project, and
+// verifies the session ran — the `make serve-smoke` target.
+func runSmoke(srv *server.Server) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln) //nolint:errcheck
+	defer httpSrv.Close()
+
+	base := "http://" + ln.Addr().String()
+	body := `{"project": "(project \"smoke\" (sprite \"S\" (when green-flag (do (say \"hello\")))))"}`
+	resp, err := http.Post(base+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /v1/run: status %d", resp.StatusCode)
+	}
+	health, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	health.Body.Close()
+	if health.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /healthz: status %d", health.StatusCode)
+	}
+	return nil
+}

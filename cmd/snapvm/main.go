@@ -9,10 +9,12 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/blocks"
 	"repro/internal/demos"
@@ -26,6 +28,8 @@ func main() {
 	demo := flag.String("demo", "", "run a built-in demo: concession-parallel, concession-sequential, dragon")
 	key := flag.String("key", "", "press this key after the green-flag scripts finish")
 	rounds := flag.Int("rounds", 0, "scheduler round limit (0 = default)")
+	maxSteps := flag.Int64("maxsteps", 0, "evaluator-step budget across all processes (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "wall-clock deadline for the run (0 = none)")
 	interfere := flag.Bool("interference", true, "model footnote-5 browser interference on the clock")
 	traceBlocks := flag.Bool("traceblocks", false, "print every block application (watch the blocks run)")
 	view := flag.Bool("view", false, "draw the final stage as ASCII art")
@@ -54,13 +58,13 @@ func main() {
 	started := m.GreenFlag()
 	fmt.Printf("project %q: %d sprite(s), green flag started %d script(s)\n",
 		project.Name, len(project.Sprites), len(started))
-	if err := m.Run(*rounds); err != nil {
+	if err := runGoverned(m, *rounds, *maxSteps, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "run:", err)
 		os.Exit(1)
 	}
 	if *key != "" {
 		m.PressKey(*key)
-		if err := m.Run(*rounds); err != nil {
+		if err := runGoverned(m, *rounds, *maxSteps, *timeout); err != nil {
 			fmt.Fprintln(os.Stderr, "run after key press:", err)
 			os.Exit(1)
 		}
@@ -80,6 +84,19 @@ func main() {
 	}
 	fmt.Printf("\ntimer: %d timesteps over %d scheduler rounds\n",
 		m.Stage.Timer.Elapsed(), m.Round())
+}
+
+// runGoverned runs the machine under the same governance the execution
+// service applies: a scheduler-round cap, a cumulative step budget, and a
+// wall-clock deadline.
+func runGoverned(m *interp.Machine, rounds int, maxSteps int64, timeout time.Duration) error {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return m.RunContext(ctx, interp.RunLimits{MaxRounds: rounds, MaxSteps: maxSteps})
 }
 
 func loadProject(demo, path string) (*blocks.Project, error) {

@@ -1,12 +1,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/demos"
 	"repro/internal/interp"
+	"repro/internal/parse"
 	"repro/internal/vclock"
 	"repro/internal/xmlio"
 )
@@ -67,5 +71,68 @@ func TestLoadProjectFromTextAndRun(t *testing.T) {
 	}
 	if got := m.Stage.Timer.Elapsed(); got != 3 {
 		t.Errorf("textual project = %d timesteps, want 3", got)
+	}
+}
+
+const foreverSrc = `
+	(project "forever"
+	  (sprite "S"
+	    (local x 0)
+	    (when green-flag (do
+	      (forever (do (change x 1)))))))`
+
+func foreverMachine(t *testing.T) *interp.Machine {
+	t.Helper()
+	p, err := parse.Project(foreverSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.NewMachine(p, nil)
+	m.GreenFlag()
+	return m
+}
+
+func TestRunGovernedStepBudget(t *testing.T) {
+	m := foreverMachine(t)
+	err := runGoverned(m, 0, 20_000, 0)
+	if !errors.Is(err, interp.ErrStepLimit) {
+		t.Fatalf("-maxsteps on a forever loop: want ErrStepLimit, got %v", err)
+	}
+	if got := m.Steps(); got > 20_000+int64(m.SliceOps) {
+		t.Fatalf("ran %d steps past a 20000 budget", got)
+	}
+}
+
+func TestRunGovernedTimeout(t *testing.T) {
+	m := foreverMachine(t)
+	start := time.Now()
+	err := runGoverned(m, 0, 0, 50*time.Millisecond)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("-timeout on a forever loop: want deadline error, got %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("50ms timeout took %v to land", d)
+	}
+}
+
+func TestRunGovernedRoundLimitStillWorks(t *testing.T) {
+	m := foreverMachine(t)
+	if err := runGoverned(m, 10, 0, 0); !errors.Is(err, interp.ErrRoundLimit) {
+		t.Fatalf("-rounds: want ErrRoundLimit, got %v", err)
+	}
+}
+
+func TestRunGovernedCleanExit(t *testing.T) {
+	p, err := parse.Project(`
+		(project "quick"
+		  (sprite "S"
+		    (when green-flag (do (forward 10)))))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.NewMachine(p, nil)
+	m.GreenFlag()
+	if err := runGoverned(m, 0, 1_000_000, time.Minute); err != nil {
+		t.Fatalf("governed run of a terminating project: %v", err)
 	}
 }

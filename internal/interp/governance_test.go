@@ -1,0 +1,156 @@
+package interp_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/blocks"
+	"repro/internal/interp"
+	"repro/internal/parse"
+)
+
+func foreverProject(t *testing.T) *blocks.Project {
+	t.Helper()
+	p, err := parse.Project(`
+		(project "forever"
+		  (sprite "S"
+		    (local x 0)
+		    (when green-flag (do
+		      (forever (do (change x 1)))))))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunContextDeadlineKillsForever(t *testing.T) {
+	m := interp.NewMachine(foreverProject(t), nil)
+	m.GreenFlag()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := m.RunContext(ctx, interp.RunLimits{})
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("deadline kill took %v", d)
+	}
+	if len(m.Processes()) != 0 {
+		t.Fatalf("killed machine still has %d live processes", len(m.Processes()))
+	}
+}
+
+func TestRunContextStepBudget(t *testing.T) {
+	m := interp.NewMachine(foreverProject(t), nil)
+	m.GreenFlag()
+	err := m.RunContext(context.Background(), interp.RunLimits{MaxSteps: 5000})
+	if !errors.Is(err, interp.ErrStepLimit) {
+		t.Fatalf("want ErrStepLimit, got %v", err)
+	}
+	// The budget is enforced between rounds with a clamped slice, so the
+	// overshoot is at most one live process's slice.
+	if got := m.Steps(); got > 5000+int64(m.SliceOps) {
+		t.Fatalf("steps = %d, want <= budget + one slice", got)
+	}
+	if len(m.Processes()) != 0 {
+		t.Fatal("step-limited machine still has live processes")
+	}
+}
+
+func TestRunDelegatesUnchanged(t *testing.T) {
+	m := interp.NewMachine(foreverProject(t), nil)
+	m.GreenFlag()
+	err := m.Run(10)
+	if !errors.Is(err, interp.ErrRoundLimit) {
+		t.Fatalf("want ErrRoundLimit, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "after 10 rounds") {
+		t.Fatalf("round-limit error lost its detail: %v", err)
+	}
+}
+
+func TestKillFiresOnDoneHooks(t *testing.T) {
+	m := interp.NewMachine(foreverProject(t), nil)
+	procs := m.GreenFlag()
+	if len(procs) != 1 {
+		t.Fatalf("started %d processes, want 1", len(procs))
+	}
+	fired := false
+	procs[0].OnDone = func(*interp.Process) { fired = true }
+	m.Run(5) // let it spin a little
+	m.Kill()
+	if !fired {
+		t.Fatal("Kill did not fire the process OnDone hook")
+	}
+	if m.Step() {
+		t.Fatal("killed machine claims live processes")
+	}
+}
+
+func TestValueCapsListAndText(t *testing.T) {
+	interp.SetValueCaps(100, 64)
+	defer interp.SetValueCaps(0, 0)
+
+	m := interp.NewMachine(blocks.NewProject("caps"), nil)
+	script, err := parse.Script(`(report (numbers 1 1000))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunScript(script); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("numbers over cap: want cap error, got %v", err)
+	}
+
+	m = interp.NewMachine(blocks.NewProject("caps"), nil)
+	script, err = parse.Script(`
+		(declare s)
+		(set s "xxxxxxxxxxxxxxxx")
+		(repeat 5 (do (set s (join $s $s))))
+		(report $s)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunScript(script); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("doubling text over cap: want cap error, got %v", err)
+	}
+
+	// Under the caps everything still works.
+	m = interp.NewMachine(blocks.NewProject("caps"), nil)
+	script, err = parse.Script(`(report (length (numbers 1 50)))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.RunScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "50" {
+		t.Fatalf("numbers under cap = %s, want 50", v)
+	}
+}
+
+func TestBoundedStageTrace(t *testing.T) {
+	p, err := parse.Project(`
+		(project "tracey"
+		  (sprite "S"
+		    (when green-flag (do
+		      (repeat 20 (do (forward 1)))))))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.NewMachine(p, nil)
+	m.Stage.MaxTrace = 5
+	m.GreenFlag()
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Stage.TraceLines()); got != 5 {
+		t.Fatalf("bounded trace kept %d lines, want 5", got)
+	}
+	if got := m.Stage.TraceDropped(); got != 15 {
+		t.Fatalf("dropped = %d, want 15", got)
+	}
+}

@@ -1,0 +1,48 @@
+package interp
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Value-size governance for hosted execution. A beginner's project handed
+// to a shared service can ask for `numbers from 1 to 1e9` or double a text
+// in a loop; unbounded, a single session OOMs the whole process long before
+// any step budget fires. The caps are process-wide (set once by the daemon,
+// zero in the CLI tools and tests) because they protect the process, not
+// the session — and because they are consulted from detached worker
+// evaluation (interp.CallFunction) that has no Machine to hang them off.
+var (
+	capListLen atomic.Int64
+	capTextLen atomic.Int64
+)
+
+// SetValueCaps installs process-wide value-size caps: the maximum length of
+// any list a primitive builds or grows, and the maximum byte length of any
+// text a primitive produces. Zero disables a cap. Safe to call
+// concurrently; intended to be called once at daemon startup.
+func SetValueCaps(maxListLen, maxTextLen int) {
+	capListLen.Store(int64(maxListLen))
+	capTextLen.Store(int64(maxTextLen))
+}
+
+// ValueCaps reports the installed caps (0 = unlimited).
+func ValueCaps() (maxListLen, maxTextLen int) {
+	return int(capListLen.Load()), int(capTextLen.Load())
+}
+
+// checkListLen admits a list about to reach n elements.
+func checkListLen(n int) error {
+	if cap := capListLen.Load(); cap > 0 && int64(n) > cap {
+		return fmt.Errorf("list of %d elements exceeds the service cap of %d", n, cap)
+	}
+	return nil
+}
+
+// checkTextLen admits a text about to reach n bytes.
+func checkTextLen(n int) error {
+	if cap := capTextLen.Load(); cap > 0 && int64(n) > cap {
+		return fmt.Errorf("text of %d bytes exceeds the service cap of %d", n, cap)
+	}
+	return nil
+}

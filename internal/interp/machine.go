@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -43,6 +44,7 @@ type Machine struct {
 	actorSprite map[*stage.Actor]*blocks.Sprite
 	errs        []error
 	round       int64
+	steps       int64
 }
 
 // NewMachine builds a machine for the project over a fresh stage driven by
@@ -239,6 +241,10 @@ func (m *Machine) Processes() []*Process {
 // Round reports how many scheduler rounds have run.
 func (m *Machine) Round() int64 { return m.round }
 
+// Steps reports the cumulative evaluator ops executed across all processes
+// and rounds — the unit RunLimits.MaxSteps budgets.
+func (m *Machine) Steps() int64 { return m.steps }
+
 // Errors returns the errors of processes that died, in death order.
 func (m *Machine) Errors() []error { return m.errs }
 
@@ -267,7 +273,7 @@ func (m *Machine) Step() bool {
 			continue
 		}
 		p.consumedWait = false
-		p.RunStep(m.SliceOps)
+		m.steps += int64(p.RunStep(m.SliceOps))
 		if p.consumedWait {
 			anyWait = true
 		}
@@ -306,14 +312,67 @@ func (m *Machine) compact() {
 // ErrRoundLimit reports that Run hit its round cap with processes alive.
 var ErrRoundLimit = errors.New("machine round limit reached with live processes")
 
+// ErrStepLimit reports that RunContext exhausted its evaluator-op budget
+// with processes alive — the hard ceiling a hosted session runs under.
+var ErrStepLimit = errors.New("machine step budget exhausted with live processes")
+
+// RunLimits bounds one RunContext call. The zero value reproduces the
+// legacy Run defaults: a generous round cap and no step budget.
+type RunLimits struct {
+	// MaxRounds caps scheduler rounds; 0 means a generous default (1M).
+	MaxRounds int
+	// MaxSteps caps cumulative evaluator ops across all processes; 0 means
+	// unlimited. The cap is enforced between rounds, so a run may overshoot
+	// by at most one round's worth of ops (live processes × remaining
+	// slice).
+	MaxSteps int64
+}
+
 // Run steps the machine until no processes remain or maxRounds elapse
 // (0 means a generous default). It returns the first process error, the
 // round-limit error, or nil.
 func (m *Machine) Run(maxRounds int) error {
+	return m.RunContext(context.Background(), RunLimits{MaxRounds: maxRounds})
+}
+
+// RunContext is Run under governance: it additionally stops — killing every
+// live process and canceling their in-flight parallel jobs — when the
+// context is done (wall-clock deadlines, session cancellation) or when the
+// cumulative step budget runs out. The returned error wraps ctx's cause or
+// ErrStepLimit respectively, so callers can classify the outcome with
+// errors.Is.
+func (m *Machine) RunContext(ctx context.Context, lim RunLimits) error {
+	maxRounds := lim.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = 1_000_000
 	}
+	done := ctx.Done()
+	baseSlice := m.SliceOps
+	defer func() { m.SliceOps = baseSlice }()
 	for i := 0; i < maxRounds; i++ {
+		if done != nil {
+			select {
+			case <-done:
+				m.Kill()
+				return fmt.Errorf("machine run canceled after %d rounds, %d steps: %w",
+					m.round, m.steps, context.Cause(ctx))
+			default:
+			}
+		}
+		if lim.MaxSteps > 0 {
+			rem := lim.MaxSteps - m.steps
+			if rem <= 0 {
+				m.Kill()
+				return fmt.Errorf("%w (after %d rounds, %d steps)", ErrStepLimit, m.round, m.steps)
+			}
+			// Clamp the per-process slice so one round overshoots the
+			// budget by as little as possible.
+			if rem < int64(baseSlice) {
+				m.SliceOps = int(rem)
+			} else {
+				m.SliceOps = baseSlice
+			}
+		}
 		if !m.Step() {
 			if len(m.errs) > 0 {
 				return m.errs[0]
@@ -333,6 +392,22 @@ func (m *Machine) Run(maxRounds int) error {
 		return m.errs[0]
 	}
 	return fmt.Errorf("%w (after %d rounds)", ErrRoundLimit, maxRounds)
+}
+
+// Kill stops every live process AND fires its completion hooks immediately.
+// Unlike StopAll — which only flags the processes and relies on a further
+// Step to reap them — Kill is what a dying session calls: the OnDone hooks
+// are how in-flight parallel jobs get canceled (core's cancelOnDeath), so
+// they must run even though the scheduler will never turn again.
+func (m *Machine) Kill() {
+	for _, p := range m.procs {
+		if p.Done() {
+			continue // already reaped by the Step that saw it finish
+		}
+		p.Stop()
+		m.reap(p)
+	}
+	m.compact()
 }
 
 // RunScript is the convenience entry point used by tests and examples: it

@@ -3,6 +3,7 @@ package interp
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/blocks"
 	"repro/internal/value"
@@ -44,6 +45,9 @@ func primNumbers(p *Process, ctx *Context) (value.Value, Control, error) {
 	step := 1.0
 	if from > to {
 		step = -1
+	}
+	if err := checkListLen(int(math.Abs(float64(to-from))) + 1); err != nil {
+		return nil, Done, err
 	}
 	return value.Range(float64(from), float64(to), step), Done, nil
 }
@@ -89,6 +93,9 @@ func primAddToList(p *Process, ctx *Context) (value.Value, Control, error) {
 	if err != nil {
 		return nil, Done, err
 	}
+	if err := checkListLen(l.Len() + 1); err != nil {
+		return nil, Done, err
+	}
 	l.Add(ctx.Inputs[0])
 	return nil, Done, nil
 }
@@ -112,6 +119,9 @@ func primInsertInList(p *Process, ctx *Context) (value.Value, Control, error) {
 	}
 	i, err := value.ToInt(ctx.Inputs[1])
 	if err != nil {
+		return nil, Done, err
+	}
+	if err := checkListLen(l.Len() + 1); err != nil {
 		return nil, Done, err
 	}
 	return nil, Done, l.InsertAt(i, ctx.Inputs[0])

@@ -209,6 +209,13 @@ func primNot(p *Process, ctx *Context) (value.Value, Control, error) {
 }
 
 func primJoin(p *Process, ctx *Context) (value.Value, Control, error) {
+	total := 0
+	for _, v := range ctx.Inputs {
+		total += len(v.String())
+	}
+	if err := checkTextLen(total); err != nil {
+		return nil, Done, err
+	}
 	var b strings.Builder
 	for _, v := range ctx.Inputs {
 		b.WriteString(v.String())
@@ -247,6 +254,9 @@ func primTextSplit(p *Process, ctx *Context) (value.Value, Control, error) {
 		parts = strings.Split(text, "\n")
 	default:
 		parts = strings.Split(text, delim)
+	}
+	if err := checkListLen(len(parts)); err != nil {
+		return nil, Done, err
 	}
 	return value.FromStrings(parts), Done, nil
 }

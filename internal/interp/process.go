@@ -281,8 +281,9 @@ func (p *Process) MarkWaitConsumed() { p.consumedWait = true }
 // maxOps contexts (the time slice of §2: "each process executes for a
 // short amount of time called a time slice before yielding to the next
 // process"). Warped processes ignore yields but still honor the op budget
-// as a runaway guard.
-func (p *Process) RunStep(maxOps int) {
+// as a runaway guard. It returns the number of evaluator ops consumed, the
+// accounting unit behind machine-level step budgets.
+func (p *Process) RunStep(maxOps int) int {
 	p.readyToYield = false
 	// Resolve the trace hook once per slice: the evaluator loop then pays
 	// a single nil check per block instead of chasing Machine.TraceBlock
@@ -294,18 +295,19 @@ func (p *Process) RunStep(maxOps int) {
 	ops := 0
 	for p.context != nil && !p.stopped {
 		if p.readyToYield && p.warp == 0 {
-			return
+			return ops
 		}
 		p.readyToYield = false
 		if err := p.evaluateContext(); err != nil {
 			p.fail(err)
-			return
+			return ops
 		}
 		ops++
 		if maxOps > 0 && ops >= maxOps {
-			return
+			return ops
 		}
 	}
+	return ops
 }
 
 // evaluateContext performs one evaluation step on the top context.
@@ -485,8 +487,7 @@ func CallFunction(ring *blocks.Ring, args []value.Value, maxSteps int) (value.Va
 		return nil, err
 	}
 	for steps := 0; p.context != nil; {
-		p.RunStep(256)
-		steps += 256
+		steps += p.RunStep(256)
 		if p.err != nil {
 			return nil, p.err
 		}

@@ -1,10 +1,12 @@
 package parse
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/blocks"
 	"repro/internal/interp"
+	"repro/internal/lint"
 )
 
 // FuzzExpr feeds arbitrary text to the parser: it must never panic, and
@@ -50,6 +52,67 @@ func FuzzExpr(f *testing.F) {
 		m.StopAll()
 		m.Step()
 	})
+}
+
+// FuzzProject feeds arbitrary text to the whole-project reader — the
+// entry point of the network ingestion path (POST /v1/run). It must never
+// panic, and accepted projects must survive linting and a bounded run.
+func FuzzProject(f *testing.F) {
+	for _, seed := range []string{
+		`(project "p" (sprite "S" (when green-flag (do (forward 1)))))`,
+		`(project "p" (global n 3) (sprite "S" (at 10 20) (local x 0)
+		   (when green-flag (do (change x 1)))))`,
+		`(project "p" (define (double n) (report (* $n 2)))
+		   (sprite "S" (when green-flag (do (say (double 21))))))`,
+		`(project "p" (sprite "A") (sprite "B" (when key-press "space" (do (forward 1)))))`,
+		`(project "p" (sprite "S" (when green-flag (do
+		   (report (parallelmap (lambda (x) (* $x 2)) (numbers 1 9) 4))))))`,
+		`(project`,
+		`(project "p" (sprite))`,
+		`(sprite "loose")`,
+		`(project "p" (global))`,
+		strings.Repeat("(", 500) + strings.Repeat(")", 500),
+		"; only a comment",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Project(src)
+		if err != nil {
+			return
+		}
+		lint.Project(p)
+		m := interp.NewMachine(p, nil)
+		m.SliceOps = 200
+		m.GreenFlag()
+		_ = m.Run(50)
+		m.StopAll()
+		m.Step()
+	})
+}
+
+// TestDeepNestingIsAnErrorNotACrash pins the maxNesting guard: megabytes
+// of open parens used to exhaust the goroutine stack (fatal), now they
+// parse-error.
+func TestDeepNestingIsAnErrorNotACrash(t *testing.T) {
+	for _, src := range []string{
+		strings.Repeat("(", 1_000_000),
+		strings.Repeat("(list ", 200_000) + "1" + strings.Repeat(")", 200_000),
+	} {
+		if _, err := Expr(src); err == nil {
+			t.Error("deeply nested input parsed without error")
+		} else if !strings.Contains(err.Error(), "nested deeper") {
+			t.Errorf("want nesting-depth error, got: %v", err)
+		}
+		if _, err := Project(src); err == nil {
+			t.Error("deeply nested project parsed without error")
+		}
+	}
+	// The cap must not reject real programs of reasonable depth.
+	ok := strings.Repeat("(join \"a\" ", 500) + "\"b\"" + strings.Repeat(")", 500)
+	if _, err := Expr(ok); err != nil {
+		t.Errorf("500-deep expression should parse: %v", err)
+	}
 }
 
 // FuzzScript does the same for command sequences.

@@ -45,9 +45,16 @@ type list struct {
 
 func (l list) pos() int { return l.at }
 
+// maxNesting bounds s-expression depth. The reader and the lowerer both
+// recurse over the tree, and this parser sits on the network ingestion
+// path: without a cap, a few megabytes of "(" exhaust the goroutine stack,
+// which is a fatal, unrecoverable crash rather than an error.
+const maxNesting = 10_000
+
 type reader struct {
-	src []rune
-	i   int
+	src   []rune
+	i     int
+	depth int
 }
 
 func (r *reader) error(at int, format string, args ...any) error {
@@ -87,6 +94,11 @@ func (r *reader) read() (sexpr, error) {
 	at := r.i
 	switch c := r.src[r.i]; {
 	case c == '(':
+		r.depth++
+		if r.depth > maxNesting {
+			return nil, r.error(at, "forms nested deeper than %d", maxNesting)
+		}
+		defer func() { r.depth-- }()
 		r.i++
 		var items []sexpr
 		for {

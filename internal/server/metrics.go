@@ -1,0 +1,162 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// metrics is a hand-rolled Prometheus-text-format registry. The daemon
+// must stay dependency-free (the container bakes in only the Go
+// toolchain), and the fixed shape we need — per-endpoint request counters,
+// session gauges, and two histogram families — does not justify a client
+// library.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]map[int]int64 // endpoint -> status code -> count
+	latency  map[string]*histogram    // endpoint -> seconds histogram
+	steps    *histogram               // per-session evaluator steps
+}
+
+// latencyBounds and stepBounds are the histogram bucket upper bounds.
+var (
+	latencyBounds = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+	stepBounds    = []float64{1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
+)
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: map[string]map[int]int64{},
+		latency:  map[string]*histogram{},
+		steps:    newHistogram(stepBounds),
+	}
+}
+
+type histogram struct {
+	bounds []float64
+	counts []int64 // len(bounds)+1; the last bucket is +Inf
+	sum    float64
+	total  int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// request records one served request.
+func (m *metrics) request(endpoint string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode := m.requests[endpoint]
+	if byCode == nil {
+		byCode = map[int]int64{}
+		m.requests[endpoint] = byCode
+	}
+	byCode[code]++
+	h := m.latency[endpoint]
+	if h == nil {
+		h = newHistogram(latencyBounds)
+		m.latency[endpoint] = h
+	}
+	h.observe(seconds)
+}
+
+// session records one finished session's step count.
+func (m *metrics) session(steps int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.steps.observe(float64(steps))
+}
+
+// gauges are read at render time so they are always current.
+type gaugeFunc struct {
+	name, help string
+	read       func() float64
+}
+
+// render writes the whole registry in Prometheus text exposition format.
+func (m *metrics) render(b *strings.Builder, gauges []gaugeFunc, sessionTotals map[string]int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	b.WriteString("# HELP snapserved_requests_total Requests served, by endpoint and status code.\n")
+	b.WriteString("# TYPE snapserved_requests_total counter\n")
+	for _, ep := range sortedKeys(m.requests) {
+		codes := m.requests[ep]
+		keys := make([]int, 0, len(codes))
+		for c := range codes {
+			keys = append(keys, c)
+		}
+		sort.Ints(keys)
+		for _, c := range keys {
+			fmt.Fprintf(b, "snapserved_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, c, codes[c])
+		}
+	}
+
+	for _, g := range gauges {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", g.name, g.help, g.name, g.name, g.read())
+	}
+
+	b.WriteString("# HELP snapserved_sessions_total Finished sessions, by outcome status.\n")
+	b.WriteString("# TYPE snapserved_sessions_total counter\n")
+	for _, st := range sortedKeys(sessionTotals) {
+		fmt.Fprintf(b, "snapserved_sessions_total{status=%q} %d\n", st, sessionTotals[st])
+	}
+
+	b.WriteString("# HELP snapserved_request_seconds Request latency, by endpoint.\n")
+	b.WriteString("# TYPE snapserved_request_seconds histogram\n")
+	for _, ep := range sortedKeys(m.latency) {
+		m.latency[ep].render(b, "snapserved_request_seconds", fmt.Sprintf("endpoint=%q", ep))
+	}
+
+	b.WriteString("# HELP snapserved_session_steps Evaluator steps per finished session.\n")
+	b.WriteString("# TYPE snapserved_session_steps histogram\n")
+	m.steps.render(b, "snapserved_session_steps", "")
+}
+
+func (h *histogram) render(b *strings.Builder, name, labels string) {
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(b, "%s_bucket{%s} %d\n", name, joinLabels(labels, "le=\""+trimFloat(bound)+"\""), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(b, "%s_bucket{%s} %d\n", name, joinLabels(labels, `le="+Inf"`), cum)
+	if labels == "" {
+		fmt.Fprintf(b, "%s_sum %g\n%s_count %d\n", name, h.sum, name, h.total)
+	} else {
+		fmt.Fprintf(b, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, h.sum, name, labels, h.total)
+	}
+}
+
+func joinLabels(parts ...string) string {
+	out := parts[:0]
+	for _, p := range parts {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return strings.Join(out, ",")
+}
+
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

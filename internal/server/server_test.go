@@ -1,0 +1,429 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+const quickSrc = `
+	(project "quick"
+	  (sprite "S"
+	    (when green-flag (do
+	      (forward 10)
+	      (say "done")))))`
+
+const foreverSrc = `
+	(project "forever"
+	  (sprite "S"
+	    (local x 0)
+	    (when green-flag (do
+	      (forever (do (change x 1)))))))`
+
+const parallelSrc = `
+	(project "par"
+	  (sprite "S"
+	    (when green-flag (do
+	      (report (parallelmap
+	        (lambda (x) (+ $x 1))
+	        (numbers 1 100) 4))))))`
+
+// lintBadSrc reads a variable no scope declares — an error-severity lint
+// finding, so ingestion must refuse to run it.
+const lintBadSrc = `
+	(project "bad"
+	  (sprite "S"
+	    (when green-flag (do
+	      (say $undeclared)))))`
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestRunToCompletion(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Project: quickSrc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Status != runtime.StatusOK {
+		t.Fatalf("session status = %s (%s)", rr.Status, rr.Error)
+	}
+	if rr.ID == "" || rr.Steps == 0 || len(rr.Trace) == 0 {
+		t.Fatalf("implausible response: %+v", rr)
+	}
+
+	// The finished session is queryable by ID.
+	resp, body = getJSON(t, ts.URL+"/v1/sessions/"+rr.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET session = %d, body %s", resp.StatusCode, body)
+	}
+	var sr SessionResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.State != runtime.StateDone || sr.Result == nil || sr.Result.Status != runtime.StatusOK {
+		t.Fatalf("session lookup: %+v", sr)
+	}
+}
+
+func TestDeadlineKillReturnsStructuredTimeout(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	start := time.Now()
+	resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Project: foreverSrc, TimeoutMS: 100})
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Status != runtime.StatusTimeout {
+		t.Fatalf("session status = %s (%s), want timeout", rr.Status, rr.Error)
+	}
+	// Acceptance: a forever loop with a 100ms deadline answers within ~2x.
+	if elapsed > 250*time.Millisecond {
+		t.Fatalf("100ms-deadline request took %v", elapsed)
+	}
+}
+
+func TestStepBudgetKill(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Project: foreverSrc, MaxSteps: 10_000})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Status != runtime.StatusSteps {
+		t.Fatalf("session status = %s (%s), want step-budget", rr.Status, rr.Error)
+	}
+}
+
+func TestLintRejection(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Project: lintBadSrc})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body %s", resp.StatusCode, body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(eb.Error, "lint") || len(eb.Findings) == 0 {
+		t.Fatalf("rejection lost its diagnostics: %+v", eb)
+	}
+}
+
+func TestMalformedRequests(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body any
+		want int
+	}{
+		{"empty project", RunRequest{}, http.StatusBadRequest},
+		{"garbage source", RunRequest{Project: "!!!"}, http.StatusBadRequest},
+		{"bad format", RunRequest{Project: quickSrc, Format: "yaml"}, http.StatusBadRequest},
+		{"unclosed sexpr", RunRequest{Project: `(project "x"`}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/run", tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d; body %s", tc.name, resp.StatusCode, tc.want, body)
+		}
+	}
+
+	// Non-JSON body.
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("non-JSON body: status = %d, want 400", resp.StatusCode)
+	}
+
+	// Unknown session.
+	resp, _ = getJSON(t, ts.URL+"/v1/sessions/s-doesnotexist")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session: status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestBodyTooLarge(t *testing.T) {
+	ts := newTestServer(t, Config{MaxBodyBytes: 1024})
+	huge := RunRequest{Project: "; " + strings.Repeat("x", 4096)}
+	resp, _ := postJSON(t, ts.URL+"/v1/run", huge)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestAdmissionQueuesThen429(t *testing.T) {
+	ts := newTestServer(t, Config{Runtime: runtime.Config{
+		MaxConcurrent: 1,
+		MaxQueue:      1,
+		QueueWait:     2 * time.Second,
+	}})
+
+	var wg sync.WaitGroup
+	codes := make([]int, 3)
+	statuses := make([]runtime.Status, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Project: foreverSrc, TimeoutMS: 300})
+			codes[i] = resp.StatusCode
+			if resp.StatusCode == http.StatusOK {
+				var rr RunResponse
+				if err := json.Unmarshal(body, &rr); err == nil {
+					statuses[i] = rr.Status
+				}
+			}
+		}()
+		// Stagger so the roles are deterministic: 0 runs, 1 queues, 2 gets 429.
+		time.Sleep(50 * time.Millisecond)
+	}
+	wg.Wait()
+
+	ok, rejected := 0, 0
+	for i, code := range codes {
+		switch code {
+		case http.StatusOK:
+			ok++
+			if statuses[i] != runtime.StatusTimeout {
+				t.Errorf("request %d session status = %s, want timeout", i, statuses[i])
+			}
+		case http.StatusTooManyRequests:
+			rejected++
+		default:
+			t.Errorf("request %d unexpected status %d", i, code)
+		}
+	}
+	if ok != 2 || rejected != 1 {
+		t.Fatalf("ok=%d rejected=%d, want 2 queued-through and 1 rejection", ok, rejected)
+	}
+}
+
+func TestConcurrentMixedSessions(t *testing.T) {
+	ts := newTestServer(t, Config{Runtime: runtime.Config{MaxConcurrent: 4, MaxQueue: 16, QueueWait: 10 * time.Second}})
+	type job struct {
+		req  RunRequest
+		want runtime.Status
+	}
+	jobs := []job{
+		{RunRequest{Project: quickSrc}, runtime.StatusOK},
+		{RunRequest{Project: parallelSrc}, runtime.StatusOK},
+		{RunRequest{Project: foreverSrc, TimeoutMS: 150}, runtime.StatusTimeout},
+		{RunRequest{Project: foreverSrc, MaxSteps: 5000}, runtime.StatusSteps},
+		{RunRequest{Project: quickSrc}, runtime.StatusOK},
+		{RunRequest{Project: foreverSrc, TimeoutMS: 100}, runtime.StatusTimeout},
+	}
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		i, j := i, j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.URL+"/v1/run", j.req)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("job %d: status %d, body %s", i, resp.StatusCode, body)
+				return
+			}
+			var rr RunResponse
+			if err := json.Unmarshal(body, &rr); err != nil {
+				t.Errorf("job %d: %v", i, err)
+				return
+			}
+			if rr.Status != j.want {
+				t.Errorf("job %d: session status %s (%s), want %s", i, rr.Status, rr.Error, j.want)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCodegenEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	script := `
+		(declare x)
+		(set x 0)
+		(repeat 10 (do (change x 1)))
+		(say $x)`
+
+	for _, lang := range []string{"c", "openmp", "js", "python", "go"} {
+		resp, body := postJSON(t, ts.URL+"/v1/codegen", CodegenRequest{Script: script, Lang: lang})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d, body %s", lang, resp.StatusCode, body)
+		}
+		var cr CodegenResponse
+		if err := json.Unmarshal(body, &cr); err != nil {
+			t.Fatal(err)
+		}
+		if cr.Lang != lang || cr.Source == "" {
+			t.Fatalf("%s: empty translation: %+v", lang, cr)
+		}
+	}
+
+	// Whole-project translation picks the green-flag script; OpenMP output
+	// of a parallel block must carry a pragma. (reportParallelMap has no
+	// text mapping — the §6 OpenMP path covers doParallelForEach.)
+	const ompSrc = `
+		(project "omp"
+		  (sprite "S"
+		    (when green-flag (do
+		      (declare data total)
+		      (set data (list 1 2 3 4 5 6 7 8))
+		      (set total 0)
+		      (parallelforeach i $data 4 (do (change total 1)))))))`
+	resp, body := postJSON(t, ts.URL+"/v1/codegen", CodegenRequest{Project: ompSrc, Lang: "openmp"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("project codegen: status %d, body %s", resp.StatusCode, body)
+	}
+	var cr CodegenResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cr.Source, "#pragma omp") {
+		t.Fatalf("openmp translation of a parallel map lost its pragma:\n%s", cr.Source)
+	}
+
+	// Bad requests.
+	resp, _ = postJSON(t, ts.URL+"/v1/codegen", CodegenRequest{Lang: "c"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty codegen request: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/codegen", CodegenRequest{Script: script, Lang: "cobol"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown language: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/codegen", CodegenRequest{Project: lintBadSrc, Lang: "c"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("lint-bad project: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, body := getJSON(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var h map[string]any
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "ok" {
+		t.Fatalf("healthz = %s", body)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	// Generate traffic across outcomes and endpoints.
+	postJSON(t, ts.URL+"/v1/run", RunRequest{Project: quickSrc})
+	postJSON(t, ts.URL+"/v1/run", RunRequest{Project: foreverSrc, TimeoutMS: 80})
+	postJSON(t, ts.URL+"/v1/run", RunRequest{Project: lintBadSrc})
+	getJSON(t, ts.URL+"/healthz")
+
+	resp, body := getJSON(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`snapserved_requests_total{endpoint="/v1/run",code="200"} 2`,
+		`snapserved_requests_total{endpoint="/v1/run",code="400"} 1`,
+		`snapserved_requests_total{endpoint="/healthz",code="200"} 1`,
+		`snapserved_sessions_running 0`,
+		`snapserved_sessions_queued 0`,
+		`snapserved_admitted_total 2`,
+		`snapserved_sessions_total{status="ok"} 1`,
+		`snapserved_sessions_total{status="timeout"} 1`,
+		`snapserved_request_seconds_bucket{endpoint="/v1/run",le="+Inf"} 3`,
+		`snapserved_session_steps_count 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("metrics body:\n%s", text)
+	}
+}
+
+func TestXMLRoundTripThroughRun(t *testing.T) {
+	// Build a minimal Snap! XML project equivalent to quickSrc and run it,
+	// exercising the xmlio ingestion path end to end.
+	xml := fmt.Sprintf(`<project name="quick"><sprites>%s</sprites></project>`,
+		`<sprite name="S"><scripts><script>`+
+			`<block s="forward"><l>10</l></block>`+
+			`<block s="bubble"><l>done</l></block></script></scripts></sprite>`)
+	ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Project: xml, Format: "xml"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Status != runtime.StatusOK || len(rr.Trace) == 0 {
+		t.Fatalf("XML project run: %+v", rr)
+	}
+}

@@ -91,8 +91,16 @@ type Stage struct {
 	// of watching the stage.
 	Trace []string
 
+	// MaxTrace bounds the trace when positive: once the trace holds
+	// MaxTrace lines, further lines are counted but dropped. A hosted
+	// session's output log must not grow with its (budgeted but large)
+	// step count; the prefix is what a beginner looks at anyway.
+	MaxTrace int
+
 	// Vars are stage-global watchers (the "timer" style readouts).
 	Vars map[string]value.Value
+
+	dropped int
 }
 
 // New creates an empty stage over the given clock.
@@ -207,7 +215,18 @@ func (s *Stage) trace(format string, args ...any) {
 }
 
 func (s *Stage) traceLocked(format string, args ...any) {
+	if s.MaxTrace > 0 && len(s.Trace) >= s.MaxTrace {
+		s.dropped++
+		return
+	}
 	s.Trace = append(s.Trace, fmt.Sprintf("[t=%d] ", s.Clock.Now())+fmt.Sprintf(format, args...))
+}
+
+// TraceDropped reports how many trace lines the MaxTrace bound discarded.
+func (s *Stage) TraceDropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
 }
 
 // TraceLines returns a copy of the trace.

@@ -89,3 +89,17 @@ func SharedPool() *Pool {
 	sharedOnce.Do(func() { sharedP = NewPool(DefaultWorkers()) })
 	return sharedP
 }
+
+// ConfigureSharedPool creates the process-wide pool with the given worker
+// count instead of the hardware default. It reports whether it won: false
+// means the pool was already built (by an earlier call or a SharedPool
+// use), in which case the existing pool — and its size — stay in force.
+// Daemons call this once at startup, before any parallel block runs.
+func ConfigureSharedPool(size int) bool {
+	won := false
+	sharedOnce.Do(func() {
+		sharedP = NewPool(size)
+		won = true
+	})
+	return won
+}

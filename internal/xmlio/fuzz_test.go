@@ -21,6 +21,11 @@ func FuzzDecodeProject(f *testing.F) {
 	f.Add(`<project><sprites><sprite name="S"><scripts><script hat="whenGreenFlag"><block s="forward"><l kind="number">10</l></block></script></scripts></sprite></sprites></project>`)
 	f.Add(`<notxml`)
 	f.Add(``)
+	// Deep nesting must be rejected by the decoder's depth limit, not
+	// crash the stack — this path serves untrusted network input.
+	f.Add(`<project name="d"><sprites><sprite name="S"><scripts><script>` +
+		strings.Repeat(`<block s="f">`, 400) + strings.Repeat(`</block>`, 400) +
+		`</script></scripts></sprite></sprites></project>`)
 	f.Fuzz(func(t *testing.T, src string) {
 		p, err := DecodeProject(strings.NewReader(src))
 		if err != nil {
