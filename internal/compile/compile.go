@@ -1,0 +1,830 @@
+// Package compile is the ring-compiler tier of the worker runtime. It
+// lowers a *shipped* reporter ring — the environment-stripped function a
+// parallel block sends to its Web-Worker-equivalent goroutines — into a
+// direct Go closure, so the hot per-element path of parallelMap/mapReduce
+// pays a handful of function calls instead of a fresh interpreter Process,
+// Context stack, and per-step dispatch.
+//
+// The compiler is deliberately partial: it handles exactly the worker-safe
+// pure subset of the language (arithmetic, comparison, logic, text, list
+// reads, the reporter conditional, the sequential higher-order blocks with
+// literal inner rings, and parameter/implicit-slot references). Anything
+// else — stage or file blocks, random numbers, command scripts, rings
+// flowing as values, dynamically consumed implicit slots — makes Ring
+// report ok=false and the caller falls back to the interpreter tier
+// (interp.CallFunction / interp.Caller), which remains the semantic source
+// of truth. A differential test (see differential_test.go) pins the two
+// tiers to identical results and identical error messages.
+package compile
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/blocks"
+	"repro/internal/interp"
+	"repro/internal/value"
+)
+
+// Fn is a compiled reporter ring: call it with the ring's arguments and it
+// reports the ring's value or the error the interpreter would have raised.
+// An Fn is pure and stateless — safe for concurrent calls from many worker
+// goroutines — and does NOT clone its arguments or its result; the caller
+// owns the worker-boundary clone discipline, exactly as it does around
+// interp.CallFunction. The args slice is only read during the call and may
+// be reused by the caller afterwards.
+type Fn func(args []value.Value) (value.Value, error)
+
+// Ring compiles a shipped reporter ring. ok is false when any part of the
+// body falls outside the compilable subset; the caller must then use the
+// interpreter tier. Only shipped rings (no captured environment) are
+// accepted: a ring still carrying its closure frames could see variables
+// the compiler cannot resolve statically.
+func Ring(r *blocks.Ring) (Fn, bool) {
+	if r == nil || r.Body == nil || r.Env != nil {
+		return nil, false
+	}
+	if _, isScript := r.Body.(*blocks.Script); isScript {
+		return nil, false
+	}
+	ex, ok := compileNode(r.Body, &scope{params: r.Params})
+	if !ok {
+		return nil, false
+	}
+	return func(args []value.Value) (value.Value, error) {
+		v, err := ex(&env{args: args})
+		if v == nil && err == nil {
+			// Mirror Process.Result(): a detached evaluation that
+			// produced no value reports Nothing.
+			v = value.TheNothing
+		}
+		return v, err
+	}, true
+}
+
+// env is the runtime scope chain: one level per ring call, holding that
+// call's arguments. Compiled variable and slot references are (depth,
+// index) pairs resolved at compile time, so the runtime never searches by
+// name.
+type env struct {
+	parent *env
+	args   []value.Value
+}
+
+// expr is one compiled expression.
+type expr func(*env) (value.Value, error)
+
+// scope is the compile-time image of env: the parameter lists of the
+// enclosing rings, plus the implicit-slot counter for parameterless rings.
+type scope struct {
+	parent *scope
+	params []string
+	slots  int // empty slots assigned so far, in evaluation order
+}
+
+func constExpr(v value.Value) expr {
+	return func(*env) (value.Value, error) { return v, nil }
+}
+
+func wrapOp(op string, err error) error { return fmt.Errorf("%s: %w", op, err) }
+
+func nonNil(v value.Value) value.Value {
+	if v == nil {
+		return value.TheNothing
+	}
+	return v
+}
+
+func compileNode(n blocks.Node, sc *scope) (expr, bool) {
+	switch x := n.(type) {
+	case blocks.Literal:
+		v := x.Val
+		if v == nil {
+			v = value.TheNothing
+		}
+		return constExpr(v), true
+	case blocks.EmptySlot:
+		return compileEmptySlot(sc)
+	case blocks.VarGet:
+		return compileVarGet(x.Name, sc)
+	case *blocks.Block:
+		return compileBlock(x, sc)
+	default:
+		// RingNode outside a higher-order slot (a ring flowing as a
+		// value), ScriptNode, and anything unforeseen stay on the
+		// interpreter.
+		return nil, false
+	}
+}
+
+// compileEmptySlot resolves an implicit argument slot. The interpreter
+// binds implicits on the nearest enclosing parameterless ring call: one
+// argument fills every slot, several are consumed left to right. Slots are
+// evaluated in left-to-right depth-first order — the same order this
+// compiler walks the body — so the dynamic cursor becomes a static index.
+func compileEmptySlot(sc *scope) (expr, bool) {
+	if len(sc.params) == 0 {
+		idx := sc.slots
+		sc.slots++
+		return func(e *env) (value.Value, error) {
+			args := e.args
+			if len(args) == 1 {
+				return nonNil(args[0]), nil
+			}
+			if idx < len(args) {
+				return nonNil(args[idx]), nil
+			}
+			return value.TheNothing, nil
+		}, true
+	}
+	for s := sc.parent; s != nil; s = s.parent {
+		if len(s.params) == 0 {
+			// A slot inside a parameterized ring would consume an
+			// OUTER ring's implicit cursor, which advances across
+			// separate calls of the inner ring — dynamic state the
+			// static index cannot capture. Interpreter only.
+			return nil, false
+		}
+	}
+	// Every enclosing ring is parameterized: no frame carries implicits
+	// and the slot reports nothing.
+	return constExpr(value.TheNothing), true
+}
+
+func compileVarGet(name string, sc *scope) (expr, bool) {
+	depth := 0
+	for s := sc; s != nil; s = s.parent {
+		// Scan parameters right to left: Declare overwrites in place,
+		// so a duplicated name binds to the value of its last position.
+		for i := len(s.params) - 1; i >= 0; i-- {
+			if s.params[i] == name {
+				d, idx := depth, i
+				return func(e *env) (value.Value, error) {
+					for k := 0; k < d; k++ {
+						e = e.parent
+					}
+					if idx < len(e.args) {
+						return nonNil(e.args[idx]), nil
+					}
+					// Declared parameter with no argument: bound
+					// to Nothing by CallRing.
+					return value.TheNothing, nil
+				}, true
+			}
+		}
+		depth++
+	}
+	// Free variable: a shipped ring has no environment, so the read
+	// fails at call time with the interpreter's exact wording. Compiling
+	// the failure (rather than refusing) keeps compiled and interpreted
+	// rings byte-identical even on this error path.
+	err := fmt.Errorf("a variable of name %q does not exist in this context", name)
+	return func(*env) (value.Value, error) { return nil, err }, true
+}
+
+// fixedArity lists the compilable fixed-arity opcodes. A block whose input
+// count disagrees stays on the interpreter (where it fails the same way it
+// always has); reportJoinWords and reportNewList are variadic and accepted
+// at any arity.
+var fixedArity = map[string]int{
+	"reportSum": 2, "reportDifference": 2, "reportProduct": 2,
+	"reportQuotient": 2, "reportModulus": 2, "reportRound": 1,
+	"reportMonadic": 2,
+	"reportLessThan": 2, "reportEquals": 2, "reportGreaterThan": 2,
+	"reportAnd": 2, "reportOr": 2, "reportNot": 1, "reportIfElse": 3,
+	"reportLetter": 2, "reportStringSize": 1, "reportTextSplit": 2,
+	"reportNumbers": 2, "reportListItem": 2, "reportListLength": 1,
+	"reportListContainsItem": 2,
+}
+
+func compileBlock(b *blocks.Block, sc *scope) (expr, bool) {
+	switch b.Op {
+	case "reportCombine":
+		return compileCombine(b, sc)
+	case "reportMap", "reportKeep":
+		return compileMapKeep(b, sc)
+	case "reportJoinWords", "reportNewList":
+		// variadic: fall through to input compilation
+	default:
+		if want, ok := fixedArity[b.Op]; !ok || want != len(b.Inputs) {
+			return nil, false
+		}
+	}
+	ins := make([]expr, len(b.Inputs))
+	for i := range b.Inputs {
+		ex, ok := compileNode(b.Input(i), sc)
+		if !ok {
+			return nil, false
+		}
+		ins[i] = ex
+	}
+	op := b.Op
+	switch op {
+	case "reportSum":
+		return arith2(op, ins, func(a, b float64) float64 { return a + b }), true
+	case "reportDifference":
+		return arith2(op, ins, func(a, b float64) float64 { return a - b }), true
+	case "reportProduct":
+		return arith2(op, ins, func(a, b float64) float64 { return a * b }), true
+	case "reportQuotient":
+		return compQuotient(op, ins), true
+	case "reportModulus":
+		return compModulus(op, ins), true
+	case "reportRound":
+		return compRound(op, ins), true
+	case "reportMonadic":
+		return compMonadic(op, ins), true
+	case "reportLessThan":
+		return compLess(op, ins, false), true
+	case "reportGreaterThan":
+		return compLess(op, ins, true), true
+	case "reportEquals":
+		return compEquals(ins), true
+	case "reportAnd":
+		return compLogic2(op, ins, func(a, b bool) bool { return a && b }), true
+	case "reportOr":
+		return compLogic2(op, ins, func(a, b bool) bool { return a || b }), true
+	case "reportNot":
+		return compNot(op, ins), true
+	case "reportIfElse":
+		return compIfElse(op, ins), true
+	case "reportJoinWords":
+		return compJoin(op, ins), true
+	case "reportLetter":
+		return compLetter(op, ins), true
+	case "reportStringSize":
+		return compStringSize(ins), true
+	case "reportTextSplit":
+		return compTextSplit(op, ins), true
+	case "reportNewList":
+		return compNewList(ins), true
+	case "reportNumbers":
+		return compNumbers(op, ins), true
+	case "reportListItem":
+		return compListItem(op, ins), true
+	case "reportListLength":
+		return compListLength(op, ins), true
+	case "reportListContainsItem":
+		return compListContains(op, ins), true
+	}
+	return nil, false
+}
+
+// eval2 evaluates two input expressions in order — the interpreter's
+// strict left-to-right slot evaluation, with child errors propagating
+// unwrapped (only the applying block's own failures carry its opcode).
+func eval2(a, b expr, e *env) (value.Value, value.Value, error) {
+	av, err := a(e)
+	if err != nil {
+		return nil, nil, err
+	}
+	bv, err := b(e)
+	if err != nil {
+		return nil, nil, err
+	}
+	return av, bv, nil
+}
+
+func arith2(op string, ins []expr, f func(a, b float64) float64) expr {
+	a, b := ins[0], ins[1]
+	return func(e *env) (value.Value, error) {
+		av, bv, err := eval2(a, b, e)
+		if err != nil {
+			return nil, err
+		}
+		x, err := value.ToNumber(av)
+		if err != nil {
+			return nil, wrapOp(op, err)
+		}
+		y, err := value.ToNumber(bv)
+		if err != nil {
+			return nil, wrapOp(op, err)
+		}
+		return value.Num(f(float64(x), float64(y))), nil
+	}
+}
+
+func compQuotient(op string, ins []expr) expr {
+	a, b := ins[0], ins[1]
+	return func(e *env) (value.Value, error) {
+		av, bv, err := eval2(a, b, e)
+		if err != nil {
+			return nil, err
+		}
+		x, err := value.ToNumber(av)
+		if err != nil {
+			return nil, wrapOp(op, err)
+		}
+		y, err := value.ToNumber(bv)
+		if err != nil {
+			return nil, wrapOp(op, err)
+		}
+		if y == 0 {
+			return nil, wrapOp(op, fmt.Errorf("division by zero"))
+		}
+		return value.Num(float64(x / y)), nil
+	}
+}
+
+func compModulus(op string, ins []expr) expr {
+	a, b := ins[0], ins[1]
+	return func(e *env) (value.Value, error) {
+		av, bv, err := eval2(a, b, e)
+		if err != nil {
+			return nil, err
+		}
+		x, err := value.ToNumber(av)
+		if err != nil {
+			return nil, wrapOp(op, err)
+		}
+		y, err := value.ToNumber(bv)
+		if err != nil {
+			return nil, wrapOp(op, err)
+		}
+		if y == 0 {
+			return nil, wrapOp(op, fmt.Errorf("modulus by zero"))
+		}
+		// Snap!'s mod matches the sign of the divisor.
+		m := math.Mod(float64(x), float64(y))
+		if m != 0 && (m < 0) != (float64(y) < 0) {
+			m += float64(y)
+		}
+		return value.Num(m), nil
+	}
+}
+
+func compRound(op string, ins []expr) expr {
+	a := ins[0]
+	return func(e *env) (value.Value, error) {
+		av, err := a(e)
+		if err != nil {
+			return nil, err
+		}
+		x, err := value.ToNumber(av)
+		if err != nil {
+			return nil, wrapOp(op, err)
+		}
+		return value.Num(math.Round(float64(x))), nil
+	}
+}
+
+func compMonadic(op string, ins []expr) expr {
+	fnEx, a := ins[0], ins[1]
+	return func(e *env) (value.Value, error) {
+		fv, av, err := eval2(fnEx, a, e)
+		if err != nil {
+			return nil, err
+		}
+		fn := strings.ToLower(fv.String())
+		n, err := value.ToNumber(av)
+		if err != nil {
+			return nil, wrapOp(op, err)
+		}
+		x := float64(n)
+		var r float64
+		switch fn {
+		case "sqrt":
+			if x < 0 {
+				return nil, wrapOp(op, fmt.Errorf("square root of a negative number"))
+			}
+			r = math.Sqrt(x)
+		case "abs":
+			r = math.Abs(x)
+		case "floor":
+			r = math.Floor(x)
+		case "ceiling":
+			r = math.Ceil(x)
+		case "sin":
+			r = math.Sin(x * math.Pi / 180)
+		case "cos":
+			r = math.Cos(x * math.Pi / 180)
+		case "tan":
+			r = math.Tan(x * math.Pi / 180)
+		case "asin":
+			r = math.Asin(x) * 180 / math.Pi
+		case "acos":
+			r = math.Acos(x) * 180 / math.Pi
+		case "atan":
+			r = math.Atan(x) * 180 / math.Pi
+		case "ln":
+			r = math.Log(x)
+		case "log":
+			r = math.Log10(x)
+		case "e^":
+			r = math.Exp(x)
+		case "10^":
+			r = math.Pow(10, x)
+		default:
+			return nil, wrapOp(op, fmt.Errorf("unknown function %q", fn))
+		}
+		return value.Num(r), nil
+	}
+}
+
+func compLess(op string, ins []expr, greater bool) expr {
+	a, b := ins[0], ins[1]
+	return func(e *env) (value.Value, error) {
+		av, bv, err := eval2(a, b, e)
+		if err != nil {
+			return nil, err
+		}
+		var lt bool
+		if greater {
+			lt, err = value.Greater(av, bv)
+		} else {
+			lt, err = value.Less(av, bv)
+		}
+		if err != nil {
+			return nil, wrapOp(op, err)
+		}
+		return value.BoolVal(lt), nil
+	}
+}
+
+func compEquals(ins []expr) expr {
+	a, b := ins[0], ins[1]
+	return func(e *env) (value.Value, error) {
+		av, bv, err := eval2(a, b, e)
+		if err != nil {
+			return nil, err
+		}
+		return value.BoolVal(value.Equal(av, bv)), nil
+	}
+}
+
+func compLogic2(op string, ins []expr, f func(a, b bool) bool) expr {
+	a, b := ins[0], ins[1]
+	return func(e *env) (value.Value, error) {
+		// Both slots evaluate before the block applies — reportAnd and
+		// reportOr are eager, not short-circuiting, exactly like the
+		// interpreter's strict input evaluation.
+		av, bv, err := eval2(a, b, e)
+		if err != nil {
+			return nil, err
+		}
+		x, err := value.ToBool(av)
+		if err != nil {
+			return nil, wrapOp(op, err)
+		}
+		y, err := value.ToBool(bv)
+		if err != nil {
+			return nil, wrapOp(op, err)
+		}
+		return value.BoolVal(f(bool(x), bool(y))), nil
+	}
+}
+
+func compNot(op string, ins []expr) expr {
+	a := ins[0]
+	return func(e *env) (value.Value, error) {
+		av, err := a(e)
+		if err != nil {
+			return nil, err
+		}
+		x, err := value.ToBool(av)
+		if err != nil {
+			return nil, wrapOp(op, err)
+		}
+		return value.BoolVal(!bool(x)), nil
+	}
+}
+
+func compIfElse(op string, ins []expr) expr {
+	cond, then, els := ins[0], ins[1], ins[2]
+	return func(e *env) (value.Value, error) {
+		cv, err := cond(e)
+		if err != nil {
+			return nil, err
+		}
+		tv, err := then(e)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := els(e)
+		if err != nil {
+			return nil, err
+		}
+		c, err := value.ToBool(cv)
+		if err != nil {
+			return nil, wrapOp(op, err)
+		}
+		if c {
+			return tv, nil
+		}
+		return ev, nil
+	}
+}
+
+func compJoin(op string, ins []expr) expr {
+	return func(e *env) (value.Value, error) {
+		parts := make([]string, len(ins))
+		total := 0
+		for i, in := range ins {
+			v, err := in(e)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = v.String()
+			total += len(parts[i])
+		}
+		if err := checkTextLen(total); err != nil {
+			return nil, wrapOp(op, err)
+		}
+		var sb strings.Builder
+		sb.Grow(total)
+		for _, s := range parts {
+			sb.WriteString(s)
+		}
+		return value.Text(sb.String()), nil
+	}
+}
+
+func compLetter(op string, ins []expr) expr {
+	a, b := ins[0], ins[1]
+	return func(e *env) (value.Value, error) {
+		av, bv, err := eval2(a, b, e)
+		if err != nil {
+			return nil, err
+		}
+		i, err := value.ToInt(av)
+		if err != nil {
+			return nil, wrapOp(op, err)
+		}
+		s := []rune(bv.String())
+		if i < 1 || i > len(s) {
+			return value.Str(""), nil
+		}
+		return value.Str(string(s[i-1])), nil
+	}
+}
+
+func compStringSize(ins []expr) expr {
+	a := ins[0]
+	return func(e *env) (value.Value, error) {
+		av, err := a(e)
+		if err != nil {
+			return nil, err
+		}
+		return value.NumInt(len([]rune(av.String()))), nil
+	}
+}
+
+func compTextSplit(op string, ins []expr) expr {
+	a, b := ins[0], ins[1]
+	return func(e *env) (value.Value, error) {
+		av, bv, err := eval2(a, b, e)
+		if err != nil {
+			return nil, err
+		}
+		text := av.String()
+		delim := bv.String()
+		var parts []string
+		switch delim {
+		case "whitespace", " ":
+			parts = strings.Fields(text)
+		case "":
+			for _, r := range text {
+				parts = append(parts, string(r))
+			}
+		case "line":
+			parts = strings.Split(text, "\n")
+		default:
+			parts = strings.Split(text, delim)
+		}
+		if err := checkListLen(len(parts)); err != nil {
+			return nil, wrapOp(op, err)
+		}
+		return value.FromStrings(parts), nil
+	}
+}
+
+func compNewList(ins []expr) expr {
+	return func(e *env) (value.Value, error) {
+		out := value.NewListCap(len(ins))
+		for _, in := range ins {
+			v, err := in(e)
+			if err != nil {
+				return nil, err
+			}
+			out.Add(v)
+		}
+		return out, nil
+	}
+}
+
+func compNumbers(op string, ins []expr) expr {
+	a, b := ins[0], ins[1]
+	return func(e *env) (value.Value, error) {
+		av, bv, err := eval2(a, b, e)
+		if err != nil {
+			return nil, err
+		}
+		from, err := value.ToNumber(av)
+		if err != nil {
+			return nil, wrapOp(op, err)
+		}
+		to, err := value.ToNumber(bv)
+		if err != nil {
+			return nil, wrapOp(op, err)
+		}
+		step := 1.0
+		if from > to {
+			step = -1
+		}
+		if err := checkListLen(int(math.Abs(float64(to-from))) + 1); err != nil {
+			return nil, wrapOp(op, err)
+		}
+		return value.Range(float64(from), float64(to), step), nil
+	}
+}
+
+func compListItem(op string, ins []expr) expr {
+	a, b := ins[0], ins[1]
+	return func(e *env) (value.Value, error) {
+		av, bv, err := eval2(a, b, e)
+		if err != nil {
+			return nil, err
+		}
+		i, err := value.ToInt(av)
+		if err != nil {
+			return nil, wrapOp(op, err)
+		}
+		l, ok := bv.(*value.List)
+		if !ok {
+			return nil, wrapOp(op, fmt.Errorf("expecting a list but getting a %s", bv.Kind()))
+		}
+		v, err := l.Item(i)
+		if err != nil {
+			return nil, wrapOp(op, err)
+		}
+		return v, nil
+	}
+}
+
+func compListLength(op string, ins []expr) expr {
+	a := ins[0]
+	return func(e *env) (value.Value, error) {
+		av, err := a(e)
+		if err != nil {
+			return nil, err
+		}
+		l, ok := av.(*value.List)
+		if !ok {
+			return nil, wrapOp(op, fmt.Errorf("expecting a list but getting a %s", av.Kind()))
+		}
+		return value.Number(float64(l.Len())), nil
+	}
+}
+
+func compListContains(op string, ins []expr) expr {
+	a, b := ins[0], ins[1]
+	return func(e *env) (value.Value, error) {
+		av, bv, err := eval2(a, b, e)
+		if err != nil {
+			return nil, err
+		}
+		l, ok := av.(*value.List)
+		if !ok {
+			return nil, wrapOp(op, fmt.Errorf("expecting a list but getting a %s", av.Kind()))
+		}
+		return value.Bool(l.Contains(bv)), nil
+	}
+}
+
+// compileInnerRing compiles the literal ring slot of a higher-order block.
+// Only a syntactic RingNode with a reporter body qualifies: a ring arriving
+// as a runtime value would need frame capture, and an empty or command body
+// errors in ways the interpreter already handles.
+func compileInnerRing(n blocks.Node, sc *scope) (expr, bool) {
+	rn, ok := n.(blocks.RingNode)
+	if !ok || rn.Body == nil {
+		return nil, false
+	}
+	if _, isScript := rn.Body.(*blocks.Script); isScript {
+		return nil, false
+	}
+	return compileNode(rn.Body, &scope{parent: sc, params: rn.Params})
+}
+
+// compileCombine lowers "combine _ using _" to a sequential fold. Inputs:
+// [0] the list expression, [1] the literal binary ring. The fold matches
+// primCombine: an empty list reports 0, otherwise the accumulator starts at
+// item 1 and the ring is called with (acc, item).
+func compileCombine(b *blocks.Block, sc *scope) (expr, bool) {
+	if len(b.Inputs) != 2 {
+		return nil, false
+	}
+	listEx, ok := compileNode(b.Input(0), sc)
+	if !ok {
+		return nil, false
+	}
+	body, ok := compileInnerRing(b.Input(1), sc)
+	if !ok {
+		return nil, false
+	}
+	return func(e *env) (value.Value, error) {
+		lv, err := listEx(e)
+		if err != nil {
+			return nil, err
+		}
+		l, ok := lv.(*value.List)
+		if !ok {
+			return nil, wrapOp("reportCombine", fmt.Errorf("expecting a list but getting a %s", lv.Kind()))
+		}
+		items := l.Items()
+		if len(items) == 0 {
+			return value.Number(0), nil
+		}
+		acc := nonNil(items[0])
+		ienv := &env{parent: e}
+		var argbuf [2]value.Value
+		for _, item := range items[1:] {
+			argbuf[0], argbuf[1] = acc, nonNil(item)
+			ienv.args = argbuf[:]
+			v, err := body(ienv)
+			if err != nil {
+				return nil, err
+			}
+			acc = nonNil(v)
+		}
+		return acc, nil
+	}, true
+}
+
+// compileMapKeep lowers "map _ over _" / "keep items _ from _". Inputs:
+// [0] the literal ring, [1] the list expression. Like primMap/primKeep the
+// ring is called once per element with a single argument; keep coerces the
+// verdict to a boolean and reports the kept originals.
+func compileMapKeep(b *blocks.Block, sc *scope) (expr, bool) {
+	if len(b.Inputs) != 2 {
+		return nil, false
+	}
+	body, ok := compileInnerRing(b.Input(0), sc)
+	if !ok {
+		return nil, false
+	}
+	listEx, ok := compileNode(b.Input(1), sc)
+	if !ok {
+		return nil, false
+	}
+	op := b.Op
+	keep := op == "reportKeep"
+	return func(e *env) (value.Value, error) {
+		lv, err := listEx(e)
+		if err != nil {
+			return nil, err
+		}
+		l, ok := lv.(*value.List)
+		if !ok {
+			return nil, wrapOp(op, fmt.Errorf("expecting a list but getting a %s", lv.Kind()))
+		}
+		items := l.Items()
+		var out *value.List
+		if keep {
+			out = value.NewList()
+		} else {
+			out = value.NewListCap(len(items))
+		}
+		ienv := &env{parent: e}
+		var argbuf [1]value.Value
+		for _, item := range items {
+			item = nonNil(item)
+			argbuf[0] = item
+			ienv.args = argbuf[:]
+			v, err := body(ienv)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				kb, err := value.ToBool(v)
+				if err != nil {
+					return nil, wrapOp(op, err)
+				}
+				if kb {
+					out.Add(item)
+				}
+			} else {
+				out.Add(v)
+			}
+		}
+		return out, nil
+	}, true
+}
+
+// checkListLen and checkTextLen enforce the process-wide value caps with
+// the interpreter's exact wording, so a capped service reports identical
+// errors from both tiers.
+func checkListLen(n int) error {
+	if maxLen, _ := interp.ValueCaps(); maxLen > 0 && n > maxLen {
+		return fmt.Errorf("list of %d elements exceeds the service cap of %d", n, maxLen)
+	}
+	return nil
+}
+
+func checkTextLen(n int) error {
+	if _, maxLen := interp.ValueCaps(); maxLen > 0 && n > maxLen {
+		return fmt.Errorf("text of %d bytes exceeds the service cap of %d", n, maxLen)
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package compile
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/blocks"
+	"repro/internal/value"
+)
+
+// ship builds the shipped form of a reporter ring, exactly what
+// core.ShipRing hands a worker: body + params, no environment.
+func ship(body blocks.Node, params ...string) *blocks.Ring {
+	return &blocks.Ring{Body: body, Params: params}
+}
+
+func mustCompile(t *testing.T, r *blocks.Ring) Fn {
+	t.Helper()
+	fn, ok := Ring(r)
+	if !ok {
+		t.Fatalf("expected ring to compile: %s", r.String())
+	}
+	return fn
+}
+
+func call(t *testing.T, fn Fn, args ...value.Value) value.Value {
+	t.Helper()
+	v, err := fn(args)
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	return v
+}
+
+func TestCompileArithmetic(t *testing.T) {
+	// ((x + 3) * x) with a named parameter
+	body := blocks.Product(blocks.Sum(blocks.Var("x"), blocks.Num(3)), blocks.Var("x"))
+	fn := mustCompile(t, ship(body, "x"))
+	if got := call(t, fn, value.Number(4)); got.String() != "28" {
+		t.Fatalf("got %s, want 28", got)
+	}
+}
+
+func TestCompileImplicitSlots(t *testing.T) {
+	// (_ + _) with no params: one arg fills both slots, two args fill
+	// left to right, extra slots report nothing (which ToNumber rejects).
+	fn := mustCompile(t, ship(blocks.Sum(blocks.Empty(), blocks.Empty())))
+	if got := call(t, fn, value.Number(5)); got.String() != "10" {
+		t.Fatalf("one arg: got %s, want 10", got)
+	}
+	if got := call(t, fn, value.Number(5), value.Number(2)); got.String() != "7" {
+		t.Fatalf("two args: got %s, want 7", got)
+	}
+}
+
+func TestCompileConditionalAndText(t *testing.T) {
+	// if (size of x) > 3 then join(x, "!") else x
+	body := blocks.Ternary(
+		blocks.GreaterThan(blocks.Reporter(blocks.StringSize(blocks.Var("x"))), blocks.Num(3)),
+		blocks.Reporter(blocks.Join(blocks.Var("x"), blocks.Txt("!"))),
+		blocks.Var("x"),
+	)
+	fn := mustCompile(t, ship(body, "x"))
+	if got := call(t, fn, value.Text("hello")); got.String() != "hello!" {
+		t.Fatalf("got %s, want hello!", got)
+	}
+	if got := call(t, fn, value.Text("hi")); got.String() != "hi" {
+		t.Fatalf("got %s, want hi", got)
+	}
+}
+
+func TestCompileInnerHOFs(t *testing.T) {
+	// combine (map (_ * _) over (numbers 1 to x)) using (_ + _)
+	// = sum of squares 1..x
+	body := blocks.Combine(
+		blocks.Reporter(blocks.Map(
+			blocks.RingOf(blocks.Product(blocks.Empty(), blocks.Empty())),
+			blocks.Reporter(blocks.Numbers(blocks.Num(1), blocks.Var("x"))),
+		)),
+		blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Empty())),
+	)
+	fn := mustCompile(t, ship(body, "x"))
+	if got := call(t, fn, value.Number(4)); got.String() != "30" {
+		t.Fatalf("sum of squares 1..4: got %s, want 30", got)
+	}
+}
+
+func TestCompileKeep(t *testing.T) {
+	// keep (_ > 2) from the argument list
+	body := blocks.Keep(
+		blocks.RingOf(blocks.GreaterThan(blocks.Empty(), blocks.Num(2))),
+		blocks.Var("l"),
+	)
+	fn := mustCompile(t, ship(body, "l"))
+	in := value.NewList(value.Number(1), value.Number(3), value.Number(2), value.Number(5))
+	got := call(t, fn, in)
+	if got.String() != value.NewList(value.Number(3), value.Number(5)).String() {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestCompiledErrorsMatchInterpreterWording(t *testing.T) {
+	cases := []struct {
+		name string
+		ring *blocks.Ring
+		args []value.Value
+		want string
+	}{
+		{"div by zero", ship(blocks.Quotient(blocks.Num(1), blocks.Num(0))), nil,
+			"reportQuotient: division by zero"},
+		{"free variable", ship(blocks.Sum(blocks.Var("ghost"), blocks.Num(1))), nil,
+			`a variable of name "ghost" does not exist in this context`},
+		{"non-list", ship(blocks.LengthOf(blocks.Var("x")), "x"),
+			[]value.Value{value.Number(7)},
+			"reportListLength: expecting a list but getting a number"},
+		{"bad bool", ship(blocks.Not(blocks.Num(3))), nil,
+			"reportNot:"},
+		{"negative sqrt", ship(blocks.Monadic("sqrt", blocks.Num(-1))), nil,
+			"reportMonadic: square root of a negative number"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fn := mustCompile(t, tc.ring)
+			_, err := fn(tc.args)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCompileRefusals(t *testing.T) {
+	cases := []struct {
+		name string
+		ring *blocks.Ring
+	}{
+		{"nil ring", nil},
+		{"nil body", &blocks.Ring{}},
+		{"captured environment", &blocks.Ring{Body: blocks.Num(1), Env: struct{}{}}},
+		{"command script body", &blocks.Ring{Body: blocks.NewScript(blocks.Report(blocks.Num(1)))}},
+		{"random is nondeterministic", ship(blocks.Random(blocks.Num(1), blocks.Num(10)))},
+		{"stage block", ship(blocks.Reporter(blocks.NewBlock("getTimer")))},
+		{"file block", ship(blocks.Reporter(blocks.NewBlock("reportReadFile", blocks.Txt("x"))))},
+		{"wrong arity", ship(blocks.Reporter(blocks.NewBlock("reportSum", blocks.Num(1))))},
+		{"unknown op", ship(blocks.Reporter(blocks.NewBlock("reportWarpSpeed", blocks.Num(1))))},
+		{"ring as plain value", ship(blocks.Reporter(blocks.NewBlock("reportSum",
+			blocks.RingOf(blocks.Num(1)), blocks.Num(2))))},
+		{"ring-valued variable in map", ship(blocks.Map(blocks.Var("f"), blocks.Var("l")), "f", "l")},
+		{"cross-scope implicit", ship(
+			// A slot inside a *parameterized* inner ring consumes the
+			// outer parameterless ring's implicit cursor dynamically.
+			blocks.Map(
+				blocks.RingOf(blocks.Sum(blocks.Var("y"), blocks.Empty()), "y"),
+				blocks.Empty(),
+			),
+		)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, ok := Ring(tc.ring); ok {
+				t.Fatalf("expected refusal")
+			}
+		})
+	}
+}
+
+func TestCompiledFnIsConcurrencySafe(t *testing.T) {
+	// The same Fn is shared by every worker goroutine; hammer one from
+	// several goroutines (run with -race in make check).
+	body := blocks.Combine(
+		blocks.Reporter(blocks.Numbers(blocks.Num(1), blocks.Var("x"))),
+		blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Empty())),
+	)
+	fn := mustCompile(t, ship(body, "x"))
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 200; i++ {
+				v, err := fn([]value.Value{value.Number(10)})
+				if err == nil && v.String() != "55" {
+					err = fmt.Errorf("got %s, want 55", v)
+				}
+				if err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -104,7 +104,7 @@ func primParallelMap(p *interp.Process, ctx *interp.Context) (value.Value, inter
 			return nil, interp.Done, err
 		}
 		pool := workers.New(list, workers.Options{MaxWorkers: count}) // new Parallel(aList.asArray(), {maxWorkers: workers})
-		job := pool.Map(RingHandler(ring))                            // p.map(aFunction)
+		job := pool.MapChunks(RingChunkHandler(ring))                 // p.map(aFunction)
 		cancelOnDeath(p, job)
 		ctx.Inputs = append(ctx.Inputs, &value.Opaque{Tag: "parallelJob", Payload: job})
 	} else {

@@ -56,7 +56,7 @@ func primParallelKeep(p *interp.Process, ctx *interp.Context) (value.Value, inte
 			return nil, interp.Done, err
 		}
 		pool := workers.New(list, workers.Options{MaxWorkers: count})
-		job := pool.Map(RingHandler(ring))
+		job := pool.MapChunks(RingChunkHandler(ring))
 		cancelOnDeath(p, job)
 		ctx.Inputs = append(ctx.Inputs, &value.Opaque{Tag: "parallelKeepJob", Payload: job})
 	} else {
@@ -104,9 +104,12 @@ func primParallelCombine(p *interp.Process, ctx *interp.Context) (value.Value, i
 		if err != nil {
 			return nil, interp.Done, err
 		}
-		shipped := ShipRing(ring)
+		// The compiled tier when the ring lowers, interp.CallFunction
+		// otherwise; Reduce already clones each operand across the worker
+		// boundary, so the call itself need not.
+		call := ringCallFunc(ShipRing(ring))
 		reduceFn := func(a, b value.Value) (value.Value, error) {
-			return interp.CallFunction(shipped, []value.Value{a, b}, WorkerBudget)
+			return call([]value.Value{a, b})
 		}
 		pool := workers.New(list, workers.Options{MaxWorkers: count})
 		job := pool.Reduce(reduceFn)

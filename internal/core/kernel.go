@@ -1,0 +1,83 @@
+package core
+
+// This file is the worker-boundary integration of the ring-compiler tier
+// (package compile). Every parallel block ships its ring the same way —
+// core.ShipRing strips the environment, Listing 2's "rebuild the function
+// from source" — and then picks an execution tier for the worker side:
+//
+//	compiled:    compile.Ring lowered the body to a direct Go closure; the
+//	             per-element cost is the closure call plus the two boundary
+//	             clones. No Process, no Context, no step dispatch.
+//	interpreted: the body uses something the compiler refuses; each worker
+//	             chunk checks one pooled interp.Caller out, resets it per
+//	             element, and pays the full cooperative evaluator — but the
+//	             Process/Frame scaffolding is amortized across the chunk
+//	             instead of rebuilt per element.
+//
+// Both tiers keep the postMessage discipline: arguments are cloned in and
+// results cloned out, so workers stay share-nothing.
+
+import (
+	"fmt"
+
+	"repro/internal/blocks"
+	"repro/internal/compile"
+	"repro/internal/interp"
+	"repro/internal/value"
+	"repro/internal/workers"
+)
+
+// RingChunkHandler builds the chunk-level worker handler for a user ring:
+// the compiled tier when the body lowers, else the chunk-amortized
+// interpreter tier. This is what parallelMap and parallelKeep dispatch.
+func RingChunkHandler(r *blocks.Ring) workers.ChunkHandler {
+	shipped := ShipRing(r)
+	if fn, ok := compile.Ring(shipped); ok {
+		return func(j *workers.Job, base int, dst, src []value.Value) error {
+			var argbuf [1]value.Value
+			for i, in := range src {
+				if j.Canceled() {
+					return workers.ErrCanceled
+				}
+				argbuf[0] = value.CloneValue(in)
+				out, err := fn(argbuf[:])
+				if err != nil {
+					return fmt.Errorf("element %d: %w", base+i+1, err)
+				}
+				dst[i] = value.CloneValue(out)
+			}
+			return nil
+		}
+	}
+	return func(j *workers.Job, base int, dst, src []value.Value) error {
+		c := interp.GetCaller()
+		defer c.Release()
+		var argbuf [1]value.Value
+		for i, in := range src {
+			if j.Canceled() {
+				return workers.ErrCanceled
+			}
+			argbuf[0] = value.CloneValue(in)
+			out, err := c.Call(shipped, argbuf[:], WorkerBudget)
+			if err != nil {
+				return fmt.Errorf("element %d: %w", base+i+1, err)
+			}
+			dst[i] = value.CloneValue(out)
+		}
+		return nil
+	}
+}
+
+// ringCallFunc builds the plain call-shaped view of a shipped ring used by
+// the mapReduce adapters and parallelCombine's reducer: the compiled
+// closure when available, else interp.CallFunction. Callers sit behind a
+// worker boundary that already cloned the arguments, so the compiled tier's
+// no-clone contract is safe here.
+func ringCallFunc(shipped *blocks.Ring) func(args []value.Value) (value.Value, error) {
+	if fn, ok := compile.Ring(shipped); ok {
+		return fn
+	}
+	return func(args []value.Value) (value.Value, error) {
+		return interp.CallFunction(shipped, args, WorkerBudget)
+	}
+}

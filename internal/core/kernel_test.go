@@ -1,0 +1,185 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/blocks"
+	"repro/internal/compile"
+	"repro/internal/interp"
+	"repro/internal/value"
+	"repro/internal/workers"
+)
+
+// TestRingChunkHandlerTierSelection pins which bodies take which tier:
+// a pure arithmetic ring must lower, a ring using pick-random (or any
+// other refused block) must not — it still runs, on the interpreter tier.
+func TestRingChunkHandlerTierSelection(t *testing.T) {
+	pure := &blocks.Ring{Body: blocks.Product(blocks.Empty(), blocks.Num(10))}
+	if _, ok := compile.Ring(ShipRing(pure)); !ok {
+		t.Fatal("pure arithmetic ring should compile")
+	}
+	rng := &blocks.Ring{Body: blocks.Random(blocks.Num(1), blocks.Num(10))}
+	if _, ok := compile.Ring(ShipRing(rng)); ok {
+		t.Fatal("pick-random ring must stay on the interpreter tier")
+	}
+}
+
+// TestParallelMapCompiledTierMatchesInterpreter runs the same parallelMap
+// through a compilable ring and a deliberately-uncompilable wrapper of the
+// same computation, end to end through the machine; results must agree.
+func TestParallelMapCompiledTierMatchesInterpreter(t *testing.T) {
+	compiledRing := blocks.RingOf(blocks.Sum(
+		blocks.Product(blocks.Empty(), blocks.Empty()), blocks.Num(1)))
+	// x*x + 1 again, but via the sequential map block over a one-element
+	// list — reportMap compiles too, so force the interpreter tier with a
+	// pick-random of a degenerate range (always 0) added on.
+	interpRing := blocks.RingOf(blocks.Sum(
+		blocks.Sum(blocks.Product(blocks.Empty(), blocks.Empty()), blocks.Num(1)),
+		blocks.Reporter(blocks.Random(blocks.Num(0), blocks.Num(0)))))
+
+	m := newMachine()
+	cv, err := m.EvalReporter(blocks.ParallelMap(compiledRing,
+		blocks.Numbers(blocks.Num(1), blocks.Num(64)), blocks.Num(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = newMachine()
+	iv, err := m.EvalReporter(blocks.ParallelMap(interpRing,
+		blocks.Numbers(blocks.Num(1), blocks.Num(64)), blocks.Num(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(cv, iv) {
+		t.Fatalf("compiled tier %s != interpreter tier %s", cv, iv)
+	}
+}
+
+// TestParallelMapCompiledErrorFormat pins the element-attributed error
+// contract across the compiled tier.
+func TestParallelMapCompiledErrorFormat(t *testing.T) {
+	m := newMachine()
+	_, err := m.EvalReporter(blocks.ParallelMap(
+		blocks.RingOf(blocks.Quotient(blocks.Num(1), blocks.Empty())),
+		blocks.ListOf(blocks.Num(1), blocks.Num(0), blocks.Num(2)),
+		blocks.Num(2)))
+	if err == nil || !strings.Contains(err.Error(), "element 2: reportQuotient: division by zero") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestParallelMapConcurrentPickRandom is the regression test for the
+// workerRand data race: pick-random inside a parallelMap ring runs on many
+// detached worker processes at once, each of which must own its random
+// stream. Run under -race (make check does).
+func TestParallelMapConcurrentPickRandom(t *testing.T) {
+	m := newMachine()
+	v, err := m.EvalReporter(blocks.ParallelMap(
+		blocks.RingOf(blocks.Random(blocks.Num(1), blocks.Num(6))),
+		blocks.Numbers(blocks.Num(1), blocks.Num(400)),
+		blocks.Num(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := v.(*value.List)
+	if l.Len() != 400 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	for i := 1; i <= l.Len(); i++ {
+		n, err := value.ToNumber(l.MustItem(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < 1 || n > 6 {
+			t.Fatalf("element %d out of range: %v", i, n)
+		}
+	}
+}
+
+// TestRingChunkHandlerInterpreterTierReusesProcess drives the interpreter
+// tier directly through MapChunks, confirming chunked dispatch produces
+// ordered results and honors cancellation wiring end to end.
+func TestRingChunkHandlerInterpreterTier(t *testing.T) {
+	ring := &blocks.Ring{Body: blocks.Sum(
+		blocks.Empty(),
+		blocks.Reporter(blocks.Random(blocks.Num(0), blocks.Num(0))))}
+	if _, ok := compile.Ring(ShipRing(ring)); ok {
+		t.Fatal("test ring unexpectedly compiled; pick a refused body")
+	}
+	items := make([]value.Value, 100)
+	for i := range items {
+		items[i] = value.Number(float64(i))
+	}
+	p := workers.New(value.NewList(items...), workers.Options{MaxWorkers: 4})
+	got, err := p.MapChunks(RingChunkHandler(ring)).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		n, _ := value.ToNumber(got.MustItem(i + 1))
+		if int(n) != i {
+			t.Fatalf("item %d = %v", i+1, n)
+		}
+	}
+}
+
+// TestParallelCombineCompiledReducer exercises the compiled reduce path of
+// parallelCombine against the known closed-form sum.
+func TestParallelCombineCompiledReducer(t *testing.T) {
+	m := newMachine()
+	v, err := m.EvalReporter(ParallelCombine(
+		blocks.Numbers(blocks.Num(1), blocks.Num(1000)),
+		blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Empty())),
+		blocks.Num(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "500500" {
+		t.Fatalf("sum 1..1000 = %s", v)
+	}
+}
+
+// TestMapReduceCompiledMapper exercises the compiled tier inside the
+// mapReduce engine: word-length histogram via an explicit (key value) pair
+// mapper that compiles, reduced by a compiled length-of reducer.
+func TestMapReduceCompiledMapper(t *testing.T) {
+	mapRing := blocks.RingOf(blocks.ListOf(blocks.Empty(), blocks.Num(1)))
+	reduceRing := blocks.RingOf(blocks.LengthOf(blocks.Empty()))
+	if _, ok := compile.Ring(ShipRing(&blocks.Ring{
+		Body: blocks.ListOf(blocks.Empty(), blocks.Num(1)),
+	})); !ok {
+		t.Fatal("pair mapper should compile")
+	}
+	m := newMachine()
+	v, err := m.EvalReporter(blocks.MapReduce(mapRing, reduceRing,
+		blocks.ListOf(blocks.Txt("a"), blocks.Txt("b"), blocks.Txt("a"),
+			blocks.Txt("c"), blocks.Txt("a"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "[[a 3] [b 1] [c 1]]" {
+		t.Fatalf("word count = %s", v)
+	}
+}
+
+// TestDetachedRandomStreamsDiffer spot-checks the satellite fix itself: two
+// detached processes must draw from different, independently seeded
+// streams rather than one shared rand.Rand.
+func TestDetachedRandomStreamsDiffer(t *testing.T) {
+	ring := &blocks.Ring{Body: blocks.Random(blocks.Num(1), blocks.Num(1000000))}
+	a, err := interp.CallFunction(ring, nil, WorkerBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	different := false
+	for i := 0; i < 8 && !different; i++ {
+		b, err := interp.CallFunction(ring, nil, WorkerBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		different = !value.Equal(a, b)
+	}
+	if !different {
+		t.Fatal("detached random streams look identical across processes")
+	}
+}

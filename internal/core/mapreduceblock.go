@@ -31,9 +31,9 @@ type mrJob struct {
 // single shared key, which is how a whole-dataset reduction (the climate
 // average) is expressed.
 func RingMapper(r *blocks.Ring) mapreduce.Mapper {
-	shipped := ShipRing(r)
+	call := ringCallFunc(ShipRing(r))
 	return func(item value.Value) ([]mapreduce.KVP, error) {
-		v, err := interp.CallFunction(shipped, []value.Value{item}, WorkerBudget)
+		v, err := call([]value.Value{item})
 		if err != nil {
 			return nil, err
 		}
@@ -47,9 +47,9 @@ func RingMapper(r *blocks.Ring) mapreduce.Mapper {
 // RingReducer adapts a user reduce ring: it is called once per key with the
 // list of that key's values.
 func RingReducer(r *blocks.Ring) mapreduce.Reducer {
-	shipped := ShipRing(r)
+	call := ringCallFunc(ShipRing(r))
 	return func(key string, vals *value.List) (value.Value, error) {
-		return interp.CallFunction(shipped, []value.Value{vals}, WorkerBudget)
+		return call([]value.Value{vals})
 	}
 }
 

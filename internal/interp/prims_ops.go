@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/value"
 )
@@ -26,6 +27,7 @@ func init() {
 	RegisterPrimitive("reportAnd", primAnd)
 	RegisterPrimitive("reportOr", primOr)
 	RegisterPrimitive("reportNot", primNot)
+	RegisterPrimitive("reportIfElse", primReportIfElse)
 	RegisterPrimitive("reportJoinWords", primJoin)
 	RegisterPrimitive("reportLetter", primLetter)
 	RegisterPrimitive("reportStringSize", primStringSize)
@@ -135,9 +137,37 @@ func primMonadic(p *Process, ctx *Context) (value.Value, Control, error) {
 	return value.Num(r), Done, nil
 }
 
-// workerRand serves detached (worker) processes, which have no machine to
-// own a stream.
-var workerRand = rand.New(rand.NewSource(0x5eed))
+// workerSeed derives a distinct seed for each detached (worker) process.
+// Detached processes run concurrently on the worker pool and rand.Rand is
+// not goroutine-safe, so they cannot share one stream the way they briefly
+// did — that was a data race. Each process lazily builds its own stream
+// from the next counter value instead.
+var workerSeed atomic.Int64
+
+func init() { workerSeed.Store(0x5eed) }
+
+// detachedRand returns the process-local random stream, creating it on
+// first use. Only detached processes (Machine == nil) call this.
+func (p *Process) detachedRand() *rand.Rand {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(mix64(workerSeed.Add(1))))
+	}
+	return p.rng
+}
+
+// mix64 is the splitmix64 finalizer. rand.NewSource does not scramble its
+// seed, so feeding it raw counter values gives consecutive processes
+// visibly correlated streams (their first draws coincide); the finalizer
+// spreads neighboring counters across the whole seed space.
+func mix64(z int64) int64 {
+	x := uint64(z) * 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
 
 func primRandom(p *Process, ctx *Context) (value.Value, Control, error) {
 	a, err := value.ToNumber(ctx.Inputs[0])
@@ -152,9 +182,11 @@ func primRandom(p *Process, ctx *Context) (value.Value, Control, error) {
 	if lo > hi {
 		lo, hi = hi, lo
 	}
-	rng := workerRand
+	var rng *rand.Rand
 	if p.Machine != nil {
 		rng = p.Machine.Rand()
+	} else {
+		rng = p.detachedRand()
 	}
 	if a.IsInt() && b.IsInt() {
 		return value.NumInt(int(lo) + rng.Intn(int(hi)-int(lo)+1)), Done, nil
@@ -206,6 +238,22 @@ func primNot(p *Process, ctx *Context) (value.Value, Control, error) {
 		return nil, Done, err
 	}
 	return value.BoolVal(bool(!a)), Done, nil
+}
+
+// primReportIfElse is the reporter-shaped conditional ("if _ then _ else
+// _"): Snap!'s hexagonal reporter that picks one of two values. Like every
+// reporter input slot in this interpreter, both branches are evaluated
+// before the block applies (no short-circuit), the same eager semantics as
+// reportAnd/reportOr.
+func primReportIfElse(p *Process, ctx *Context) (value.Value, Control, error) {
+	cond, err := value.ToBool(ctx.Inputs[0])
+	if err != nil {
+		return nil, Done, err
+	}
+	if cond {
+		return ctx.Inputs[1], Done, nil
+	}
+	return ctx.Inputs[2], Done, nil
 }
 
 func primJoin(p *Process, ctx *Context) (value.Value, Control, error) {

@@ -3,6 +3,8 @@ package interp
 import (
 	"errors"
 	"fmt"
+	"math/rand"
+	"sync"
 
 	"repro/internal/blocks"
 	"repro/internal/stage"
@@ -100,6 +102,11 @@ type Process struct {
 	readyToYield bool
 	warp         int
 	consumedWait bool // set when a doWait tick was consumed this step
+
+	// rng is the process-local random stream of a detached (worker)
+	// process; see detachedRand. Machine-owned processes use the
+	// machine's stream instead.
+	rng *rand.Rand
 
 	// OnDone, when set, runs as soon as the process completes or dies.
 	OnDone func(*Process)
@@ -463,27 +470,46 @@ const StepBudget = 10000
 // ErrEvalBudget reports a runaway detached evaluation.
 var ErrEvalBudget = errors.New("function evaluation exceeded its budget (infinite loop?)")
 
-// CallFunction evaluates a ring with arguments to completion in a detached
-// process with no machine, no sprite, and no stage: the execution context a
-// function shipped to a Web Worker sees. Stage- or scheduler-dependent
-// primitives fail in this context, exactly as DOM access fails inside a
-// real Web Worker. The maxSteps budget guards against non-terminating
-// functions; pass 0 for StepBudget.
-func CallFunction(ring *blocks.Ring, args []value.Value, maxSteps int) (value.Value, error) {
+// Caller is a reusable detached evaluator: one Web-Worker-engine stand-in
+// that can run many ring calls back to back on the same Process, keeping
+// the context freelist, the root frame, and the argument buffer warm
+// between calls. A fresh Process per element was the dominant cost of the
+// interpreter tier at the worker boundary; a chunk of elements now shares
+// one Caller.
+//
+// A Caller is not safe for concurrent use; each worker goroutine takes its
+// own (GetCaller/Release).
+type Caller struct {
+	p      *Process
+	argbuf []value.Value
+}
+
+// NewCaller builds a detached evaluator (no machine, no sprite, no stage —
+// the execution context a function shipped to a Web Worker sees).
+func NewCaller() *Caller {
+	return &Caller{p: &Process{rootFrame: NewFrame(nil)}}
+}
+
+// Call evaluates ring(args) to completion, like CallFunction, but reusing
+// this Caller's Process. Unlike CallFunction it does NOT clone args: the
+// caller is expected to pass values that are already isolated from any
+// running machine (e.g. boundary-cloned by the worker pool). maxSteps <= 0
+// means StepBudget.
+func (c *Caller) Call(ring *blocks.Ring, args []value.Value, maxSteps int) (value.Value, error) {
 	if maxSteps <= 0 {
 		maxSteps = StepBudget
 	}
-	// A detached call must not share the ring's captured frames with a
-	// concurrently running machine; workers are share-nothing. Cloning
-	// the arguments is the postMessage discipline; the captured
-	// environment is reached read-only via the frame chain.
-	callArgs := make([]value.Value, len(args))
-	for i, a := range args {
-		callArgs[i] = value.CloneValue(a)
-	}
-	p := &Process{rootFrame: NewFrame(nil)}
-	p.context = &Context{Expr: collector{}, Frame: p.rootFrame}
-	if err := p.CallRing(ring, callArgs); err != nil {
+	p := c.p
+	p.result = nil
+	p.err = nil
+	p.stopped = false
+	p.readyToYield = false
+	p.warp = 0
+	p.consumedWait = false
+	p.context = nil
+	p.pushContext(collector{}, p.rootFrame)
+	if err := p.CallRing(ring, args); err != nil {
+		p.context = nil
 		return nil, err
 	}
 	for steps := 0; p.context != nil; {
@@ -492,8 +518,43 @@ func CallFunction(ring *blocks.Ring, args []value.Value, maxSteps int) (value.Va
 			return nil, p.err
 		}
 		if steps > maxSteps && p.context != nil {
+			// Abandon the stack; the contexts above the freelist are
+			// left to the garbage collector.
+			p.context = nil
 			return nil, ErrEvalBudget
 		}
 	}
 	return p.Result(), nil
+}
+
+// callerPool recycles Callers across detached evaluations so a steady
+// stream of worker calls reuses warmed Processes instead of allocating
+// fresh ones.
+var callerPool = sync.Pool{New: func() any { return NewCaller() }}
+
+// GetCaller takes a pooled Caller; return it with Release when done.
+func GetCaller() *Caller { return callerPool.Get().(*Caller) }
+
+// Release returns the Caller to the pool.
+func (c *Caller) Release() { callerPool.Put(c) }
+
+// CallFunction evaluates a ring with arguments to completion in a detached
+// process with no machine, no sprite, and no stage: the execution context a
+// function shipped to a Web Worker sees. Stage- or scheduler-dependent
+// primitives fail in this context, exactly as DOM access fails inside a
+// real Web Worker. The maxSteps budget guards against non-terminating
+// functions; pass 0 for StepBudget.
+func CallFunction(ring *blocks.Ring, args []value.Value, maxSteps int) (value.Value, error) {
+	c := GetCaller()
+	defer c.Release()
+	// A detached call must not share the ring's captured frames with a
+	// concurrently running machine; workers are share-nothing. Cloning
+	// the arguments is the postMessage discipline; the captured
+	// environment is reached read-only via the frame chain.
+	callArgs := c.argbuf[:0]
+	for _, a := range args {
+		callArgs = append(callArgs, value.CloneValue(a))
+	}
+	c.argbuf = callArgs
+	return c.Call(ring, callArgs, maxSteps)
 }

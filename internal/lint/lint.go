@@ -71,7 +71,7 @@ var arities = map[string]int{
 	"reportQuotient": 2, "reportModulus": 2, "reportRound": 1,
 	"reportMonadic": 2, "reportRandom": 2,
 	"reportLessThan": 2, "reportEquals": 2, "reportGreaterThan": 2,
-	"reportAnd": 2, "reportOr": 2, "reportNot": 1,
+	"reportAnd": 2, "reportOr": 2, "reportNot": 1, "reportIfElse": 3,
 	"reportJoinWords": -2, "reportLetter": 2, "reportStringSize": 1,
 	"reportTextSplit": 2,
 	"reportNewList":   -1, "reportNumbers": 2, "reportListItem": 2,
@@ -103,6 +103,34 @@ var workerRingOps = map[string][]int{
 	"reportParallelKeep":    {0},
 	"reportParallelCombine": {1},
 	"reportMapReduce":       {0, 1},
+}
+
+// workerUnavailableOps maps opcodes that fail at run time when executed on
+// a worker to the resource they need. Workers are share-nothing: no stage,
+// no sprites, no file system, no custom-block table — the runtime raises
+// "not available inside a web worker" when a shipped ring reaches one of
+// these; the linter catches it statically. (parallelForEach bodies are NOT
+// worker-bound — they run on stage clones under the scheduler — so only
+// the rings of workerRingOps are checked.)
+var workerUnavailableOps = map[string]string{
+	"forward": "the stage", "turn": "the stage", "turnLeft": "the stage",
+	"gotoXY": "the stage", "bubble": "the stage", "doThink": "the stage",
+	"getTimer": "the stage", "doResetTimer": "the stage",
+	"reportMyName": "the stage", "createClone": "the stage",
+	"removeClone": "the stage", "doBroadcast": "the stage",
+	"doBroadcastAndWait": "the stage",
+	"reportReadFile":     "files", "reportFileLines": "files",
+	"doWriteFile": "files", "doAppendToFile": "files",
+	"evaluateCustomBlock": "custom blocks",
+}
+
+// checkWorkerAvailable flags a block that needs a resource workers do not
+// have, inside a ring that ships to workers.
+func (l *linter) checkWorkerAvailable(sp *blocks.Sprite, b *blocks.Block) {
+	if what, ok := workerUnavailableOps[b.Op]; ok {
+		l.report(sp, Warning, "worker-unavailable", b,
+			"%q needs %s, which is not available inside a web worker; this block will fail at run time", b.Op, what)
+	}
 }
 
 // Project checks a whole project.
@@ -218,6 +246,11 @@ func (l *linter) block(sp *blocks.Sprite, b *blocks.Block, sc scope, inWorker bo
 		} else if want < 0 && got < -want-1 {
 			l.report(sp, Error, "bad-arity", b, "%s takes at least %d inputs, has %d", b.Op, -want-1, got)
 		}
+	}
+	if inWorker {
+		// Shipped command-ring scripts flow through here with inWorker
+		// set; reporter-ring bodies take the checkWorkerBody path.
+		l.checkWorkerAvailable(sp, b)
 	}
 
 	// Opcode-specific checks and scope effects.
@@ -432,6 +465,7 @@ func (l *linter) checkWorkerBody(sp *blocks.Sprite, n blocks.Node, params []stri
 				"variable %q is read inside a worker-bound ring; closures do not ship to workers — pass it as a ring parameter", x.Name)
 		}
 	case *blocks.Block:
+		l.checkWorkerAvailable(sp, x)
 		for i := range x.Inputs {
 			l.checkWorkerBody(sp, x.Input(i), params)
 		}

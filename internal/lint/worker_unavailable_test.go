@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/blocks"
+)
+
+// workerRingWith wraps a reporter body in a parallelMap and hands it to the
+// linter — the canonical worker-bound position.
+func workerRingWith(body blocks.Node) *blocks.Project {
+	return spriteWith(blocks.NewScript(
+		blocks.Say(blocks.ParallelMap(
+			blocks.RingOf(body),
+			blocks.ListOf(blocks.Num(1)), blocks.Empty())),
+	))
+}
+
+func TestWorkerUnavailableStageBlock(t *testing.T) {
+	// `timer` inside a parallelMap ring: the worker has no stage.
+	fs := Project(workerRingWith(blocks.Reporter(blocks.NewBlock("getTimer"))))
+	if findingCodes(fs)["worker-unavailable"] != 1 {
+		t.Fatalf("findings = %v", fs)
+	}
+	f := fs[0]
+	if f.Severity != Warning {
+		t.Errorf("severity = %v, want warning", f.Severity)
+	}
+	if !strings.Contains(f.Message, "not available inside a web worker") {
+		t.Errorf("message = %q", f.Message)
+	}
+}
+
+func TestWorkerUnavailableFileBlock(t *testing.T) {
+	fs := Project(workerRingWith(
+		blocks.Reporter(blocks.NewBlock("reportFileLines", blocks.Txt("data.txt")))))
+	if findingCodes(fs)["worker-unavailable"] != 1 {
+		t.Fatalf("findings = %v", fs)
+	}
+	if !strings.Contains(fs[0].Message, "files") {
+		t.Errorf("message = %q", fs[0].Message)
+	}
+}
+
+func TestWorkerUnavailableCustomBlock(t *testing.T) {
+	p := blocks.NewProject("t")
+	p.Customs["double"] = &blocks.CustomBlock{
+		Name: "double", Params: []string{"n"},
+		Body: blocks.NewScript(blocks.Report(blocks.Product(blocks.Var("n"), blocks.Num(2)))),
+	}
+	sp := p.AddSprite(blocks.NewSprite("S"))
+	sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(
+		blocks.Say(blocks.ParallelMap(
+			blocks.RingOf(blocks.Reporter(blocks.NewBlock("evaluateCustomBlock",
+				blocks.Txt("double"), blocks.Empty()))),
+			blocks.ListOf(blocks.Num(1)), blocks.Empty())),
+	))
+	fs := Project(p)
+	if findingCodes(fs)["worker-unavailable"] != 1 {
+		t.Fatalf("findings = %v", fs)
+	}
+	if !strings.Contains(fs[0].Message, "custom blocks") {
+		t.Errorf("message = %q", fs[0].Message)
+	}
+}
+
+func TestWorkerUnavailableAllWorkerRingOps(t *testing.T) {
+	// The warning must fire from every worker-bound ring position:
+	// parallelMap, parallelKeep, parallelCombine, and both mapReduce rings.
+	timer := func() blocks.Node { return blocks.RingOf(blocks.Reporter(blocks.NewBlock("getTimer"))) }
+	clean := func() blocks.Node { return blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Empty())) }
+	list := func() blocks.Node { return blocks.ListOf(blocks.Num(1)) }
+	cases := []struct {
+		name  string
+		block *blocks.Block
+		want  int
+	}{
+		{"parallelMap", blocks.ParallelMap(timer(), list(), blocks.Empty()), 1},
+		{"parallelKeep", blocks.NewBlock("reportParallelKeep", timer(), list(), blocks.Empty()), 1},
+		{"parallelCombine", blocks.NewBlock("reportParallelCombine", list(), timer(), blocks.Empty()), 1},
+		{"mapReduce both rings", blocks.MapReduce(timer(), timer(), list()), 2},
+		{"mapReduce one clean", blocks.MapReduce(clean(), timer(), list()), 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := Project(spriteWith(blocks.NewScript(blocks.Say(tc.block))))
+			if got := findingCodes(fs)["worker-unavailable"]; got != tc.want {
+				t.Errorf("got %d warnings, want %d: %v", got, tc.want, fs)
+			}
+		})
+	}
+}
+
+func TestWorkerUnavailableNotFlaggedOutsideWorkers(t *testing.T) {
+	// The same blocks on the interpreter thread are fine.
+	fs := Project(spriteWith(blocks.NewScript(
+		blocks.Say(blocks.Reporter(blocks.NewBlock("getTimer"))),
+		blocks.NewBlock("doResetTimer"),
+	)))
+	if findingCodes(fs)["worker-unavailable"] != 0 {
+		t.Errorf("stage blocks outside workers flagged: %v", fs)
+	}
+	// Sequential map's ring runs on the interpreter thread too.
+	fs = Project(spriteWith(blocks.NewScript(
+		blocks.Say(blocks.Map(
+			blocks.RingOf(blocks.Reporter(blocks.NewBlock("getTimer"))),
+			blocks.ListOf(blocks.Num(1)))),
+	)))
+	if findingCodes(fs)["worker-unavailable"] != 0 {
+		t.Errorf("sequential map ring flagged: %v", fs)
+	}
+}
+
+func TestWorkerUnavailableNotFlaggedInParallelForEachBody(t *testing.T) {
+	// parallelForEach bodies run on stage CLONES, not workers — stage
+	// blocks there are the whole point (§3.3's pitcher sprites move).
+	fs := Project(spriteWith(blocks.NewScript(
+		blocks.ParallelForEach("item", blocks.ListOf(blocks.Num(1)), blocks.Empty(),
+			blocks.Body(blocks.NewBlock("forward", blocks.Num(10)))),
+	)))
+	if findingCodes(fs)["worker-unavailable"] != 0 {
+		t.Errorf("parallelForEach body flagged: %v", fs)
+	}
+}
+
+func TestWorkerUnavailableInNestedRing(t *testing.T) {
+	// A stage block buried in an inner sequential-map ring inside the
+	// shipped ring still fails on the worker; the walk must reach it.
+	fs := Project(workerRingWith(blocks.Reporter(blocks.Map(
+		blocks.RingOf(blocks.Reporter(blocks.NewBlock("getTimer"))),
+		blocks.Empty()))))
+	if findingCodes(fs)["worker-unavailable"] != 1 {
+		t.Errorf("nested ring not flagged: %v", fs)
+	}
+}

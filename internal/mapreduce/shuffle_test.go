@@ -1,0 +1,56 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// referenceGroup is the original shuffle — stable sort of all pairs by key,
+// then grouping adjacent runs — kept here as the executable specification
+// the hash-based groupByKey must match.
+func referenceGroup(mid []KVP) []group {
+	sorted := make([]KVP, len(mid))
+	copy(sorted, mid)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var groups []group
+	for _, kv := range sorted {
+		if len(groups) == 0 || groups[len(groups)-1].key != kv.Key {
+			groups = append(groups, group{key: kv.Key, vals: value.NewList()})
+		}
+		groups[len(groups)-1].vals.Add(kv.Val)
+	}
+	return groups
+}
+
+func TestGroupByKeyMatchesSortedReference(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rnd.Intn(300)
+		keys := rnd.Intn(20) + 1
+		mid := make([]KVP, n)
+		for i := range mid {
+			mid[i] = KVP{
+				Key: fmt.Sprintf("k%02d", rnd.Intn(keys)),
+				Val: value.NumInt(i),
+			}
+		}
+		got := groupByKey(mid)
+		want := referenceGroup(mid)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d groups, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].key != want[i].key {
+				t.Fatalf("trial %d group %d: key %q, want %q", trial, i, got[i].key, want[i].key)
+			}
+			if got[i].vals.String() != want[i].vals.String() {
+				t.Fatalf("trial %d key %q: vals %s, want %s — same-key values must stay in map-emission order",
+					trial, got[i].key, got[i].vals, want[i].vals)
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package workers
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func intList(n int) *value.List {
+	items := make([]value.Value, n)
+	for i := range items {
+		items[i] = value.Number(float64(i + 1))
+	}
+	return value.NewList(items...)
+}
+
+// doubleChunk is the chunk-shaped equivalent of the per-element double
+// handler the other tests use.
+func doubleChunk(j *Job, base int, dst, src []value.Value) error {
+	for i, in := range src {
+		n, err := value.ToNumber(in)
+		if err != nil {
+			return fmt.Errorf("element %d: %w", base+i+1, err)
+		}
+		dst[i] = value.Number(float64(n) * 2)
+	}
+	return nil
+}
+
+func TestMapChunksAllPolicies(t *testing.T) {
+	for _, policy := range []Assignment{Dynamic, Block, Interleaved} {
+		for _, n := range []int{0, 1, 7, 64, 257} {
+			p := New(intList(n), Options{MaxWorkers: 4, Assignment: policy})
+			got, err := p.MapChunks(doubleChunk).Wait()
+			if err != nil {
+				t.Fatalf("%v n=%d: %v", policy, n, err)
+			}
+			if got.Len() != n {
+				t.Fatalf("%v n=%d: got %d results", policy, n, got.Len())
+			}
+			for i := 0; i < n; i++ {
+				v, _ := got.Item(i + 1)
+				if v.String() != fmt.Sprint(2*(i+1)) {
+					t.Fatalf("%v n=%d item %d: got %s", policy, n, i+1, v)
+				}
+			}
+		}
+	}
+}
+
+func TestMapChunksBaseIsListIndex(t *testing.T) {
+	// Every chunk must see base equal to the list offset of src[0],
+	// whatever the assignment policy carved.
+	for _, policy := range []Assignment{Dynamic, Block, Interleaved} {
+		p := New(intList(100), Options{MaxWorkers: 3, Assignment: policy, Grain: 7})
+		job := p.MapChunks(func(j *Job, base int, dst, src []value.Value) error {
+			for i, in := range src {
+				n, err := value.ToNumber(in)
+				if err != nil {
+					return err
+				}
+				// items are 1..100, so item at list index k is k+1
+				if int(n) != base+i+1 {
+					return fmt.Errorf("base %d + offset %d saw element %v", base, i, in)
+				}
+				dst[i] = in
+			}
+			return nil
+		})
+		if _, err := job.Wait(); err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+	}
+}
+
+func TestMapChunksErrorKeepsElementFormat(t *testing.T) {
+	p := New(intList(20), Options{MaxWorkers: 2})
+	job := p.MapChunks(func(j *Job, base int, dst, src []value.Value) error {
+		for i, in := range src {
+			if in.String() == "13" {
+				return fmt.Errorf("element %d: unlucky", base+i+1)
+			}
+			dst[i] = in
+		}
+		return nil
+	})
+	_, err := job.Wait()
+	if err == nil || !strings.Contains(err.Error(), "element 13: unlucky") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestMapChunksPanicBecomesWorkerScriptError(t *testing.T) {
+	p := New(intList(8), Options{MaxWorkers: 2})
+	job := p.MapChunks(func(j *Job, base int, dst, src []value.Value) error {
+		panic("kaboom")
+	})
+	_, err := job.Wait()
+	if err == nil || !strings.Contains(err.Error(), "worker script error: kaboom") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestMapChunksCancelMidChunk(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once atomic.Bool
+	p := New(intList(1000), Options{MaxWorkers: 2, Grain: 1000})
+	job := p.MapChunks(func(j *Job, base int, dst, src []value.Value) error {
+		for i, in := range src {
+			if once.CompareAndSwap(false, true) {
+				close(started)
+				<-release
+			}
+			if j.Canceled() {
+				return ErrCanceled
+			}
+			dst[i] = in
+		}
+		return nil
+	})
+	<-started
+	job.Cancel()
+	close(release)
+	_, err := job.Wait()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+}
+
+func TestMapChunksLoadsSumToN(t *testing.T) {
+	const n = 123
+	p := New(intList(n), Options{MaxWorkers: 4, Grain: 10})
+	job := p.MapChunks(doubleChunk)
+	if _, err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, l := range job.WorkerLoads() {
+		sum += l
+	}
+	if sum != n {
+		t.Fatalf("loads sum to %d, want %d", sum, n)
+	}
+}
+
+func TestMapAdapterStillClonesBoundary(t *testing.T) {
+	// The per-element Map adapter must keep the postMessage discipline:
+	// a handler mutating its input list must not affect the caller's data.
+	inner := value.NewList(value.Number(1))
+	p := New(value.NewList(inner), Options{MaxWorkers: 1})
+	job := p.Map(func(v value.Value) (value.Value, error) {
+		if l, ok := v.(*value.List); ok {
+			l.Add(value.Number(99))
+		}
+		return v, nil
+	})
+	out, err := job.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.Len() != 1 {
+		t.Fatalf("input list mutated through the worker boundary: %s", inner)
+	}
+	got, _ := out.Item(1)
+	if l, ok := got.(*value.List); !ok || l.Len() != 2 {
+		t.Fatalf("result should reflect the handler's mutation: %s", got)
+	}
+}

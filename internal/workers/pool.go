@@ -175,26 +175,78 @@ func (p *Parallel) grain(n, w int) int {
 		return p.opts.Grain
 	}
 	g := n / (w * 4)
-	if g < 1 {
-		g = 1
-	}
 	if g > 64 {
 		g = 64
+	}
+	// Floor the grain so a chunk is worth its shared-counter claim even
+	// when the per-element work is a compiled kernel of a few tens of
+	// nanoseconds — but never so high that a worker cannot get at least
+	// one chunk of an evenly split list.
+	lo := (n + w - 1) / w
+	if lo > 8 {
+		lo = 8
+	}
+	if g < lo {
+		g = lo
+	}
+	if g < 1 {
+		g = 1
 	}
 	return g
 }
 
+// ChunkHandler processes one contiguous chunk of a parallel map: src holds
+// the input elements starting at 0-based list index base, and every result
+// must be stored into the parallel dst slice. The handler owns the worker
+// boundary for its chunk — cloning elements in and results out, amortizing
+// any per-worker setup (a reusable interpreter Process, a compiled kernel's
+// argument buffer) across the whole chunk instead of paying it per element.
+// It should poll j.Canceled() between elements and bail with ErrCanceled;
+// any other error fails the job (wrap it as "element %d: ..." with the
+// 1-based index base+i+1 to match the per-element contract).
+type ChunkHandler func(j *Job, base int, dst, src []value.Value) error
+
+// Canceled reports whether Cancel has been called. ChunkHandlers poll this
+// between elements so a long chunk still stops promptly.
+func (j *Job) Canceled() bool { return j.canceled.Load() }
+
 // Map applies fn to every element of the pool's data on the worker pool and
 // resolves to the list of results in input order. Each element is
 // structured-cloned into its worker and each result cloned back out, the
-// postMessage discipline.
-//
-// The work runs on the persistent SharedPool: one executor per requested
-// worker, each claiming elements in grain-sized chunks off a shared atomic
-// counter (Dynamic) or by its static schedule (Block, Interleaved). The
-// last executor to finish resolves the job, so an operation costs zero
-// goroutine spawns when the pool has idle workers.
+// postMessage discipline. Map is the per-element adapter over MapChunks;
+// callers that can amortize work across a whole chunk use MapChunks
+// directly.
 func (p *Parallel) Map(fn Handler) *Job {
+	clone := !p.opts.NoClone
+	return p.MapChunks(func(j *Job, base int, dst, src []value.Value) error {
+		for i, in := range src {
+			if j.Canceled() {
+				return ErrCanceled
+			}
+			if clone {
+				in = safeClone(in)
+			}
+			out, err := runHandler(fn, in)
+			if err != nil {
+				return fmt.Errorf("element %d: %w", base+i+1, err)
+			}
+			if clone {
+				out = safeClone(out)
+			}
+			dst[i] = out
+		}
+		return nil
+	})
+}
+
+// MapChunks is the chunk-level map primitive behind Map. The work runs on
+// the persistent SharedPool: one executor per requested worker, each
+// claiming chunks in grain-sized slices off a shared atomic counter
+// (Dynamic) or by its static schedule (Block gets one contiguous chunk per
+// worker, Interleaved degenerates to single-element chunks). The last
+// executor to finish resolves the job, so an operation costs zero goroutine
+// spawns when the pool has idle workers.
+func (p *Parallel) MapChunks(fn ChunkHandler) *Job {
 	n := p.data.Len()
 	w := p.opts.MaxWorkers
 	if w > n && n > 0 {
@@ -213,28 +265,26 @@ func (p *Parallel) Map(fn Handler) *Job {
 	items := p.data.Items()
 	results := make([]value.Value, n)
 	var firstErr atomic.Value
-	clone := !p.opts.NoClone
 
-	runOne := func(worker, i int) bool {
+	// runChunk hands [lo,hi) to the handler; true means keep claiming.
+	runChunk := func(worker, lo, hi int) bool {
 		if job.canceled.Load() {
 			return false
 		}
-		in := items[i]
-		if clone {
-			in = safeClone(in)
-		}
-		out, err := runHandler(fn, in)
+		err := safeChunk(fn, job, lo, results[lo:hi], items[lo:hi])
 		if err != nil {
-			firstErr.CompareAndSwap(nil, fmt.Errorf("element %d: %w", i+1, err))
+			if !errors.Is(err, ErrCanceled) {
+				firstErr.CompareAndSwap(nil, err)
+			}
 			return false
 		}
-		if clone {
-			out = safeClone(out)
-		}
-		results[i] = out
-		atomic.AddInt64(&job.loads[worker], 1)
+		atomic.AddInt64(&job.loads[worker], int64(hi-lo))
 		if p.opts.Cost != nil {
-			atomic.AddInt64(&job.costs[worker], p.opts.Cost(i))
+			var c int64
+			for i := lo; i < hi; i++ {
+				c += p.opts.Cost(i)
+			}
+			atomic.AddInt64(&job.costs[worker], c)
 		}
 		return true
 	}
@@ -260,28 +310,53 @@ func (p *Parallel) Map(fn Handler) *Job {
 	case Dynamic:
 		grain := p.grain(n, w)
 		var next atomic.Int64
-		pending.Store(int32(w))
-		for k := 0; k < w; k++ {
-			worker := k
+		claim := func(worker int) bool {
+			lo := int(next.Add(int64(grain))) - grain
+			if lo >= n {
+				return false
+			}
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			return runChunk(worker, lo, hi)
+		}
+		if p.opts.Cost != nil {
+			// Instrumented mode (E10): every requested worker must
+			// participate so the load-balance ablation observes the
+			// full w-way assignment, not however many executors the
+			// cascade below happened to wake.
+			pending.Store(int32(w))
+			for k := 0; k < w; k++ {
+				worker := k
+				pool.Submit(func() {
+					defer finishIfLast()
+					for claim(worker) {
+					}
+				})
+			}
+			break
+		}
+		// Cascading spawn: executor k enlists executor k+1 only while
+		// unclaimed work remains. On idle cores the chain unrolls to
+		// all w executors almost immediately; on a saturated machine a
+		// fast executor drains the queue before the chain grows, so a
+		// small job pays for the wakeups it can use instead of w of
+		// them. pending is incremented before each Submit, so the job
+		// cannot resolve while a link of the chain is still in flight.
+		var launch func(worker int)
+		launch = func(worker int) {
+			pending.Add(1)
 			pool.Submit(func() {
 				defer finishIfLast()
-				for {
-					lo := int(next.Add(int64(grain))) - grain
-					if lo >= n {
-						return
-					}
-					hi := lo + grain
-					if hi > n {
-						hi = n
-					}
-					for i := lo; i < hi; i++ {
-						if !runOne(worker, i) {
-							return
-						}
-					}
+				if worker+1 < w && int(next.Load()) < n {
+					launch(worker + 1)
+				}
+				for claim(worker) {
 				}
 			})
 		}
+		launch(0)
 	case Block:
 		chunk := (n + w - 1) / w
 		active := 0
@@ -302,11 +377,7 @@ func (p *Parallel) Map(fn Handler) *Job {
 			worker, lo, hi := k, lo, hi
 			pool.Submit(func() {
 				defer finishIfLast()
-				for i := lo; i < hi; i++ {
-					if !runOne(worker, i) {
-						return
-					}
-				}
+				runChunk(worker, lo, hi)
 			})
 		}
 	case Interleaved:
@@ -316,7 +387,7 @@ func (p *Parallel) Map(fn Handler) *Job {
 			pool.Submit(func() {
 				defer finishIfLast()
 				for i := worker; i < n; i += w {
-					if !runOne(worker, i) {
+					if !runChunk(worker, i, i+1) {
 						return
 					}
 				}
@@ -324,6 +395,17 @@ func (p *Parallel) Map(fn Handler) *Job {
 		}
 	}
 	return job
+}
+
+// safeChunk guards the pool's executors against a panicking ChunkHandler
+// the way runHandler guards per-element handlers.
+func safeChunk(fn ChunkHandler, j *Job, base int, dst, src []value.Value) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("worker script error: %v", r)
+		}
+	}()
+	return fn(j, base, dst, src)
 }
 
 // ReduceFunc combines two values; it must be associative for the parallel
