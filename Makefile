@@ -18,13 +18,14 @@ race:
 # check is the pre-merge gate: vet everything, run the race detector over
 # the packages with real concurrency (the worker pool with its chunked
 # dispatch, the MapReduce engine, the interpreter, the ring compiler, the
-# parallel blocks, and the execution service), then give the compiled-vs-
+# parallel blocks, the observability registry with its 64-goroutine
+# hammer, and the execution service), then give the compiled-vs-
 # interpreted differential fuzzer a short burst.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/workers/... ./internal/mapreduce/... \
 		./internal/interp/... ./internal/compile/... ./internal/core/... \
-		./internal/runtime/... ./internal/server/...
+		./internal/runtime/... ./internal/server/... ./internal/obs/...
 	$(GO) test -run '^$$' -fuzz FuzzCompileRing -fuzztime 5s ./internal/compile/
 
 # fuzz runs the compiler's differential fuzzer open-ended (ctrl-C to stop).
@@ -32,7 +33,9 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzCompileRing ./internal/compile/
 
 # serve-smoke boots snapserved in its self-test mode: serve on an
-# ephemeral port, POST one project, assert a 200, exit.
+# ephemeral port, run a sequential and a parallelMap project, then scrape
+# /metrics and fail on any series outside the snapserved_*/engine_*
+# catalog or any duplicated (name, labels) pair.
 serve-smoke:
 	$(GO) run ./cmd/snapserved -smoke
 
@@ -48,15 +51,17 @@ bench:
 	( $(GO) test -bench 'BenchmarkE[0-9]' -benchmem -run '^$$' . && \
 	  $(GO) test -bench 'BenchmarkE[0-9]' -benchmem -run '^$$' . && \
 	  $(GO) test -bench 'BenchmarkE[0-9]' -benchmem -run '^$$' . ) \
-		| $(GO) run ./cmd/benchjson > BENCH_PR3.json
+		| $(GO) run ./cmd/benchjson > BENCH_PR4.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-diff compares the current benchmark record against the previous
-# PR's committed baseline and fails on any >20% ns/op regression.
+# PR's committed baseline and fails on any >20% ns/op regression — for
+# this PR, the proof that compiled-in-but-disabled instrumentation leaves
+# the hot paths alone.
 bench-diff:
-	$(GO) run ./cmd/benchjson -baseline BENCH_PR1.json -current BENCH_PR3.json
+	$(GO) run ./cmd/benchjson -baseline BENCH_PR3.json -current BENCH_PR4.json
 
 # Regenerate every paper figure/listing/result as text.
 repro:

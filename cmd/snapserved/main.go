@@ -7,16 +7,20 @@
 //
 //	snapserved -addr :8080 -max-concurrent 8 -timeout 10s
 //	snapserved -smoke        # self-test: start, run one request, exit
+//	snapserved -pprof        # also mount /debug/pprof/
 //
 // Endpoints: POST /v1/run, POST /v1/codegen, GET /v1/sessions/{id},
-// GET /healthz, GET /metrics. See docs/SERVER.md.
+// GET /healthz, GET /metrics. See docs/SERVER.md and
+// docs/OBSERVABILITY.md.
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -26,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/server"
 	"repro/internal/workers"
@@ -46,9 +51,12 @@ func main() {
 		maxBody       = flag.Int64("maxbody", 1<<20, "request body cap in bytes")
 		nworkers      = flag.Int("workers", 0, "shared worker-pool size (0 = hardware concurrency)")
 		smoke         = flag.Bool("smoke", false, "self-test: serve on an ephemeral port, run one project, exit")
+		enableObs     = flag.Bool("obs", true, "collect engine metrics and job spans (engine_* series on /metrics)")
+		enablePprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
+	obs.SetEnabled(*enableObs)
 	if *nworkers > 0 {
 		if !workers.ConfigureSharedPool(*nworkers) {
 			log.Printf("worker pool already built; -workers %d ignored", *nworkers)
@@ -72,6 +80,7 @@ func main() {
 			Ceiling: defaults,
 		},
 		MaxBodyBytes: *maxBody,
+		EnablePprof:  *enablePprof,
 	})
 
 	if *smoke {
@@ -100,8 +109,11 @@ func main() {
 	}
 }
 
-// runSmoke boots the server on an ephemeral port, POSTs one project, and
-// verifies the session ran — the `make serve-smoke` target.
+// runSmoke boots the server on an ephemeral port, POSTs two projects (one
+// sequential, one that fans out through the worker pool), scrapes /metrics,
+// and validates the scrape — the `make serve-smoke` target. The scrape
+// check is the deployment-shaped guard: every series must belong to a
+// known family prefix and no (name, labels) pair may repeat.
 func runSmoke(srv *server.Server) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -112,14 +124,20 @@ func runSmoke(srv *server.Server) error {
 	defer httpSrv.Close()
 
 	base := "http://" + ln.Addr().String()
-	body := `{"project": "(project \"smoke\" (sprite \"S\" (when green-flag (do (say \"hello\")))))"}`
-	resp, err := http.Post(base+"/v1/run", "application/json", strings.NewReader(body))
-	if err != nil {
-		return err
+	projects := []string{
+		`{"project": "(project \"smoke\" (sprite \"S\" (when green-flag (do (say \"hello\")))))"}`,
+		// Drives parallelMap so the engine_* series have data to report.
+		`{"project": "(project \"smoke-par\" (sprite \"S\" (when green-flag (do (report (parallelmap (lambda (x) (* $x 2)) (numbers 1 64) 4))))))"}`,
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("POST /v1/run: status %d", resp.StatusCode)
+	for _, body := range projects {
+		resp, err := http.Post(base+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST /v1/run: status %d", resp.StatusCode)
+		}
 	}
 	health, err := http.Get(base + "/healthz")
 	if err != nil {
@@ -128,6 +146,51 @@ func runSmoke(srv *server.Server) error {
 	health.Body.Close()
 	if health.StatusCode != http.StatusOK {
 		return fmt.Errorf("GET /healthz: status %d", health.StatusCode)
+	}
+	scrape, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer scrape.Body.Close()
+	if scrape.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: status %d", scrape.StatusCode)
+	}
+	return validateScrape(scrape.Body)
+}
+
+// validateScrape checks a Prometheus text scrape the way a collision in
+// production would surface: a series outside the known prefixes means a
+// registry leaked in unannounced; a duplicated (name, labels) pair means
+// two registries collided and the scrape is unusable.
+func validateScrape(r io.Reader) error {
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		series := line
+		if i := strings.LastIndexByte(line, ' '); i >= 0 {
+			series = line[:i] // strip the value
+		}
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			name = series[:i]
+		}
+		if !strings.HasPrefix(name, "snapserved_") && !strings.HasPrefix(name, "engine_") {
+			return fmt.Errorf("/metrics: unknown series %q (want snapserved_* or engine_*)", name)
+		}
+		if seen[series] {
+			return fmt.Errorf("/metrics: duplicate series %q", series)
+		}
+		seen[series] = true
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(seen) == 0 {
+		return errors.New("/metrics: empty scrape")
 	}
 	return nil
 }

@@ -5,6 +5,7 @@
 //	snapvm -demo concession-parallel
 //	snapvm project.xml
 //	snapvm -key "right arrow" dragon.xml
+//	snapvm -stats project.sblk    # append an engine metrics/span report
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"repro/internal/blocks"
 	"repro/internal/demos"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/parse"
 	"repro/internal/vclock"
 	"repro/internal/xmlio"
@@ -33,7 +35,12 @@ func main() {
 	interfere := flag.Bool("interference", true, "model footnote-5 browser interference on the clock")
 	traceBlocks := flag.Bool("traceblocks", false, "print every block application (watch the blocks run)")
 	view := flag.Bool("view", false, "draw the final stage as ASCII art")
+	stats := flag.Bool("stats", false, "collect engine metrics during the run and print a report after")
 	flag.Parse()
+
+	if *stats {
+		obs.SetEnabled(true)
+	}
 
 	project, err := loadProject(*demo, flag.Arg(0))
 	if err != nil {
@@ -84,6 +91,10 @@ func main() {
 	}
 	fmt.Printf("\ntimer: %d timesteps over %d scheduler rounds\n",
 		m.Stage.Timer.Elapsed(), m.Round())
+	if *stats {
+		fmt.Println("\nengine stats:")
+		fmt.Print(obs.ReportText())
+	}
 }
 
 // runGoverned runs the machine under the same governance the execution

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/blocks"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -41,16 +42,44 @@ type Fn func(args []value.Value) (value.Value, error)
 // interpreter tier. Only shipped rings (no captured environment) are
 // accepted: a ring still carrying its closure frames could see variables
 // the compiler cannot resolve statically.
+//
+// Ring is also the tier decision's single metering point: when
+// observability is on, every call lands in engine_compile_hits_total or
+// engine_compile_fallbacks_total{reason=...} — counted here, and only
+// here, so the compile-tier counters agree one-to-one with the
+// differential harness's own tally (see differential_test.go).
 func Ring(r *blocks.Ring) (Fn, bool) {
-	if r == nil || r.Body == nil || r.Env != nil {
-		return nil, false
+	fn, reason, ok := ring(r)
+	if obs.Enabled() {
+		if ok {
+			obs.CompileHits.Inc()
+		} else {
+			obs.CompileFallbacks.With(reason).Inc()
+		}
+	}
+	return fn, ok
+}
+
+// ring is the unmetered compiler; reason classifies the refusal (one of
+// obs.CompileReasons) when ok is false.
+func ring(r *blocks.Ring) (Fn, string, bool) {
+	if r == nil || r.Body == nil {
+		return nil, "empty", false
+	}
+	if r.Env != nil {
+		return nil, "env", false
 	}
 	if _, isScript := r.Body.(*blocks.Script); isScript {
-		return nil, false
+		return nil, "script-body", false
 	}
-	ex, ok := compileNode(r.Body, &scope{params: r.Params})
+	sc := &scope{params: r.Params, fail: new(string)}
+	ex, ok := compileNode(r.Body, sc)
 	if !ok {
-		return nil, false
+		reason := *sc.fail
+		if reason == "" {
+			reason = "unsupported-node"
+		}
+		return nil, reason, false
 	}
 	return func(args []value.Value) (value.Value, error) {
 		v, err := ex(&env{args: args})
@@ -60,7 +89,7 @@ func Ring(r *blocks.Ring) (Fn, bool) {
 			v = value.TheNothing
 		}
 		return v, err
-	}, true
+	}, "", true
 }
 
 // env is the runtime scope chain: one level per ring call, holding that
@@ -81,6 +110,19 @@ type scope struct {
 	parent *scope
 	params []string
 	slots  int // empty slots assigned so far, in evaluation order
+	// fail, shared down the whole scope chain, records the FIRST refusal
+	// reason hit while compiling the ring — the label on
+	// engine_compile_fallbacks_total.
+	fail *string
+}
+
+// refuse records why this subtree cannot compile (first reason wins) and
+// returns the not-compilable pair, so refusal sites stay one-liners.
+func (sc *scope) refuse(reason string) (expr, bool) {
+	if sc.fail != nil && *sc.fail == "" {
+		*sc.fail = reason
+	}
+	return nil, false
 }
 
 func constExpr(v value.Value) expr {
@@ -110,11 +152,13 @@ func compileNode(n blocks.Node, sc *scope) (expr, bool) {
 		return compileVarGet(x.Name, sc)
 	case *blocks.Block:
 		return compileBlock(x, sc)
+	case blocks.RingNode:
+		// A ring outside a higher-order slot flows as a value and would
+		// need frame capture: interpreter only.
+		return sc.refuse("ring-value")
 	default:
-		// RingNode outside a higher-order slot (a ring flowing as a
-		// value), ScriptNode, and anything unforeseen stay on the
-		// interpreter.
-		return nil, false
+		// ScriptNode and anything unforeseen stay on the interpreter.
+		return sc.refuse("unsupported-node")
 	}
 }
 
@@ -144,7 +188,7 @@ func compileEmptySlot(sc *scope) (expr, bool) {
 			// OUTER ring's implicit cursor, which advances across
 			// separate calls of the inner ring — dynamic state the
 			// static index cannot capture. Interpreter only.
-			return nil, false
+			return sc.refuse("implicit-slot")
 		}
 	}
 	// Every enclosing ring is parameterized: no frame carries implicits
@@ -190,7 +234,7 @@ func compileVarGet(name string, sc *scope) (expr, bool) {
 var fixedArity = map[string]int{
 	"reportSum": 2, "reportDifference": 2, "reportProduct": 2,
 	"reportQuotient": 2, "reportModulus": 2, "reportRound": 1,
-	"reportMonadic": 2,
+	"reportMonadic":  2,
 	"reportLessThan": 2, "reportEquals": 2, "reportGreaterThan": 2,
 	"reportAnd": 2, "reportOr": 2, "reportNot": 1, "reportIfElse": 3,
 	"reportLetter": 2, "reportStringSize": 1, "reportTextSplit": 2,
@@ -207,8 +251,12 @@ func compileBlock(b *blocks.Block, sc *scope) (expr, bool) {
 	case "reportJoinWords", "reportNewList":
 		// variadic: fall through to input compilation
 	default:
-		if want, ok := fixedArity[b.Op]; !ok || want != len(b.Inputs) {
-			return nil, false
+		want, known := fixedArity[b.Op]
+		if !known {
+			return sc.refuse("unsupported-op")
+		}
+		if want != len(b.Inputs) {
+			return sc.refuse("arity")
 		}
 	}
 	ins := make([]expr, len(b.Inputs))
@@ -268,7 +316,7 @@ func compileBlock(b *blocks.Block, sc *scope) (expr, bool) {
 	case "reportListContainsItem":
 		return compListContains(op, ins), true
 	}
-	return nil, false
+	return sc.refuse("unsupported-op")
 }
 
 // eval2 evaluates two input expressions in order — the interpreter's
@@ -699,12 +747,12 @@ func compListContains(op string, ins []expr) expr {
 func compileInnerRing(n blocks.Node, sc *scope) (expr, bool) {
 	rn, ok := n.(blocks.RingNode)
 	if !ok || rn.Body == nil {
-		return nil, false
+		return sc.refuse("ring-value")
 	}
 	if _, isScript := rn.Body.(*blocks.Script); isScript {
-		return nil, false
+		return sc.refuse("script-body")
 	}
-	return compileNode(rn.Body, &scope{parent: sc, params: rn.Params})
+	return compileNode(rn.Body, &scope{parent: sc, params: rn.Params, fail: sc.fail})
 }
 
 // compileCombine lowers "combine _ using _" to a sequential fold. Inputs:
@@ -713,7 +761,7 @@ func compileInnerRing(n blocks.Node, sc *scope) (expr, bool) {
 // item 1 and the ring is called with (acc, item).
 func compileCombine(b *blocks.Block, sc *scope) (expr, bool) {
 	if len(b.Inputs) != 2 {
-		return nil, false
+		return sc.refuse("arity")
 	}
 	listEx, ok := compileNode(b.Input(0), sc)
 	if !ok {
@@ -758,7 +806,7 @@ func compileCombine(b *blocks.Block, sc *scope) (expr, bool) {
 // verdict to a boolean and reports the kept originals.
 func compileMapKeep(b *blocks.Block, sc *scope) (expr, bool) {
 	if len(b.Inputs) != 2 {
-		return nil, false
+		return sc.refuse("arity")
 	}
 	body, ok := compileInnerRing(b.Input(0), sc)
 	if !ok {

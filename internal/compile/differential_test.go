@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/blocks"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -220,12 +221,29 @@ func runDifferential(t *testing.T, rnd *rand.Rand, iters int) int {
 }
 
 func TestDifferentialCompiledVsInterpreted(t *testing.T) {
+	// Run with observability on and hold the tier counters to the
+	// harness's own tally: every Ring call must register as exactly one
+	// hit or one fallback — a double-count (or a refusal that forgot to
+	// report) breaks the agreement immediately, across 3000 random rings.
+	prevObs := obs.Enabled()
+	obs.SetEnabled(true)
+	t.Cleanup(func() { obs.SetEnabled(prevObs) })
+	hitsBefore := obs.CompileHits.Value()
+	fallbacksBefore := obs.CompileFallbacks.Total()
+
 	rnd := rand.New(rand.NewSource(0xC0FFEE))
 	const iters = 3000
 	compiled := runDifferential(t, rnd, iters)
 	t.Logf("compiled %d/%d generated rings", compiled, iters)
 	if compiled < iters/4 {
 		t.Fatalf("generator too refusal-heavy: only %d/%d rings compiled — the differential comparison lost its teeth", compiled, iters)
+	}
+
+	if got := obs.CompileHits.Value() - hitsBefore; got != int64(compiled) {
+		t.Errorf("engine_compile_hits_total moved by %d, harness compiled %d rings", got, compiled)
+	}
+	if got := obs.CompileFallbacks.Total() - fallbacksBefore; got != int64(iters-compiled) {
+		t.Errorf("engine_compile_fallbacks_total moved by %d, harness refused %d rings", got, iters-compiled)
 	}
 }
 

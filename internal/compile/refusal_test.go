@@ -1,0 +1,46 @@
+package compile
+
+import (
+	"testing"
+
+	"repro/internal/blocks"
+	"repro/internal/obs"
+)
+
+// TestRefusalReasonsLandOnTheirCounter pins the refusal-reason labels: a
+// ring refused for a known cause must land on that reason's series, never
+// in "other" — "other" filling up means the compiler grew a refusal path
+// the obs.CompileReasons catalog (and docs/OBSERVABILITY.md) doesn't know.
+func TestRefusalReasonsLandOnTheirCounter(t *testing.T) {
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	t.Cleanup(func() { obs.SetEnabled(prev) })
+
+	cases := []struct {
+		name   string
+		ring   *blocks.Ring
+		reason string
+	}{
+		{"nil body", &blocks.Ring{}, "empty"},
+		{"captured env", &blocks.Ring{Body: blocks.Num(1), Env: struct{}{}}, "env"},
+		{"script body", &blocks.Ring{Body: &blocks.Script{}}, "script-body"},
+		{"ring as value", &blocks.Ring{Body: blocks.RingOf(blocks.Num(1))}, "ring-value"},
+		{"unknown op", &blocks.Ring{Body: blocks.Reporter(blocks.NewBlock("doGlide", blocks.Num(1)))}, "unsupported-op"},
+		{"wrong input count", &blocks.Ring{Body: blocks.Reporter(
+			blocks.NewBlock("reportSum", blocks.Num(1)))}, "arity"}, // sum wants 2
+	}
+	for _, tc := range cases {
+		before := obs.CompileFallbacks.With(tc.reason).Value()
+		otherBefore := obs.CompileFallbacks.With("no-such-reason").Value()
+		if _, ok := Ring(tc.ring); ok {
+			t.Errorf("%s: compiled, want refusal", tc.name)
+			continue
+		}
+		if got := obs.CompileFallbacks.With(tc.reason).Value() - before; got != 1 {
+			t.Errorf("%s: reason %q counted %d times, want 1", tc.name, tc.reason, got)
+		}
+		if got := obs.CompileFallbacks.With("no-such-reason").Value() - otherBefore; got != 0 {
+			t.Errorf("%s: refusal leaked into the other series", tc.name)
+		}
+	}
+}

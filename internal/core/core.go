@@ -103,8 +103,8 @@ func primParallelMap(p *interp.Process, ctx *interp.Context) (value.Value, inter
 		if err != nil {
 			return nil, interp.Done, err
 		}
-		pool := workers.New(list, workers.Options{MaxWorkers: count}) // new Parallel(aList.asArray(), {maxWorkers: workers})
-		job := pool.MapChunks(RingChunkHandler(ring))                 // p.map(aFunction)
+		pool := workers.New(list, workers.Options{MaxWorkers: count, Label: traceLabel(p)}) // new Parallel(aList.asArray(), {maxWorkers: workers})
+		job := pool.MapChunks(RingChunkHandler(ring))                                       // p.map(aFunction)
 		cancelOnDeath(p, job)
 		ctx.Inputs = append(ctx.Inputs, &value.Opaque{Tag: "parallelJob", Payload: job})
 	} else {
@@ -133,6 +133,16 @@ func cancelOnDeath(p *interp.Process, job *workers.Job) {
 		}
 		job.Cancel()
 	}
+}
+
+// traceLabel is the trace ID the process's machine carries (the session
+// ID under snapserved), stamped onto worker jobs so their spans and the
+// session's span correlate.
+func traceLabel(p *interp.Process) string {
+	if p.Machine != nil {
+		return p.Machine.TraceID
+	}
+	return ""
 }
 
 func asList(v value.Value) (*value.List, error) {

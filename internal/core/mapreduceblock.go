@@ -78,8 +78,9 @@ func primMapReduce(p *interp.Process, ctx *interp.Context) (value.Value, interp.
 		job := &mrJob{}
 		input := list.Clone().(*value.List) // ship the data, not the list
 		mf, rf := RingMapper(mapRing), RingReducer(reduceRing)
+		label := traceLabel(p)
 		go func() {
-			res, err := mapreduce.Run(input, mf, rf, mapreduce.Config{Workers: workers.DefaultWorkers()})
+			res, err := mapreduce.Run(input, mf, rf, mapreduce.Config{Workers: workers.DefaultWorkers(), Label: label})
 			if err != nil {
 				job.err = err
 			} else if len(res) == 1 && res[0].Key == "" {

@@ -35,6 +35,11 @@ type Machine struct {
 	// and a test observation point. Keep it fast; it runs on the
 	// interpreter's hot path.
 	TraceBlock func(p *Process, b *blocks.Block)
+	// TraceID labels this machine's work in the observability layer
+	// (internal/obs): the parallel blocks stamp it onto the worker jobs
+	// they launch, so a governed session's span and its jobs' spans
+	// share an ID. Set before GreenFlag; empty means unlabeled.
+	TraceID string
 
 	procs       []*Process
 	rng         *rand.Rand

@@ -12,7 +12,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/value"
 	"repro/internal/workers"
 )
@@ -47,6 +49,9 @@ type Config struct {
 	// Workers is the parallelism of the map and reduce phases;
 	// 0 means workers.DefaultWorkers().
 	Workers int
+	// Label tags the run's trace span (see internal/obs); the mapReduce
+	// block passes the owning session's trace ID through here.
+	Label string
 }
 
 // Result is the output of a run: one reduced pair per distinct key, sorted
@@ -86,9 +91,21 @@ func Run(input *value.List, m Mapper, r Reducer, cfg Config) (Result, error) {
 	if w <= 0 {
 		w = workers.DefaultWorkers()
 	}
+	// Phase telemetry: one atomic load up front; everything else only
+	// runs (and only allocates) while the observability switch is on.
+	tracing := obs.Enabled()
+	var tStart, tMapDone, tShuffleDone time.Time
+	if tracing {
+		obs.MRRuns.Inc()
+		tStart = time.Now()
+	}
 	mid, err := mapPhase(input, m, w)
 	if err != nil {
 		return nil, err
+	}
+	if tracing {
+		tMapDone = time.Now()
+		obs.MRPhaseSeconds.With("map").Observe(tMapDone.Sub(tStart).Seconds())
 	}
 	// "The elements of the intermediate result are sorted by the value
 	// of the key in between the map function and the reduce function"
@@ -98,7 +115,54 @@ func Run(input *value.List, m Mapper, r Reducer, cfg Config) (Result, error) {
 	// but the sort is over k distinct keys instead of n pairs, which for
 	// low-cardinality workloads (word count, the single-key climate
 	// average) removes the dominant O(n log n) term of the shuffle.
-	return reducePhase(groupByKey(mid), r, w)
+	groups := groupByKey(mid)
+	if tracing {
+		tShuffleDone = time.Now()
+		obs.MRPhaseSeconds.With("shuffle").Observe(tShuffleDone.Sub(tMapDone).Seconds())
+		if skew, ok := bucketSkew(groups, len(mid)); ok {
+			obs.MRBucketSkew.Observe(skew)
+		}
+	}
+	out, err := reducePhase(groups, r, w)
+	if tracing {
+		end := time.Now()
+		obs.MRPhaseSeconds.With("reduce").Observe(end.Sub(tShuffleDone).Seconds())
+		status := "ok"
+		if err != nil {
+			status = "error"
+		}
+		obs.RecordSpan(obs.Span{
+			ID:    cfg.Label,
+			Kind:  "mapReduce",
+			Start: tStart,
+			Dur:   end.Sub(tStart),
+			Attrs: []obs.Attr{
+				obs.AttrInt("items", int64(input.Len())),
+				obs.AttrInt("pairs", int64(len(mid))),
+				obs.AttrInt("keys", int64(len(groups))),
+				obs.AttrInt("workers", int64(w)),
+				{Key: "status", Val: status},
+			},
+		})
+	}
+	return out, err
+}
+
+// bucketSkew measures shuffle imbalance: the largest key group's size
+// over the mean group size. 1 is perfectly balanced; the single-key
+// pattern (climate average) reports the group count.
+func bucketSkew(groups []group, pairs int) (float64, bool) {
+	if len(groups) == 0 || pairs == 0 {
+		return 0, false
+	}
+	maxLen := 0
+	for _, g := range groups {
+		if n := g.vals.Len(); n > maxLen {
+			maxLen = n
+		}
+	}
+	mean := float64(pairs) / float64(len(groups))
+	return float64(maxLen) / mean, true
 }
 
 // MapOnly runs just the parallel map phase, returning the unsorted

@@ -1,0 +1,77 @@
+package obs
+
+// This file is the engine metric catalog: every series the instrumented
+// layers emit, registered once into Default at init. Keeping the catalog
+// in one place (instead of scattering registrations across packages)
+// makes the full series set auditable — docs/OBSERVABILITY.md mirrors
+// this file — and lets the smoke scrape reject unknown series by prefix.
+//
+// Naming: everything engine-side is `engine_<layer>_<what>[_total]`.
+// Bucket boundaries are fixed at registration (no dynamic cardinality):
+//
+//	DurationBuckets  1µs … 10s, decade steps — covers a compiled-kernel
+//	                 chunk (~tens of µs) through a governed session (~s).
+//	StepBuckets      1e2 … 1e8 evaluator steps, decade steps.
+//	SkewBuckets      1 … 64× mean: 1 means perfectly balanced shuffle
+//	                 buckets; ≥8 means one key dominates the reduce.
+var (
+	DurationBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
+	StepBuckets     = []float64{1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
+	SkewBuckets     = []float64{1, 1.5, 2, 4, 8, 16, 64}
+)
+
+// CompileReasons is the fixed refusal-reason label set of
+// engine_compile_fallbacks_total (anything else lands in "other").
+var CompileReasons = []string{
+	"empty", "env", "script-body", "ring-value",
+	"implicit-slot", "arity", "unsupported-op", "unsupported-node",
+}
+
+// The worker pool (internal/workers).
+var (
+	PoolJobs = Default.NewCounterVec("engine_pool_jobs_total",
+		"Parallel pool jobs started, by operation.", "op", "map", "reduce")
+	PoolChunks = Default.NewCounter("engine_pool_chunks_total",
+		"Chunks dispatched to pool executors.")
+	PoolChunkSeconds = Default.NewHistogram("engine_pool_chunk_seconds",
+		"Per-chunk handler run time.", DurationBuckets)
+	PoolJobSeconds = Default.NewHistogram("engine_pool_job_seconds",
+		"Parallel job wall time, start to resolve.", DurationBuckets)
+	PoolQueueWaitSeconds = Default.NewHistogram("engine_pool_queue_wait_seconds",
+		"Time a submitted task waited before a pool worker (or spill goroutine) started it.", DurationBuckets)
+	PoolCascadeEnlists = Default.NewCounter("engine_pool_cascade_enlists_total",
+		"Executors enlisted by the cascading spawn beyond the first, across dynamic jobs.")
+	PoolClaims = Default.NewCounter("engine_pool_claims_total",
+		"Dynamic-assignment chunk claims that found work.")
+	PoolClaimsEmpty = Default.NewCounter("engine_pool_claims_empty_total",
+		"Dynamic-assignment claims that found the shared queue drained.")
+)
+
+// The ring-compiler tier (internal/compile).
+var (
+	CompileHits = Default.NewCounter("engine_compile_hits_total",
+		"Shipped rings lowered to compiled Go kernels.")
+	CompileFallbacks = Default.NewCounterVec("engine_compile_fallbacks_total",
+		"Shipped rings refused by the compiler (interpreter tier), by refusal reason.",
+		"reason", CompileReasons...)
+)
+
+// The MapReduce engine (internal/mapreduce).
+var (
+	MRRuns = Default.NewCounter("engine_mr_runs_total",
+		"MapReduce engine runs.")
+	MRPhaseSeconds = Default.NewHistogramVec("engine_mr_phase_seconds",
+		"MapReduce phase durations.", "phase", []string{"map", "shuffle", "reduce"}, DurationBuckets)
+	MRBucketSkew = Default.NewHistogram("engine_mr_bucket_skew",
+		"Shuffle skew per run: largest key group over mean group size.", SkewBuckets)
+)
+
+// Governed sessions (internal/runtime).
+var (
+	SessionsTotal = Default.NewCounter("engine_sessions_total",
+		"Governed sessions finished.")
+	SessionSteps = Default.NewHistogram("engine_session_steps",
+		"Evaluator steps per finished session.", StepBuckets)
+	SessionSlackSeconds = Default.NewHistogram("engine_session_deadline_slack_seconds",
+		"Unused wall-clock budget when a deadlined session ended.", DurationBuckets)
+)

@@ -1,0 +1,318 @@
+// Package obs is the engine's observability layer: a dependency-free,
+// lock-cheap registry of atomic counters, fixed-bucket histograms, and
+// read-on-scrape gauges, plus a bounded ring of per-job trace spans. The
+// hot paths — the chunked worker pool, the ring compiler's tier decision,
+// the MapReduce phases, and governed runtime sessions — report into it,
+// and three surfaces read it out: snapserved's /metrics endpoint (merged
+// into the Prometheus text exposition), snapvm's -stats one-shot report,
+// and GET /v1/sessions/{id}'s span summary.
+//
+// The whole layer sits behind one process-wide switch. Instrumented code
+// guards every report with a single atomic load:
+//
+//	if obs.Enabled() {
+//	    obs.PoolChunks.Inc()
+//	}
+//
+// so with the switch off (the default, and the benchmark configuration)
+// the cost is one predictable branch and zero allocations — the contract
+// that keeps the hot-path wins of the earlier perf PRs intact, pinned by
+// testing.AllocsPerRun in this package's tests and by `make bench-diff`.
+//
+// Metric mutation is wait-free where possible: counters are atomic adds,
+// histogram buckets are atomic adds into a pre-sized slice, and only the
+// histogram's float64 sum pays a CAS loop. Rendering takes no lock that
+// blocks writers; it reads the atomics in place. Series are fixed at
+// registration time (no dynamic label cardinality) and render in sorted
+// name order, so scrapes are deterministic and golden-testable.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled is the process-wide instrumentation switch.
+var enabled atomic.Bool
+
+// Enabled reports whether instrumentation is on. This is the one atomic
+// load every instrumented site pays on the disabled path.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled flips the process-wide instrumentation switch. Daemons turn
+// it on at startup; benchmarks leave it off.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram is a fixed-bucket histogram: bounds are the bucket upper
+// limits (le), counts[len(bounds)] is the +Inf bucket. Buckets and the
+// total are atomic adds; the float64 sum is a CAS loop, the only
+// non-wait-free write in the package.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64  // math.Float64bits of the running sum
+	total  atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reads how many values have been observed.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum reads the running sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// metric is one registered series: exactly one of c, h, read is set.
+type metric struct {
+	labels string // rendered label set, e.g. `op="map"`, or ""
+	c      *Counter
+	h      *Histogram
+	read   func() float64
+}
+
+// family is one metric family: a name, HELP/TYPE metadata, and its
+// series. Series sets are fixed at registration; rendering sorts them by
+// label so output order never depends on map iteration.
+type family struct {
+	name, help, typ string
+	series          []*metric
+}
+
+// Registry holds metric families. Registration happens at package init
+// (single-goroutine); mutation and rendering afterwards are concurrent.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry. Most callers use Default.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Default is the process-wide registry the engine catalog registers into.
+var Default = NewRegistry()
+
+func (r *Registry) addFamily(name, help, typ string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic("obs: duplicate metric family " + name)
+	}
+	f := &family{name: name, help: help, typ: typ}
+	r.families[name] = f
+	return f
+}
+
+// NewCounter registers an unlabeled counter family.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	f := r.addFamily(name, help, "counter")
+	c := &Counter{}
+	f.series = []*metric{{c: c}}
+	return c
+}
+
+// CounterVec is a counter family with one label key and a fixed value
+// set. Unknown label values fall into the "other" series rather than
+// growing cardinality.
+type CounterVec struct {
+	byVal map[string]*Counter
+	other *Counter
+}
+
+// With returns the counter for the given label value ("other" when the
+// value was not pre-registered).
+func (v *CounterVec) With(val string) *Counter {
+	if c, ok := v.byVal[val]; ok {
+		return c
+	}
+	return v.other
+}
+
+// Total sums the family across all label values.
+func (v *CounterVec) Total() int64 {
+	n := v.other.Value()
+	for _, c := range v.byVal {
+		n += c.Value()
+	}
+	return n
+}
+
+// NewCounterVec registers a counter family labeled by key over the fixed
+// value set vals (plus the implicit "other").
+func (r *Registry) NewCounterVec(name, help, key string, vals ...string) *CounterVec {
+	f := r.addFamily(name, help, "counter")
+	v := &CounterVec{byVal: make(map[string]*Counter, len(vals)), other: &Counter{}}
+	for _, val := range vals {
+		c := &Counter{}
+		v.byVal[val] = c
+		f.series = append(f.series, &metric{labels: key + "=" + quote(val), c: c})
+	}
+	f.series = append(f.series, &metric{labels: key + "=" + quote("other"), c: v.other})
+	sortSeries(f.series)
+	return v
+}
+
+// NewHistogram registers an unlabeled histogram family with the given
+// bucket upper bounds.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	f := r.addFamily(name, help, "histogram")
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	f.series = []*metric{{h: h}}
+	return h
+}
+
+// HistogramVec is a histogram family with one label key over a fixed
+// value set.
+type HistogramVec struct {
+	byVal map[string]*Histogram
+	other *Histogram
+}
+
+// With returns the histogram for the label value ("other" if unknown).
+func (v *HistogramVec) With(val string) *Histogram {
+	if h, ok := v.byVal[val]; ok {
+		return h
+	}
+	return v.other
+}
+
+// NewHistogramVec registers a histogram family labeled by key over vals
+// (plus the implicit "other"), all sharing the same bucket bounds.
+func (r *Registry) NewHistogramVec(name, help, key string, vals []string, bounds []float64) *HistogramVec {
+	f := r.addFamily(name, help, "histogram")
+	v := &HistogramVec{byVal: make(map[string]*Histogram, len(vals))}
+	mk := func() *Histogram {
+		return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	}
+	for _, val := range vals {
+		h := mk()
+		v.byVal[val] = h
+		f.series = append(f.series, &metric{labels: key + "=" + quote(val), h: h})
+	}
+	v.other = mk()
+	f.series = append(f.series, &metric{labels: key + "=" + quote("other"), h: v.other})
+	sortSeries(f.series)
+	return v
+}
+
+// RegisterGauge registers a gauge whose value is read at render time.
+func (r *Registry) RegisterGauge(name, help string, read func() float64) {
+	f := r.addFamily(name, help, "gauge")
+	f.series = []*metric{{read: read}}
+}
+
+// RegisterCounterFunc registers a counter whose value is read at render
+// time — for monotonic totals owned elsewhere (e.g. the pool's spill
+// count).
+func (r *Registry) RegisterCounterFunc(name, help string, read func() float64) {
+	f := r.addFamily(name, help, "counter")
+	f.series = []*metric{{read: read}}
+}
+
+// Render writes the registry in Prometheus text exposition format,
+// families in sorted name order, series in sorted label order — the
+// determinism the scrape-stability golden test pins.
+func (r *Registry) Render(b *strings.Builder) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make([]*family, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for _, m := range f.series {
+			switch {
+			case m.c != nil:
+				writeSeriesInt(b, f.name, m.labels, m.c.Value())
+			case m.read != nil:
+				writeSeries(b, f.name, m.labels, m.read())
+			case m.h != nil:
+				renderHistogram(b, f.name, m.labels, m.h)
+			}
+		}
+	}
+}
+
+func renderHistogram(b *strings.Builder, name, labels string, h *Histogram) {
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		writeSeriesInt(b, name+"_bucket", joinLabels(labels, "le="+quote(formatFloat(bound))), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeSeriesInt(b, name+"_bucket", joinLabels(labels, `le="+Inf"`), cum)
+	writeSeries(b, name+"_sum", labels, h.Sum())
+	writeSeriesInt(b, name+"_count", labels, h.Count())
+}
+
+func writeSeries(b *strings.Builder, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(b, "%s %g\n", name, v)
+		return
+	}
+	fmt.Fprintf(b, "%s{%s} %g\n", name, labels, v)
+}
+
+func writeSeriesInt(b *strings.Builder, name, labels string, v int64) {
+	if labels == "" {
+		fmt.Fprintf(b, "%s %d\n", name, v)
+		return
+	}
+	fmt.Fprintf(b, "%s{%s} %d\n", name, labels, v)
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	return a + "," + b
+}
+
+func quote(s string) string { return `"` + s + `"` }
+
+func formatFloat(f float64) string { return fmt.Sprintf("%g", f) }
+
+func sortSeries(s []*metric) {
+	sort.Slice(s, func(i, j int) bool { return s[i].labels < s[j].labels })
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrentHammer drives the Default catalog — counters,
+// vec counters, histograms, gauges-at-render, and the span ring — from 64
+// goroutines while other goroutines render and read, under -race. The
+// registry's contract is that mutation is wait-free and rendering never
+// blocks writers; this is the test that holds it to that.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	prev := Enabled()
+	SetEnabled(true)
+	t.Cleanup(func() { SetEnabled(prev); ResetSpans() })
+
+	const goroutines = 64
+	const iters = 500
+
+	startChunks := PoolChunks.Value()
+	startHits := CompileHits.Value()
+	startFallbacks := CompileFallbacks.Total()
+	startObs := PoolChunkSeconds.Count()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				PoolChunks.Inc()
+				CompileHits.Inc()
+				CompileFallbacks.With(CompileReasons[i%len(CompileReasons)]).Inc()
+				CompileFallbacks.With("no-such-reason").Inc()
+				PoolChunkSeconds.Observe(float64(i) * 1e-5)
+				MRPhaseSeconds.With("map").Observe(1e-4)
+				RecordSpan(Span{ID: fmt.Sprintf("g%d", g), Kind: "test", Dur: time.Microsecond})
+				if i%64 == 0 {
+					var b strings.Builder
+					Default.Render(&b)
+					_ = Spans()
+					_ = SpansFor("g0")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	const total = goroutines * iters
+	if got := PoolChunks.Value() - startChunks; got != total {
+		t.Errorf("PoolChunks: got %d increments, want %d", got, total)
+	}
+	if got := CompileHits.Value() - startHits; got != total {
+		t.Errorf("CompileHits: got %d increments, want %d", got, total)
+	}
+	if got := CompileFallbacks.Total() - startFallbacks; got != 2*total {
+		t.Errorf("CompileFallbacks total: got %d, want %d", got, 2*total)
+	}
+	if got := PoolChunkSeconds.Count() - startObs; got != total {
+		t.Errorf("PoolChunkSeconds count: got %d, want %d", got, total)
+	}
+}
+
+// instrumentedSite mimics every hot-path report site in the engine: one
+// atomic load, then the metric mutation only when enabled.
+//
+//go:noinline
+func instrumentedSite() {
+	if Enabled() {
+		PoolChunks.Inc()
+		PoolChunkSeconds.Observe(1e-5)
+	}
+}
+
+// TestDisabledPathZeroAllocs pins the contract the package doc makes: with
+// the switch off, an instrumented site costs one branch and zero
+// allocations.
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	prev := Enabled()
+	SetEnabled(false)
+	t.Cleanup(func() { SetEnabled(prev) })
+
+	if allocs := testing.AllocsPerRun(1000, instrumentedSite); allocs != 0 {
+		t.Fatalf("disabled instrumentation site allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestEnabledPathZeroAllocs: even enabled, counter increments and
+// histogram observations are allocation-free — only span recording and
+// rendering may allocate.
+func TestEnabledPathZeroAllocs(t *testing.T) {
+	prev := Enabled()
+	SetEnabled(true)
+	t.Cleanup(func() { SetEnabled(prev) })
+
+	if allocs := testing.AllocsPerRun(1000, instrumentedSite); allocs != 0 {
+		t.Fatalf("enabled counter+histogram site allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestCounterVecUnknownFallsToOther(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("test_ops_total", "ops", "op", "read", "write")
+	v.With("read").Inc()
+	v.With("write").Add(2)
+	v.With("delete").Inc() // not pre-registered
+	v.With("rename").Inc() // not pre-registered
+
+	if got := v.With("read").Value(); got != 1 {
+		t.Errorf("read = %d, want 1", got)
+	}
+	if got := v.With("no-such").Value(); got != 2 {
+		t.Errorf("other = %d, want 2 (delete+rename)", got)
+	}
+	if got := v.Total(); got != 5 {
+		t.Errorf("Total = %d, want 5", got)
+	}
+
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	for _, want := range []string{
+		`test_ops_total{op="read"} 1`,
+		`test_ops_total{op="write"} 2`,
+		`test_ops_total{op="other"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_seconds", "t", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5, 0.05} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 5.605; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("Sum = %g, want %g", got, want)
+	}
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	for _, want := range []string{
+		`test_seconds_bucket{le="0.01"} 1`,
+		`test_seconds_bucket{le="0.1"} 3`,
+		`test_seconds_bucket{le="1"} 4`,
+		`test_seconds_bucket{le="+Inf"} 5`,
+		`test_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestRenderDeterministic renders the same registry repeatedly and demands
+// byte-identical output — no map-iteration order may leak into a scrape.
+func TestRenderDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVec("det_fallbacks_total", "f", "reason", "zeta", "alpha", "mid")
+	r.NewCounter("det_runs_total", "r")
+	r.NewHistogramVec("det_seconds", "s", "phase", []string{"reduce", "map", "shuffle"}, []float64{0.1, 1})
+	r.RegisterGauge("det_workers", "w", func() float64 { return 8 })
+
+	var first strings.Builder
+	r.Render(&first)
+	for i := 0; i < 20; i++ {
+		var again strings.Builder
+		r.Render(&again)
+		if again.String() != first.String() {
+			t.Fatalf("render %d differs from first:\n--- first\n%s\n--- again\n%s", i, first.String(), again.String())
+		}
+	}
+	// Families must appear in sorted name order.
+	out := first.String()
+	iFall := strings.Index(out, "# HELP det_fallbacks_total")
+	iRuns := strings.Index(out, "# HELP det_runs_total")
+	iSec := strings.Index(out, "# HELP det_seconds")
+	iWork := strings.Index(out, "# HELP det_workers")
+	if !(iFall >= 0 && iFall < iRuns && iRuns < iSec && iSec < iWork) {
+		t.Fatalf("families out of sorted order:\n%s", out)
+	}
+	// Series within a family sort by label value.
+	if a, z := strings.Index(out, `reason="alpha"`), strings.Index(out, `reason="zeta"`); !(a >= 0 && a < z) {
+		t.Fatalf("vec series out of sorted order:\n%s", out)
+	}
+}
+
+func TestDuplicateFamilyPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "d")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a duplicate family did not panic")
+		}
+	}()
+	r.NewCounter("dup_total", "d again")
+}
+
+func TestSpanRetention(t *testing.T) {
+	SetSpanRetention(4)
+	t.Cleanup(func() { SetSpanRetention(512) })
+
+	for i := 0; i < 10; i++ {
+		RecordSpan(Span{ID: fmt.Sprintf("s%d", i), Kind: "test"})
+	}
+	got := Spans()
+	if len(got) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(got))
+	}
+	// Oldest-first window over the newest four records.
+	for i, s := range got {
+		if want := fmt.Sprintf("s%d", 6+i); s.ID != want {
+			t.Errorf("span[%d].ID = %q, want %q", i, s.ID, want)
+		}
+	}
+	if sp := SpansFor("s9"); len(sp) != 1 || sp[0].ID != "s9" {
+		t.Errorf("SpansFor(s9) = %v, want the one s9 span", sp)
+	}
+	if sp := SpansFor(""); sp != nil {
+		t.Errorf("SpansFor(\"\") = %v, want nil", sp)
+	}
+	if sp := SpansFor("s0"); sp != nil {
+		t.Errorf("SpansFor(s0) = %v, want nil (evicted)", sp)
+	}
+}
+
+func TestReportTextMentionsNonzeroSeries(t *testing.T) {
+	prev := Enabled()
+	SetEnabled(true)
+	t.Cleanup(func() { SetEnabled(prev); ResetSpans() })
+
+	MRRuns.Inc()
+	RecordSpan(Span{ID: "rep", Kind: "session", Dur: 3 * time.Millisecond,
+		Attrs: []Attr{{Key: "status", Val: "ok"}}})
+
+	out := ReportText()
+	if !strings.Contains(out, "engine_mr_runs_total") {
+		t.Errorf("report missing nonzero counter:\n%s", out)
+	}
+	if !strings.Contains(out, "session") || !strings.Contains(out, "status=ok") {
+		t.Errorf("report missing span line:\n%s", out)
+	}
+}

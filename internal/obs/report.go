@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ReportText renders a human-oriented one-shot summary of the Default
+// registry and the retained spans — the body of `snapvm -stats`. Zero
+// counters and empty histograms are omitted so a small job prints a
+// small report; series appear in sorted name order.
+func ReportText() string {
+	var b strings.Builder
+
+	r := Default
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		for _, m := range f.series {
+			label := f.name
+			if m.labels != "" {
+				label += "{" + m.labels + "}"
+			}
+			switch {
+			case m.c != nil:
+				if v := m.c.Value(); v != 0 {
+					fmt.Fprintf(&b, "  %-46s %d\n", label, v)
+				}
+			case m.read != nil:
+				if v := m.read(); v != 0 {
+					fmt.Fprintf(&b, "  %-46s %g\n", label, v)
+				}
+			case m.h != nil:
+				if n := m.h.Count(); n != 0 {
+					mean := m.h.Sum() / float64(n)
+					fmt.Fprintf(&b, "  %-46s n=%d mean=%s\n", label, n, formatQuantity(f.name, mean))
+				}
+			}
+		}
+	}
+
+	spans := Spans()
+	if len(spans) > 0 {
+		b.WriteString("  spans:\n")
+		for _, s := range spans {
+			fmt.Fprintf(&b, "    %-14s %8.3fms", s.Kind, float64(s.Dur.Microseconds())/1000)
+			for _, a := range s.Attrs {
+				fmt.Fprintf(&b, " %s=%s", a.Key, a.Val)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// formatQuantity renders a histogram mean with its natural unit: the
+// *_seconds families as milliseconds, everything else as a plain number.
+func formatQuantity(name string, v float64) string {
+	if strings.HasSuffix(name, "_seconds") {
+		return fmt.Sprintf("%.3fms", v*1000)
+	}
+	return fmt.Sprintf("%g", v)
+}

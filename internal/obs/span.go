@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Attrs are a slice, not a
+// map, so span rendering is deterministic.
+type Attr struct {
+	Key string `json:"key"`
+	Val string `json:"val"`
+}
+
+// AttrInt builds an integer-valued attribute.
+func AttrInt(key string, v int64) Attr {
+	return Attr{Key: key, Val: strconv.FormatInt(v, 10)}
+}
+
+// Span is one recorded unit of engine work: a governed session, one
+// parallel-pool job, or one MapReduce run. ID ties related spans
+// together — the runtime stamps its session ID into the machine, the
+// parallel blocks thread it into the pool, so a session's span and the
+// spans of every worker job it launched share an ID.
+type Span struct {
+	ID    string        `json:"id"`
+	Kind  string        `json:"kind"`
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"dur"`
+	Attrs []Attr        `json:"attrs,omitempty"`
+}
+
+// spanRing is the bounded retention buffer: the newest spanRetention
+// spans, oldest overwritten first.
+var (
+	spanMu    sync.Mutex
+	spanBuf   []Span
+	spanNext  int
+	spanCap   = 512
+	spanTotal int64
+)
+
+// SetSpanRetention bounds how many spans are kept (minimum 1). It also
+// clears the buffer, so tests get a clean window.
+func SetSpanRetention(n int) {
+	if n < 1 {
+		n = 1
+	}
+	spanMu.Lock()
+	spanCap = n
+	spanBuf = nil
+	spanNext = 0
+	spanMu.Unlock()
+}
+
+// ResetSpans clears retained spans without changing the retention bound.
+func ResetSpans() {
+	spanMu.Lock()
+	spanBuf = nil
+	spanNext = 0
+	spanMu.Unlock()
+}
+
+// RecordSpan retains one span. Callers gate on Enabled(); RecordSpan
+// itself records unconditionally so one-shot tools can flush a final
+// span after flipping the switch off.
+func RecordSpan(s Span) {
+	spanMu.Lock()
+	defer spanMu.Unlock()
+	spanTotal++
+	if len(spanBuf) < spanCap {
+		spanBuf = append(spanBuf, s)
+		return
+	}
+	spanBuf[spanNext] = s
+	spanNext = (spanNext + 1) % spanCap
+}
+
+// snapshotLocked returns retained spans oldest-first.
+func snapshotLocked() []Span {
+	out := make([]Span, 0, len(spanBuf))
+	out = append(out, spanBuf[spanNext:]...)
+	out = append(out, spanBuf[:spanNext]...)
+	return out
+}
+
+// Spans returns every retained span, oldest first.
+func Spans() []Span {
+	spanMu.Lock()
+	defer spanMu.Unlock()
+	return snapshotLocked()
+}
+
+// SpansFor returns the retained spans with the given ID, oldest first —
+// the per-job trace behind GET /v1/sessions/{id}.
+func SpansFor(id string) []Span {
+	if id == "" {
+		return nil
+	}
+	spanMu.Lock()
+	defer spanMu.Unlock()
+	var out []Span
+	for _, s := range snapshotLocked() {
+		if s.ID == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SpanCount reports how many spans have ever been recorded (including
+// ones retention has evicted).
+func SpanCount() int64 {
+	spanMu.Lock()
+	defer spanMu.Unlock()
+	return spanTotal
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/blocks"
 	_ "repro/internal/core" // register the paper's parallel blocks
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/vclock"
 )
 
@@ -363,6 +364,7 @@ func (mgr *Manager) execute(ctx context.Context, s *Session, project *blocks.Pro
 	s.cancel.Store(cancel)
 
 	m := interp.NewMachine(project, vclock.New())
+	m.TraceID = s.id // worker jobs launched by this session share its span ID
 	if lim.MaxTraceLines > 0 {
 		m.Stage.MaxTrace = lim.MaxTraceLines
 	}
@@ -388,6 +390,34 @@ func (mgr *Manager) execute(ctx context.Context, s *Session, project *blocks.Pro
 	}
 	if err != nil {
 		res.Error = err.Error()
+	}
+	if obs.Enabled() {
+		elapsed := time.Since(begin)
+		obs.SessionsTotal.Inc()
+		obs.SessionSteps.Observe(float64(res.Steps))
+		if lim.Timeout > 0 {
+			// Deadline slack: how much of the wall-clock budget the
+			// session left unused. Near-zero slack on ok sessions means
+			// the house Timeout is about to start killing real work.
+			slack := lim.Timeout - elapsed
+			if slack < 0 {
+				slack = 0
+			}
+			obs.SessionSlackSeconds.Observe(slack.Seconds())
+		}
+		obs.RecordSpan(obs.Span{
+			ID:    s.id,
+			Kind:  "session",
+			Start: begin,
+			Dur:   elapsed,
+			Attrs: []obs.Attr{
+				{Key: "status", Val: string(res.Status)},
+				obs.AttrInt("scripts", int64(res.Scripts)),
+				obs.AttrInt("steps", res.Steps),
+				obs.AttrInt("rounds", res.Rounds),
+				obs.AttrInt("queue_ms", res.QueueMS),
+			},
+		})
 	}
 
 	s.mu.Lock()

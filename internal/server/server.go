@@ -16,12 +16,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/blocks"
 	"repro/internal/codegen"
 	"repro/internal/lint"
+	"repro/internal/obs"
 	"repro/internal/parse"
 	"repro/internal/runtime"
 	"repro/internal/xmlio"
@@ -33,6 +35,10 @@ type Config struct {
 	Runtime runtime.Config
 	// MaxBodyBytes caps request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints expose stacks and timing oracles, so
+	// operators opt in with snapserved -pprof.
+	EnablePprof bool
 }
 
 // Server is the HTTP front end over a runtime.Manager.
@@ -59,6 +65,15 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.instrument("/v1/sessions/{id}", s.handleSession))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		// Mounted on the server's own mux (we never serve the default
+		// mux), so the flag really is the only way in.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -322,12 +337,39 @@ func greenFlagScript(p *blocks.Project) *blocks.Script {
 }
 
 // SessionResponse is the GET /v1/sessions/{id} reply. Trace is live while
-// the session runs; Result appears once it is done.
+// the session runs; Result appears once it is done. Spans summarizes the
+// engine-side work the session triggered (parallel maps, mapReduce runs,
+// the session itself) when observability is enabled — spans are retained
+// in a bounded ring, so long-gone sessions may have none.
 type SessionResponse struct {
 	ID     string          `json:"id"`
 	State  runtime.State   `json:"state"`
 	Trace  []string        `json:"trace"`
 	Result *runtime.Result `json:"result,omitempty"`
+	Spans  []SpanSummary   `json:"spans,omitempty"`
+}
+
+// SpanSummary is one engine span in a session response.
+type SpanSummary struct {
+	Kind       string     `json:"kind"`
+	DurationMS float64    `json:"duration_ms"`
+	Attrs      []obs.Attr `json:"attrs,omitempty"`
+}
+
+func spanSummaries(id string) []SpanSummary {
+	spans := obs.SpansFor(id)
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]SpanSummary, len(spans))
+	for i, sp := range spans {
+		out[i] = SpanSummary{
+			Kind:       sp.Kind,
+			DurationMS: float64(sp.Dur) / float64(time.Millisecond),
+			Attrs:      sp.Attrs,
+		}
+	}
+	return out
 }
 
 func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
@@ -340,6 +382,7 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	resp := SessionResponse{ID: sess.ID(), State: sess.State(), Trace: sess.TraceLines()}
 	if res, done := sess.Result(); done {
 		resp.Result = &res
+		resp.Spans = spanSummaries(id)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -367,6 +410,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	var b strings.Builder
 	s.met.render(&b, gauges, totals)
+	obs.Default.Render(&b) // engine-side series (engine_* families)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	w.Write([]byte(b.String())) //nolint:errcheck

@@ -1,0 +1,170 @@
+package workers
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/value"
+)
+
+// counterSnapshot captures the pool counters whose deltas the concurrent
+// dispatch test checks for internal consistency.
+type counterSnapshot struct {
+	jobsMap, chunks, chunkObs, jobObs, claims int64
+}
+
+func snapCounters() counterSnapshot {
+	return counterSnapshot{
+		jobsMap:  obs.PoolJobs.With("map").Value(),
+		chunks:   obs.PoolChunks.Value(),
+		chunkObs: obs.PoolChunkSeconds.Count(),
+		jobObs:   obs.PoolJobSeconds.Count(),
+		claims:   obs.PoolClaims.Value(),
+	}
+}
+
+// TestConcurrentChunkDispatchMetrics runs many dynamic-assignment map jobs
+// from concurrent goroutines with observability on and checks that the
+// metrics a scrape would see are internally consistent: every job counted
+// once, every chunk timed exactly once, every dynamic claim matched by a
+// dispatched chunk, and every job's span present with a chunk tally that
+// agrees with the counters. Run under -race this also hammers the
+// instrumented dispatch path itself.
+func TestConcurrentChunkDispatchMetrics(t *testing.T) {
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	obs.ResetSpans()
+	t.Cleanup(func() { obs.SetEnabled(prev); obs.ResetSpans() })
+
+	const jobs = 12
+	const n = 500
+	before := snapCounters()
+
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			p := New(intList(n), Options{
+				MaxWorkers: 4,
+				Grain:      16,
+				Label:      "job-" + strconv.Itoa(j),
+			})
+			got, err := p.MapChunks(doubleChunk).Wait()
+			if err != nil {
+				t.Errorf("job %d: %v", j, err)
+				return
+			}
+			if got.Len() != n {
+				t.Errorf("job %d: %d results, want %d", j, got.Len(), n)
+			}
+		}(j)
+	}
+	wg.Wait()
+
+	after := snapCounters()
+	if got := after.jobsMap - before.jobsMap; got != jobs {
+		t.Errorf("map jobs counted: %d, want %d", got, jobs)
+	}
+	if got := after.jobObs - before.jobObs; got != jobs {
+		t.Errorf("job durations observed: %d, want %d", got, jobs)
+	}
+	chunks := after.chunks - before.chunks
+	if chunks < jobs {
+		t.Errorf("chunks dispatched: %d, want at least one per job (%d)", chunks, jobs)
+	}
+	if got := after.chunkObs - before.chunkObs; got != chunks {
+		t.Errorf("chunk durations observed: %d, chunks counted: %d — must agree", got, chunks)
+	}
+	if got := after.claims - before.claims; got != chunks {
+		t.Errorf("dynamic claims that found work: %d, chunks run: %d — must agree", got, chunks)
+	}
+
+	// Every job left exactly one span under its label, status ok, and the
+	// span chunk tallies sum to the chunk counter delta.
+	var spanChunks int64
+	for j := 0; j < jobs; j++ {
+		spans := obs.SpansFor("job-" + strconv.Itoa(j))
+		if len(spans) != 1 {
+			t.Fatalf("job %d: %d spans, want 1", j, len(spans))
+		}
+		sp := spans[0]
+		if sp.Kind != "parallel.map" {
+			t.Errorf("job %d: span kind %q", j, sp.Kind)
+		}
+		attrs := map[string]string{}
+		for _, a := range sp.Attrs {
+			attrs[a.Key] = a.Val
+		}
+		if attrs["status"] != "ok" {
+			t.Errorf("job %d: span status %q, want ok", j, attrs["status"])
+		}
+		if attrs["n"] != fmt.Sprint(n) {
+			t.Errorf("job %d: span n=%q, want %d", j, attrs["n"], n)
+		}
+		c, err := strconv.ParseInt(attrs["chunks"], 10, 64)
+		if err != nil || c < 1 {
+			t.Errorf("job %d: span chunks=%q, want a positive count", j, attrs["chunks"])
+		}
+		spanChunks += c
+	}
+	if spanChunks != chunks {
+		t.Errorf("span chunk tallies sum to %d, counters say %d", spanChunks, chunks)
+	}
+}
+
+// TestReduceMetricsAndSpan covers the reduce path: job + chunk counters
+// and the parallel.reduce span.
+func TestReduceMetricsAndSpan(t *testing.T) {
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	obs.ResetSpans()
+	t.Cleanup(func() { obs.SetEnabled(prev); obs.ResetSpans() })
+
+	beforeJobs := obs.PoolJobs.With("reduce").Value()
+	p := New(intList(100), Options{MaxWorkers: 4, Label: "reduce-job"})
+	sum := func(a, b value.Value) (value.Value, error) {
+		x, _ := value.ToNumber(a)
+		y, _ := value.ToNumber(b)
+		return value.Number(x + y), nil
+	}
+	got, err := p.Reduce(sum).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := got.Item(1); v.String() != "5050" {
+		t.Fatalf("reduce result %s, want 5050", v)
+	}
+	if d := obs.PoolJobs.With("reduce").Value() - beforeJobs; d != 1 {
+		t.Errorf("reduce jobs counted: %d, want 1", d)
+	}
+	spans := obs.SpansFor("reduce-job")
+	if len(spans) != 1 || spans[0].Kind != "parallel.reduce" {
+		t.Fatalf("spans for reduce-job: %+v, want one parallel.reduce span", spans)
+	}
+}
+
+// TestDisabledJobLeavesCountersUntouched pins the gate: with the switch
+// off, running a job moves no counters and records no spans.
+func TestDisabledJobLeavesCountersUntouched(t *testing.T) {
+	prev := obs.Enabled()
+	obs.SetEnabled(false)
+	obs.ResetSpans()
+	t.Cleanup(func() { obs.SetEnabled(prev); obs.ResetSpans() })
+
+	before := snapCounters()
+	spanCount := obs.SpanCount()
+	p := New(intList(200), Options{MaxWorkers: 4, Label: "dark-job"})
+	if _, err := p.MapChunks(doubleChunk).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if after := snapCounters(); after != before {
+		t.Errorf("disabled run moved counters: %+v -> %+v", before, after)
+	}
+	if obs.SpanCount() != spanCount {
+		t.Errorf("disabled run recorded spans")
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -62,6 +64,10 @@ type Options struct {
 	// while leaving enough chunks for load balance; 1 reproduces the
 	// strict per-element queue of Parallel.js (and of E10).
 	Grain int
+	// Label tags the job's trace span (see internal/obs) so a session's
+	// worker jobs can be found from its ID. Empty is fine; it only
+	// matters when observability is enabled.
+	Label string
 }
 
 // Parallel reproduces the Parallel.js entry point:
@@ -103,6 +109,8 @@ type Job struct {
 
 	loads []int64 // elements processed per worker, for E10
 	costs []int64 // virtual cost processed per worker, for E10
+
+	chunks atomic.Int64 // chunks run, counted only while obs is enabled
 }
 
 func newJob(workers int) *Job {
@@ -262,6 +270,16 @@ func (p *Parallel) MapChunks(fn ChunkHandler) *Job {
 		job.finish(value.NewList(), nil)
 		return job
 	}
+	// tracing gates every instrumented site in this operation on one
+	// atomic load taken up front, so the disabled path costs a branch and
+	// zero allocations, and one job's metrics are internally consistent
+	// even if the switch flips mid-flight.
+	tracing := obs.Enabled()
+	var jobStart time.Time
+	if tracing {
+		jobStart = time.Now()
+		obs.PoolJobs.With("map").Inc()
+	}
 	items := p.data.Items()
 	results := make([]value.Value, n)
 	var firstErr atomic.Value
@@ -271,7 +289,16 @@ func (p *Parallel) MapChunks(fn ChunkHandler) *Job {
 		if job.canceled.Load() {
 			return false
 		}
-		err := safeChunk(fn, job, lo, results[lo:hi], items[lo:hi])
+		var err error
+		if tracing {
+			chunkStart := time.Now()
+			err = safeChunk(fn, job, lo, results[lo:hi], items[lo:hi])
+			obs.PoolChunkSeconds.Observe(time.Since(chunkStart).Seconds())
+			obs.PoolChunks.Inc()
+			job.chunks.Add(1)
+		} else {
+			err = safeChunk(fn, job, lo, results[lo:hi], items[lo:hi])
+		}
 		if err != nil {
 			if !errors.Is(err, ErrCanceled) {
 				firstErr.CompareAndSwap(nil, err)
@@ -294,15 +321,20 @@ func (p *Parallel) MapChunks(fn ChunkHandler) *Job {
 		if pending.Add(-1) != 0 {
 			return
 		}
-		if e := firstErr.Load(); e != nil {
-			job.finish(nil, e.(error))
-			return
+		var res *value.List
+		var err error
+		switch {
+		case firstErr.Load() != nil:
+			err = firstErr.Load().(error)
+		case job.canceled.Load():
+			err = ErrCanceled
+		default:
+			res = value.NewList(results...)
 		}
-		if job.canceled.Load() {
-			job.finish(nil, ErrCanceled)
-			return
+		if tracing {
+			p.traceJobEnd(job, "parallel.map", jobStart, n, w, err)
 		}
-		job.finish(value.NewList(results...), nil)
+		job.finish(res, err)
 	}
 
 	pool := SharedPool()
@@ -313,7 +345,13 @@ func (p *Parallel) MapChunks(fn ChunkHandler) *Job {
 		claim := func(worker int) bool {
 			lo := int(next.Add(int64(grain))) - grain
 			if lo >= n {
+				if tracing {
+					obs.PoolClaimsEmpty.Inc()
+				}
 				return false
+			}
+			if tracing {
+				obs.PoolClaims.Inc()
 			}
 			hi := lo + grain
 			if hi > n {
@@ -347,6 +385,9 @@ func (p *Parallel) MapChunks(fn ChunkHandler) *Job {
 		var launch func(worker int)
 		launch = func(worker int) {
 			pending.Add(1)
+			if tracing && worker > 0 {
+				obs.PoolCascadeEnlists.Inc()
+			}
 			pool.Submit(func() {
 				defer finishIfLast()
 				if worker+1 < w && int(next.Load()) < n {
@@ -397,6 +438,34 @@ func (p *Parallel) MapChunks(fn ChunkHandler) *Job {
 	return job
 }
 
+// traceJobEnd records a finished job's wall time and its trace span.
+// Only called on the tracing path, so the allocations here never touch a
+// disabled run.
+func (p *Parallel) traceJobEnd(job *Job, kind string, start time.Time, n, w int, err error) {
+	dur := time.Since(start)
+	obs.PoolJobSeconds.Observe(dur.Seconds())
+	status := "ok"
+	switch {
+	case errors.Is(err, ErrCanceled):
+		status = "canceled"
+	case err != nil:
+		status = "error"
+	}
+	obs.RecordSpan(obs.Span{
+		ID:    p.opts.Label,
+		Kind:  kind,
+		Start: start,
+		Dur:   dur,
+		Attrs: []obs.Attr{
+			obs.AttrInt("n", int64(n)),
+			obs.AttrInt("workers", int64(w)),
+			obs.AttrInt("chunks", job.chunks.Load()),
+			{Key: "assignment", Val: p.opts.Assignment.String()},
+			{Key: "status", Val: status},
+		},
+	})
+}
+
 // safeChunk guards the pool's executors against a panicking ChunkHandler
 // the way runHandler guards per-element handlers.
 func safeChunk(fn ChunkHandler, j *Job, base int, dst, src []value.Value) (err error) {
@@ -430,6 +499,12 @@ func (p *Parallel) Reduce(fn ReduceFunc) *Job {
 		job.finish(value.NewList(value.Nothing{}), nil)
 		return job
 	}
+	tracing := obs.Enabled()
+	var jobStart time.Time
+	if tracing {
+		jobStart = time.Now()
+		obs.PoolJobs.With("reduce").Inc()
+	}
 	items := p.data.Items()
 	clone := !p.opts.NoClone
 
@@ -444,13 +519,19 @@ func (p *Parallel) Reduce(fn ReduceFunc) *Job {
 	}
 	var pending atomic.Int32
 	pending.Store(int32(active))
+	finish := func(res *value.List, err error) {
+		if tracing {
+			p.traceJobEnd(job, "parallel.reduce", jobStart, n, w, err)
+		}
+		job.finish(res, err)
+	}
 	finishIfLast := func() {
 		if pending.Add(-1) != 0 {
 			return
 		}
 		for _, err := range errs {
 			if err != nil {
-				job.finish(nil, err)
+				finish(nil, err)
 				return
 			}
 		}
@@ -465,12 +546,12 @@ func (p *Parallel) Reduce(fn ReduceFunc) *Job {
 			}
 			out, err := runReduce(fn, acc, part)
 			if err != nil {
-				job.finish(nil, err)
+				finish(nil, err)
 				return
 			}
 			acc = out
 		}
-		job.finish(value.NewList(acc), nil)
+		finish(value.NewList(acc), nil)
 	}
 
 	pool := SharedPool()
@@ -485,6 +566,14 @@ func (p *Parallel) Reduce(fn ReduceFunc) *Job {
 		worker, lo, hi := k, lo, hi
 		pool.Submit(func() {
 			defer finishIfLast()
+			if tracing {
+				chunkStart := time.Now()
+				defer func() {
+					obs.PoolChunkSeconds.Observe(time.Since(chunkStart).Seconds())
+					obs.PoolChunks.Inc()
+					job.chunks.Add(1)
+				}()
+			}
 			acc := items[lo]
 			if clone {
 				acc = safeClone(acc)

@@ -3,6 +3,9 @@ package workers
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Pool is a persistent, reusable set of goroutines that execute submitted
@@ -48,6 +51,17 @@ func (p *Pool) loop() {
 // Submit runs f on an idle pool worker when one is available, and on a
 // fresh goroutine otherwise. It never blocks and never queues.
 func (p *Pool) Submit(f func()) {
+	if obs.Enabled() {
+		// Queue wait: handoff-to-start latency, whether a parked worker
+		// picks the task up or a spill goroutine has to be scheduled.
+		// The wrapping closure allocates, but only on the enabled path,
+		// and once per submission — not per element.
+		inner, submitted := f, time.Now()
+		f = func() {
+			obs.PoolQueueWaitSeconds.Observe(time.Since(submitted).Seconds())
+			inner()
+		}
+	}
 	if !p.closed.Load() {
 		select {
 		case p.tasks <- f:
@@ -80,13 +94,39 @@ func (p *Pool) Close() {
 var (
 	sharedOnce sync.Once
 	sharedP    *Pool
+	// sharedPtr mirrors sharedP for lock-free reads from the metric
+	// gauges below, which must not force the pool into existence (and
+	// must not race with the once that builds it).
+	sharedPtr atomic.Pointer[Pool]
 )
+
+func init() {
+	obs.Default.RegisterGauge("engine_pool_workers",
+		"Persistent workers in the shared pool (0 until first use).",
+		func() float64 {
+			if p := sharedPtr.Load(); p != nil {
+				return float64(p.Size())
+			}
+			return 0
+		})
+	obs.Default.RegisterCounterFunc("engine_pool_spilled_total",
+		"Shared-pool submissions that ran on fresh goroutines because no worker was idle.",
+		func() float64 {
+			if p := sharedPtr.Load(); p != nil {
+				return float64(p.Spilled())
+			}
+			return 0
+		})
+}
 
 // SharedPool returns the process-wide persistent pool, sized to the
 // hardware concurrency, creating it on first use. It is never closed: the
 // paper's runtime keeps its Web Workers for the life of the page.
 func SharedPool() *Pool {
-	sharedOnce.Do(func() { sharedP = NewPool(DefaultWorkers()) })
+	sharedOnce.Do(func() {
+		sharedP = NewPool(DefaultWorkers())
+		sharedPtr.Store(sharedP)
+	})
 	return sharedP
 }
 
@@ -99,6 +139,7 @@ func ConfigureSharedPool(size int) bool {
 	won := false
 	sharedOnce.Do(func() {
 		sharedP = NewPool(size)
+		sharedPtr.Store(sharedP)
 		won = true
 	})
 	return won
