@@ -19,13 +19,15 @@ race:
 # the packages with real concurrency (the worker pool with its chunked
 # dispatch, the MapReduce engine, the interpreter, the ring compiler, the
 # parallel blocks, the observability registry with its 64-goroutine
-# hammer, and the execution service), then give the compiled-vs-
-# interpreted differential fuzzer a short burst.
+# hammer, the program cache with its singleflight front, and the
+# execution service), then give the compiled-vs-interpreted differential
+# fuzzer a short burst.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/workers/... ./internal/mapreduce/... \
 		./internal/interp/... ./internal/compile/... ./internal/core/... \
-		./internal/runtime/... ./internal/server/... ./internal/obs/...
+		./internal/progcache/... ./internal/runtime/... \
+		./internal/server/... ./internal/obs/...
 	$(GO) test -run '^$$' -fuzz FuzzCompileRing -fuzztime 5s ./internal/compile/
 
 # fuzz runs the compiler's differential fuzzer open-ended (ctrl-C to stop).
@@ -51,17 +53,17 @@ bench:
 	( $(GO) test -bench 'BenchmarkE[0-9]' -benchmem -run '^$$' . && \
 	  $(GO) test -bench 'BenchmarkE[0-9]' -benchmem -run '^$$' . && \
 	  $(GO) test -bench 'BenchmarkE[0-9]' -benchmem -run '^$$' . ) \
-		| $(GO) run ./cmd/benchjson > BENCH_PR4.json
+		| $(GO) run ./cmd/benchjson > BENCH_PR5.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-diff compares the current benchmark record against the previous
 # PR's committed baseline and fails on any >20% ns/op regression — for
-# this PR, the proof that compiled-in-but-disabled instrumentation leaves
-# the hot paths alone.
+# this PR, the proof that the content-addressed cache's hash-and-lookup
+# front leaves the uncached paths alone.
 bench-diff:
-	$(GO) run ./cmd/benchjson -baseline BENCH_PR3.json -current BENCH_PR4.json
+	$(GO) run ./cmd/benchjson -baseline BENCH_PR4.json -current BENCH_PR5.json
 
 # Regenerate every paper figure/listing/result as text.
 repro:

@@ -9,7 +9,10 @@ package repro
 // run.
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http/httptest"
 	"strings"
 
 	"testing"
@@ -23,6 +26,8 @@ import (
 	"repro/internal/mapreduce"
 	"repro/internal/noaa"
 	"repro/internal/omp"
+	"repro/internal/runtime"
+	"repro/internal/server"
 	"repro/internal/value"
 	"repro/internal/workers"
 )
@@ -304,6 +309,55 @@ func BenchmarkE16Scheduling(b *testing.B) {
 		if _, err := e.Run(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkE17RepeatedRun times the classroom workload the content-
+// addressed program cache targets: the same project body POSTed to
+// /v1/run over and over. The project is elaboration-heavy (dozens of
+// sprites full of message-hat scripts that parse and lint but never run)
+// and its green-flag work is trivial, so the cached/uncached split
+// isolates the parse+lint share of a request. "uncached" disables the
+// cache (CacheBytes < 0) — the pre-cache server, re-elaborating per
+// request.
+func BenchmarkE17RepeatedRun(b *testing.B) {
+	var src strings.Builder
+	src.WriteString("(project \"repeat\"\n")
+	src.WriteString("  (sprite \"Main\" (when green-flag (do (say \"hi\"))))\n")
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&src, "  (sprite \"S%d\" (when (receive \"m%d\") (do", i, i)
+		for j := 0; j < 12; j++ {
+			fmt.Fprintf(&src, " (say (join \"v%d-\" (+ %d %d)))", j, i, j)
+		}
+		src.WriteString(")))\n")
+	}
+	src.WriteString(")")
+	body, err := json.Marshal(map[string]string{"project": src.String()})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for _, mode := range []struct {
+		name       string
+		cacheBytes int64
+	}{{"cached", 0}, {"uncached", -1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			srv := server.New(server.Config{
+				Runtime:    runtime.Config{MaxConcurrent: 4, MaxQueue: 8},
+				CacheBytes: mode.cacheBytes,
+			})
+			h := srv.Handler()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest("POST", "/v1/run", bytes.NewReader(body))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != 200 {
+					b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+		})
 	}
 }
 

@@ -49,6 +49,7 @@ func main() {
 		maxList       = flag.Int("maxlist", 1_000_000, "process-wide cap on list length (0 = uncapped)")
 		maxText       = flag.Int("maxtext", 1<<20, "process-wide cap on text bytes (0 = uncapped)")
 		maxBody       = flag.Int64("maxbody", 1<<20, "request body cap in bytes")
+		cacheBytes    = flag.Int64("cache-bytes", 0, "byte budget of the content-addressed project cache (0 = default 32 MiB, negative disables)")
 		nworkers      = flag.Int("workers", 0, "shared worker-pool size (0 = hardware concurrency)")
 		smoke         = flag.Bool("smoke", false, "self-test: serve on an ephemeral port, run one project, exit")
 		enableObs     = flag.Bool("obs", true, "collect engine metrics and job spans (engine_* series on /metrics)")
@@ -80,6 +81,7 @@ func main() {
 			Ceiling: defaults,
 		},
 		MaxBodyBytes: *maxBody,
+		CacheBytes:   *cacheBytes,
 		EnablePprof:  *enablePprof,
 	})
 

@@ -99,8 +99,15 @@ func main() {
 
 // runGoverned runs the machine under the same governance the execution
 // service applies: a scheduler-round cap, a cumulative step budget, and a
-// wall-clock deadline.
-func runGoverned(m *interp.Machine, rounds int, maxSteps int64, timeout time.Duration) error {
+// wall-clock deadline — including the session boundary's panic
+// containment, so a faulting primitive prints a run error instead of
+// crashing the process with a bare stack trace.
+func runGoverned(m *interp.Machine, rounds int, maxSteps int64, timeout time.Duration) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("fault: recovered primitive panic: %v", r)
+		}
+	}()
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc

@@ -21,8 +21,8 @@ import (
 	"fmt"
 
 	"repro/internal/blocks"
-	"repro/internal/compile"
 	"repro/internal/interp"
+	"repro/internal/progcache"
 	"repro/internal/value"
 	"repro/internal/workers"
 )
@@ -30,9 +30,16 @@ import (
 // RingChunkHandler builds the chunk-level worker handler for a user ring:
 // the compiled tier when the body lowers, else the chunk-amortized
 // interpreter tier. This is what parallelMap and parallelKeep dispatch.
+//
+// The tier decision goes through the Tier B program cache
+// (progcache.CompileShipped): the first dispatch of a distinct ring pays
+// the full compile.Ring walk — landing on engine_compile_hits_total or
+// engine_compile_fallbacks_total{reason} exactly once — and every later
+// dispatch of the same structure (same session or not) replays the
+// memoized outcome, compiled kernel and refusal alike.
 func RingChunkHandler(r *blocks.Ring) workers.ChunkHandler {
 	shipped := ShipRing(r)
-	if fn, ok := compile.Ring(shipped); ok {
+	if fn, ok := progcache.CompileShipped(shipped); ok {
 		return func(j *workers.Job, base int, dst, src []value.Value) error {
 			var argbuf [1]value.Value
 			for i, in := range src {
@@ -74,7 +81,7 @@ func RingChunkHandler(r *blocks.Ring) workers.ChunkHandler {
 // worker boundary that already cloned the arguments, so the compiled tier's
 // no-clone contract is safe here.
 func ringCallFunc(shipped *blocks.Ring) func(args []value.Value) (value.Value, error) {
-	if fn, ok := compile.Ring(shipped); ok {
+	if fn, ok := progcache.CompileShipped(shipped); ok {
 		return fn
 	}
 	return func(args []value.Value) (value.Value, error) {

@@ -62,14 +62,19 @@ func NewMachine(project *blocks.Project, clock *vclock.Clock) *Machine {
 		spriteFrame: map[*blocks.Sprite]*Frame{},
 		actorSprite: map[*stage.Actor]*blocks.Sprite{},
 	}
+	// Initial variable values are deep-cloned out of the project: the
+	// project may be a shared, content-address-cached AST serving many
+	// concurrent machines (internal/progcache), so a session mutating a
+	// list global must mutate its own copy. Scalars share (CloneValue
+	// returns them as-is); only containers pay a copy, once per machine.
 	m.globalFrame = NewFrame(nil)
 	for name, v := range project.Globals {
-		m.globalFrame.Declare(name, v)
+		m.globalFrame.Declare(name, value.CloneValue(v))
 	}
 	for _, sp := range project.Sprites {
 		f := NewFrame(m.globalFrame)
 		for name, v := range sp.Variables {
-			f.Declare(name, v)
+			f.Declare(name, value.CloneValue(v))
 		}
 		m.spriteFrame[sp] = f
 		actor := m.Stage.AddActor(sp.Name, sp.X, sp.Y)

@@ -347,6 +347,14 @@ func (p *Process) evaluateContext() error {
 		v := expr.Val
 		if v == nil {
 			v = value.Nothing{}
+		} else if l, isList := v.(*value.List); isList {
+			// Container literals (XML projects can embed <list> values
+			// in slots) evaluate to a fresh copy: the AST may be shared
+			// across machines by the program cache, and even within one
+			// machine a script mutating its own literal must not see the
+			// mutation on re-entry. Scalar literals — the common case —
+			// stay on the no-alloc path above.
+			v = l.Clone()
 		}
 		p.returnValue(v)
 		return nil

@@ -66,6 +66,28 @@ var (
 		"Shuffle skew per run: largest key group over mean group size.", SkewBuckets)
 )
 
+// The content-addressed program cache (internal/progcache). The "tier"
+// label is "project" (parsed+linted request bodies) or "ring" (memoized
+// compile.Ring outcomes). Counters are bumped while Enabled(); the bytes
+// gauge tracks residency unconditionally (one atomic store per insert).
+var (
+	ProgcacheHits = Default.NewCounterVec("engine_progcache_hits_total",
+		"Program-cache gets served by a resident entry, by tier.",
+		"tier", "project", "ring")
+	ProgcacheMisses = Default.NewCounterVec("engine_progcache_misses_total",
+		"Program-cache gets that paid the load (parse+lint or ring lowering), by tier.",
+		"tier", "project", "ring")
+	ProgcacheSharedLoads = Default.NewCounterVec("engine_progcache_shared_loads_total",
+		"Program-cache gets that waited on and shared another caller's in-flight load (singleflight), by tier.",
+		"tier", "project", "ring")
+	ProgcacheEvictions = Default.NewCounterVec("engine_progcache_evictions_total",
+		"Program-cache entries evicted by the byte budget, by tier.",
+		"tier", "project", "ring")
+	ProgcacheBytes = Default.NewGaugeVec("engine_progcache_bytes",
+		"Resident program-cache bytes, by tier.",
+		"tier", "project", "ring")
+)
+
 // Governed sessions (internal/runtime).
 var (
 	SessionsTotal = Default.NewCounter("engine_sessions_total",

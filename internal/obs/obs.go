@@ -226,6 +226,59 @@ func (r *Registry) NewHistogramVec(name, help, key string, vals []string, bounds
 	return v
 }
 
+// Gauge is a settable instantaneous value (an atomic int64). Unlike the
+// read-func gauges below, it is owned by the instrumented layer and
+// written on state changes — the shape the program cache's resident-bytes
+// series needs, where the state lives behind the cache's own lock.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the current value by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// GaugeVec is a gauge family with one label key over a fixed value set
+// (plus the implicit "other"), mirroring CounterVec.
+type GaugeVec struct {
+	byVal map[string]*Gauge
+	other *Gauge
+}
+
+// With returns the gauge for the label value ("other" if unknown).
+func (v *GaugeVec) With(val string) *Gauge {
+	if g, ok := v.byVal[val]; ok {
+		return g
+	}
+	return v.other
+}
+
+// NewGaugeVec registers a settable gauge family labeled by key over the
+// fixed value set vals (plus the implicit "other").
+func (r *Registry) NewGaugeVec(name, help, key string, vals ...string) *GaugeVec {
+	f := r.addFamily(name, help, "gauge")
+	v := &GaugeVec{byVal: make(map[string]*Gauge, len(vals)), other: &Gauge{}}
+	add := func(val string, g *Gauge) {
+		f.series = append(f.series, &metric{
+			labels: key + "=" + quote(val),
+			read:   func() float64 { return float64(g.Value()) },
+		})
+	}
+	for _, val := range vals {
+		g := &Gauge{}
+		v.byVal[val] = g
+		add(val, g)
+	}
+	add("other", v.other)
+	sortSeries(f.series)
+	return v
+}
+
 // RegisterGauge registers a gauge whose value is read at render time.
 func (r *Registry) RegisterGauge(name, help string, read func() float64) {
 	f := r.addFamily(name, help, "gauge")

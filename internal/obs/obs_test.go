@@ -102,6 +102,35 @@ func TestEnabledPathZeroAllocs(t *testing.T) {
 	}
 }
 
+func TestGaugeVecSetAndRender(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewGaugeVec("test_bytes", "resident bytes", "tier", "project", "ring")
+	v.With("project").Set(1024)
+	v.With("ring").Add(10)
+	v.With("ring").Add(-4)
+	v.With("mystery").Set(7) // not pre-registered: lands in other
+
+	if got := v.With("project").Value(); got != 1024 {
+		t.Errorf("project = %d, want 1024", got)
+	}
+	if got := v.With("no-such").Value(); got != 7 {
+		t.Errorf("other = %d, want 7", got)
+	}
+
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	for _, want := range []string{
+		`test_bytes{tier="project"} 1024`,
+		`test_bytes{tier="ring"} 6`,
+		`test_bytes{tier="other"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 func TestCounterVecUnknownFallsToOther(t *testing.T) {
 	r := NewRegistry()
 	v := r.NewCounterVec("test_ops_total", "ops", "op", "read", "write")

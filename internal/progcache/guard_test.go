@@ -1,0 +1,76 @@
+// Package progcache_test holds the cross-package immutability guard: the
+// cached artifacts progcache hands out are shared by every session, so
+// sessions must never write through them. The test lives in an external
+// test package because it drives the real runtime (runtime -> core ->
+// progcache would cycle otherwise).
+package progcache_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/parse"
+	"repro/internal/runtime"
+	"repro/internal/value"
+)
+
+// mutatorSrc hits both mutation routes out of a shared AST: a global list
+// (declared in Project.Globals, mutated by doAddToList) and a local
+// variable seeded from the sprite's Variables map.
+const mutatorSrc = `
+	(project "mutator"
+	  (global g (list 1 2 3))
+	  (sprite "S"
+	    (local n 0)
+	    (when green-flag (do
+	      (add "extra" g)
+	      (add "more" g)
+	      (change n 1)
+	      (say (length g))))))`
+
+// TestCachedProjectImmutableAcrossSessions hammers one cached Project
+// from 16 concurrent sessions, each of which appends to a global list.
+// If the interpreter failed to clone initial values out of the shared
+// AST, sessions would race on one *value.List (caught by -race) and the
+// cached project would grow — poisoning every later cache hit.
+func TestCachedProjectImmutableAcrossSessions(t *testing.T) {
+	project, err := parse.Project(mutatorSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, isList := project.Globals["g"].(*value.List)
+	if !isList || orig.Len() != 3 {
+		t.Fatalf("global g = %v, want a 3-item list", project.Globals["g"])
+	}
+
+	mgr := runtime.NewManager(runtime.Config{MaxConcurrent: 16, MaxQueue: 16})
+	const sessions = 16
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := mgr.Run(context.Background(), project, runtime.Limits{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			res, done := s.Result()
+			if !done || res.Status != runtime.StatusOK {
+				t.Errorf("session = %+v, want done", res)
+				return
+			}
+			// Each session saw its own 5-item copy...
+			if len(res.Trace) == 0 {
+				t.Error("session produced no trace")
+			}
+		}()
+	}
+	wg.Wait()
+
+	// ...and the shared AST never grew.
+	if got := orig.Len(); got != 3 {
+		t.Fatalf("cached project's global list grew to %d items; sessions wrote through the shared AST", got)
+	}
+}

@@ -1,0 +1,195 @@
+package progcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"math"
+
+	"repro/internal/blocks"
+	"repro/internal/value"
+)
+
+// This file defines the content addresses. Tier A's key is trivial — the
+// request body is already a canonical byte string, so it is hashed raw
+// with its declared format. Tier B's key is a canonical binary encoding
+// of a shipped ring's structure: every node and value is written with an
+// explicit type tag and every variable-length field with a length
+// prefix, so two rings collide only if they are structurally identical.
+// (Describe() strings are NOT used: they are for humans and would
+// conflate e.g. the text "5" with the number 5.)
+//
+// Hashing is deliberately partial, mirroring the compiler: a ring whose
+// literals carry opaque host values (or a captured environment) has no
+// stable content address, and hashRing reports ok=false — the caller
+// then skips the cache entirely rather than risking a collision.
+
+// node/value type tags of the canonical encoding.
+const (
+	tagBlock byte = iota + 1
+	tagScript
+	tagLiteral
+	tagEmptySlot
+	tagVarGet
+	tagRingNode
+	tagScriptNode
+	tagNilNode
+
+	tagNothing
+	tagBool
+	tagNumber
+	tagText
+	tagList
+	tagRingValue
+)
+
+// hasher accumulates the canonical encoding. n tallies the encoded bytes
+// and doubles as the cache-cost proxy for the compiled artifact.
+type hasher struct {
+	h  hash.Hash
+	n  int64
+	ok bool
+}
+
+func newHasher() *hasher {
+	return &hasher{h: sha256.New(), ok: true}
+}
+
+func (w *hasher) write(p []byte) {
+	w.h.Write(p) //nolint:errcheck // hash.Hash never errors
+	w.n += int64(len(p))
+}
+
+func (w *hasher) tag(t byte) { w.write([]byte{t}) }
+
+func (w *hasher) uint64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.write(b[:])
+}
+
+func (w *hasher) str(s string) {
+	w.uint64(uint64(len(s)))
+	w.write([]byte(s))
+}
+
+func (w *hasher) strs(ss []string) {
+	w.uint64(uint64(len(ss)))
+	for _, s := range ss {
+		w.str(s)
+	}
+}
+
+func (w *hasher) node(n blocks.Node) {
+	if !w.ok {
+		return
+	}
+	switch x := n.(type) {
+	case nil:
+		w.tag(tagNilNode)
+	case *blocks.Block:
+		w.tag(tagBlock)
+		w.str(x.Op)
+		w.uint64(uint64(len(x.Inputs)))
+		for _, in := range x.Inputs {
+			w.node(in)
+		}
+	case *blocks.Script:
+		w.tag(tagScript)
+		w.uint64(uint64(x.Len()))
+		if x != nil {
+			for _, b := range x.Blocks {
+				w.node(b)
+			}
+		}
+	case blocks.Literal:
+		w.tag(tagLiteral)
+		w.value(x.Val)
+	case blocks.EmptySlot:
+		w.tag(tagEmptySlot)
+	case blocks.VarGet:
+		w.tag(tagVarGet)
+		w.str(x.Name)
+	case blocks.RingNode:
+		w.tag(tagRingNode)
+		w.strs(x.Params)
+		w.node(x.Body)
+	case blocks.ScriptNode:
+		w.tag(tagScriptNode)
+		w.node(x.Script)
+	default:
+		w.ok = false
+	}
+}
+
+func (w *hasher) value(v value.Value) {
+	if !w.ok {
+		return
+	}
+	switch x := v.(type) {
+	case nil, value.Nothing:
+		w.tag(tagNothing)
+	case value.Bool:
+		w.tag(tagBool)
+		if x {
+			w.write([]byte{1})
+		} else {
+			w.write([]byte{0})
+		}
+	case value.Number:
+		w.tag(tagNumber)
+		w.uint64(math.Float64bits(float64(x)))
+	case value.Text:
+		w.tag(tagText)
+		w.str(string(x))
+	case *value.List:
+		w.tag(tagList)
+		w.uint64(uint64(x.Len()))
+		for i := 1; i <= x.Len(); i++ {
+			w.value(x.MustItem(i))
+		}
+	case *blocks.Ring:
+		// A ring flowing as a literal value (the compiler refuses
+		// these, but the refusal itself is cacheable) — only without a
+		// captured environment, which has no stable content address.
+		if x.Env != nil {
+			w.ok = false
+			return
+		}
+		w.tag(tagRingValue)
+		w.strs(x.Params)
+		w.node(x.Body)
+	default:
+		w.ok = false // opaque host values have no content address
+	}
+}
+
+// hashRing computes the structural content address of a shipped ring.
+// ok is false when the ring has no stable address (captured environment,
+// opaque literals); cost is the number of canonical bytes encoded, the
+// byte-budget price of the cached compile outcome.
+func hashRing(r *blocks.Ring) (key string, cost int64, ok bool) {
+	if r == nil || r.Env != nil {
+		return "", 0, false
+	}
+	w := newHasher()
+	w.strs(r.Params)
+	w.node(r.Body)
+	if !w.ok {
+		return "", 0, false
+	}
+	return string(w.h.Sum(nil)), w.n, true
+}
+
+// hashBody computes Tier A's content address: the raw project bytes plus
+// the declared format (the same bytes under "sblk" and "xml" must not
+// collide).
+func hashBody(src, format string) string {
+	h := sha256.New()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(len(format)))
+	h.Write(b[:])
+	h.Write([]byte(format))
+	h.Write([]byte(src))
+	return string(h.Sum(nil))
+}

@@ -1,0 +1,65 @@
+package runtime
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/blocks"
+	"repro/internal/interp"
+	"repro/internal/value"
+)
+
+// panicProject builds a project whose green-flag script hits a primitive
+// that panics — the "buggy primitive" a fuzzer or a bad extension would
+// inject. It is registered once; the opcode is namespaced to stay out of
+// the real vocabulary.
+func panicProject(t *testing.T) *blocks.Project {
+	t.Helper()
+	const op = "testFaultPanic"
+	if !interp.HasPrimitive(op) {
+		interp.RegisterPrimitive(op, func(p *interp.Process, ctx *interp.Context) (value.Value, interp.Control, error) {
+			panic("synthetic primitive bug")
+		})
+	}
+	p := blocks.NewProject("faulty")
+	sp := p.AddSprite(blocks.NewSprite("S"))
+	sp.AddScript(blocks.HatGreenFlag, "", blocks.NewScript(blocks.NewBlock(op)))
+	return p
+}
+
+// TestPrimitivePanicContainedAsFault is the regression test for the
+// session-boundary containment: before the fix, a panicking primitive
+// unwound through Manager.execute — net/http's per-connection recover
+// kept the daemon up but the session wedged forever at StateRunning
+// (done never closed), and snapvm crashed outright.
+func TestPrimitivePanicContainedAsFault(t *testing.T) {
+	mgr := NewManager(Config{})
+	s, err := mgr.Run(context.Background(), panicProject(t), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, done := s.Result()
+	if !done {
+		t.Fatal("faulting session never finished")
+	}
+	if res.Status != StatusFault {
+		t.Fatalf("status = %q, want %q", res.Status, StatusFault)
+	}
+	if !strings.Contains(res.Error, "synthetic primitive bug") {
+		t.Fatalf("fault error %q does not carry the panic value", res.Error)
+	}
+	if s.State() != StateDone {
+		t.Fatalf("state = %q, want done (the pre-fix bug left it running forever)", s.State())
+	}
+
+	// The manager survived the fault: its slot was released and the next
+	// session runs normally.
+	s2, err := mgr.Run(context.Background(), mustProject(t, quickSrc), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := s2.Result(); res.Status != StatusOK {
+		t.Fatalf("post-fault session = %+v, want ok", res)
+	}
+}

@@ -99,7 +99,16 @@ const (
 	StatusCanceled Status = "canceled"
 	// StatusError: the program itself died (bad block, cap exceeded, ...).
 	StatusError Status = "error"
+	// StatusFault: a primitive panicked on the interpreter path. The
+	// panic is recovered at the session boundary (the daemon stays up,
+	// the session is cleanly finished), classified here, and surfaced as
+	// a 500 by the HTTP layer — a runtime bug, not a program error.
+	StatusFault Status = "fault"
 )
+
+// ErrFault wraps a recovered primitive panic so classify (and callers
+// using errors.Is) can tell a fault from a program error.
+var ErrFault = errors.New("session fault")
 
 // Result is the structured outcome of a finished session.
 type Result struct {
@@ -373,9 +382,8 @@ func (mgr *Manager) execute(ctx context.Context, s *Session, project *blocks.Pro
 	s.state = StateRunning
 	s.mu.Unlock()
 
-	started := m.GreenFlag()
 	begin := time.Now()
-	err := m.RunContext(runCtx, interp.RunLimits{MaxRounds: lim.MaxRounds, MaxSteps: lim.MaxSteps})
+	started, err := runContained(runCtx, m, lim)
 	res := Result{
 		Status:       classify(err),
 		Trace:        m.Stage.TraceLines(),
@@ -436,11 +444,37 @@ func (mgr *Manager) execute(ctx context.Context, s *Session, project *blocks.Pro
 	mgr.mu.Unlock()
 }
 
+// runContained runs the machine to its end with the session boundary's
+// panic containment: a primitive that panics on the interpreter path
+// (instead of returning an error like a well-behaved one) must not crash
+// the whole multi-tenant daemon or leave the session wedged mid-state.
+// The recover turns the panic into an ErrFault-wrapped error, after
+// killing the machine so the session's in-flight worker jobs are
+// canceled just as on any other abnormal end.
+func runContained(ctx context.Context, m *interp.Machine, lim Limits) (started []*interp.Process, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			// Kill under its own recover: OnDone hooks run user-adjacent
+			// code and must not turn containment into a crash.
+			func() {
+				defer func() { _ = recover() }()
+				m.Kill()
+			}()
+			err = fmt.Errorf("%w: recovered panic: %v", ErrFault, r)
+		}
+	}()
+	started = m.GreenFlag()
+	err = m.RunContext(ctx, interp.RunLimits{MaxRounds: lim.MaxRounds, MaxSteps: lim.MaxSteps})
+	return started, err
+}
+
 // classify maps a RunContext error to a session status.
 func classify(err error) Status {
 	switch {
 	case err == nil:
 		return StatusOK
+	case errors.Is(err, ErrFault):
+		return StatusFault
 	case errors.Is(err, interp.ErrStepLimit):
 		return StatusSteps
 	case errors.Is(err, interp.ErrRoundLimit):

@@ -10,16 +10,21 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/progcache"
 	"repro/internal/runtime"
 )
 
 // enableObs flips engine observability on for one test and restores the
-// prior state (plus a clean span window) afterwards.
+// prior state (plus a clean span window) afterwards. The process-wide
+// ring cache is emptied too: a ring cached by an earlier (unmetered) test
+// would otherwise skip compile.Ring here and starve the compile counters
+// this file asserts on.
 func enableObs(t *testing.T) {
 	t.Helper()
 	prev := obs.Enabled()
 	obs.SetEnabled(true)
 	obs.ResetSpans()
+	progcache.DefaultRings.Reset()
 	t.Cleanup(func() { obs.SetEnabled(prev); obs.ResetSpans() })
 }
 

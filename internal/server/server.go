@@ -15,8 +15,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -25,6 +27,7 @@ import (
 	"repro/internal/lint"
 	"repro/internal/obs"
 	"repro/internal/parse"
+	"repro/internal/progcache"
 	"repro/internal/runtime"
 	"repro/internal/xmlio"
 )
@@ -35,6 +38,11 @@ type Config struct {
 	Runtime runtime.Config
 	// MaxBodyBytes caps request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// CacheBytes is the byte budget of the content-addressed project
+	// cache (parsed ASTs + lint findings, keyed on the raw request body).
+	// 0 means the progcache default; negative disables caching, so every
+	// request re-parses and re-lints.
+	CacheBytes int64
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
 	// default: profiling endpoints expose stacks and timing oracles, so
 	// operators opt in with snapserved -pprof.
@@ -43,10 +51,11 @@ type Config struct {
 
 // Server is the HTTP front end over a runtime.Manager.
 type Server struct {
-	cfg Config
-	mgr *runtime.Manager
-	met *metrics
-	mux *http.ServeMux
+	cfg   Config
+	mgr   *runtime.Manager
+	met   *metrics
+	mux   *http.ServeMux
+	cache *progcache.Projects // nil when disabled
 }
 
 // New builds a server and its session manager.
@@ -54,11 +63,15 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = progcache.DefaultProjectBudget
+	}
 	s := &Server{
-		cfg: cfg,
-		mgr: runtime.NewManager(cfg.Runtime),
-		met: newMetrics(),
-		mux: http.NewServeMux(),
+		cfg:   cfg,
+		mgr:   runtime.NewManager(cfg.Runtime),
+		met:   newMetrics(),
+		mux:   http.NewServeMux(),
+		cache: progcache.NewProjects(cfg.CacheBytes), // nil when CacheBytes < 0
 	}
 	s.mux.HandleFunc("POST /v1/run", s.instrument("/v1/run", s.handleRun))
 	s.mux.HandleFunc("POST /v1/codegen", s.instrument("/v1/codegen", s.handleCodegen))
@@ -167,25 +180,51 @@ func decodeProject(src, format string) (*blocks.Project, error) {
 	}
 }
 
-// gate lints the project. Error-severity findings reject the request;
-// warnings are returned to be echoed in the response.
-func gate(w http.ResponseWriter, p *blocks.Project) (warnings []string, ok bool) {
-	var fatal []string
-	for _, f := range lint.Project(p) {
+// elaborate is the uncached decode-and-lint pipeline: one Tier A cache
+// load. Parse failures and lint findings are part of the outcome, so a
+// cached rejection replays as cheaply as a cached success.
+func elaborate(src, format string) *progcache.ProjectEntry {
+	project, err := decodeProject(src, format)
+	if err != nil {
+		return &progcache.ProjectEntry{ParseErr: err.Error()}
+	}
+	ent := &progcache.ProjectEntry{Project: project}
+	for _, f := range lint.Project(project) {
 		if f.Severity == lint.Error {
-			fatal = append(fatal, f.String())
+			ent.Fatal = append(ent.Fatal, f.String())
 		} else {
-			warnings = append(warnings, f.String())
+			ent.Warnings = append(ent.Warnings, f.String())
 		}
 	}
-	if len(fatal) > 0 {
+	return ent
+}
+
+// project resolves a request body through the Tier A cache (straight
+// through elaborate when caching is disabled) and translates cached
+// rejections into their HTTP replies. ok is false when the request was
+// answered; otherwise the entry's Project and Warnings are live — and
+// shared with other requests, so callers must treat them as read-only.
+func (s *Server) project(w http.ResponseWriter, src, format string) (*progcache.ProjectEntry, bool) {
+	ent, _ := s.cache.Get(src, format, func() *progcache.ProjectEntry {
+		return elaborate(src, format)
+	})
+	switch {
+	case ent.ParseErr != "":
+		writeError(w, http.StatusBadRequest, "parse project: %s", ent.ParseErr)
+		return nil, false
+	case len(ent.Fatal) > 0:
+		// Build the combined findings fresh: the cached slices are
+		// shared across requests and must not be appended to in place.
+		findings := make([]string, 0, len(ent.Fatal)+len(ent.Warnings))
+		findings = append(findings, ent.Fatal...)
+		findings = append(findings, ent.Warnings...)
 		writeJSON(w, http.StatusBadRequest, errorBody{
-			Error:    fmt.Sprintf("project rejected by lint (%d errors)", len(fatal)),
-			Findings: append(fatal, warnings...),
+			Error:    fmt.Sprintf("project rejected by lint (%d errors)", len(ent.Fatal)),
+			Findings: findings,
 		})
 		return nil, false
 	}
-	return warnings, true
+	return ent, true
 }
 
 // RunRequest is the POST /v1/run body.
@@ -215,12 +254,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	project, err := decodeProject(req.Project, req.Format)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "parse project: %v", err)
-		return
-	}
-	warnings, ok := gate(w, project)
+	ent, ok := s.project(w, req.Project, req.Format)
 	if !ok {
 		return
 	}
@@ -230,10 +264,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		MaxRounds:     req.MaxRounds,
 		MaxTraceLines: req.MaxTraceLines,
 	}
-	sess, err := s.mgr.Run(r.Context(), project, lim)
+	sess, err := s.mgr.Run(r.Context(), ent.Project, lim)
 	switch {
 	case errors.Is(err, runtime.ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	case err != nil:
@@ -243,7 +277,25 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	res, _ := sess.Result()
 	s.met.session(res.Steps)
-	writeJSON(w, http.StatusOK, RunResponse{ID: sess.ID(), Warnings: warnings, Result: res})
+	code := http.StatusOK
+	if res.Status == runtime.StatusFault {
+		// A primitive panicked inside the session. The fault was contained
+		// at the session boundary — the daemon and its pool are fine — but
+		// the run itself is a server-side failure, not a program outcome.
+		code = http.StatusInternalServerError
+	}
+	writeJSON(w, code, RunResponse{ID: sess.ID(), Warnings: ent.Warnings, Result: res})
+}
+
+// retryAfter derives the 429 Retry-After hint from the admission queue
+// wait: a client backing off that long is guaranteed a fresh admission
+// window rather than rejoining the same full queue.
+func (s *Server) retryAfter() string {
+	secs := int(math.Ceil(s.mgr.Config().QueueWait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 // CodegenRequest is the POST /v1/codegen body. Either Script (a bare
@@ -283,16 +335,12 @@ func (s *Server) handleCodegen(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	case req.Project != "":
-		project, err := decodeProject(req.Project, req.Format)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "parse project: %v", err)
+		ent, ok := s.project(w, req.Project, req.Format)
+		if !ok {
 			return
 		}
-		var ok bool
-		if warnings, ok = gate(w, project); !ok {
-			return
-		}
-		if script = greenFlagScript(project); script == nil {
+		warnings = ent.Warnings
+		if script = greenFlagScript(ent.Project); script == nil {
 			writeError(w, http.StatusBadRequest, "project has no green-flag script to translate")
 			return
 		}
