@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-all bench-diff check fuzz serve-smoke repro lint fmt vet cover clean
+.PHONY: all build test race bench bench-all bench-diff check fuzz serve-smoke shard-smoke repro lint fmt vet cover clean
 
 all: build test
 
@@ -20,14 +20,15 @@ race:
 # dispatch, the MapReduce engine, the interpreter, the ring compiler, the
 # parallel blocks, the observability registry with its 64-goroutine
 # hammer, the program cache with its singleflight front, and the
-# execution service), then give the compiled-vs-interpreted differential
-# fuzzer a short burst.
+# execution service and the shard router with its concurrent failover
+# e2e), then give the compiled-vs-interpreted differential fuzzer a
+# short burst.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/workers/... ./internal/mapreduce/... \
 		./internal/interp/... ./internal/compile/... ./internal/core/... \
 		./internal/progcache/... ./internal/runtime/... \
-		./internal/server/... ./internal/obs/...
+		./internal/server/... ./internal/obs/... ./internal/shard/...
 	$(GO) test -run '^$$' -fuzz FuzzCompileRing -fuzztime 5s ./internal/compile/
 
 # fuzz runs the compiler's differential fuzzer open-ended (ctrl-C to stop).
@@ -41,6 +42,14 @@ fuzz:
 serve-smoke:
 	$(GO) run ./cmd/snapserved -smoke
 
+# shard-smoke boots snapshardd in its self-test mode: two real in-process
+# snapserved backends, repeated traffic through the router, a scripted
+# graceful kill of one backend (the survivors must absorb everything and
+# the ring must eject the dead one), then the same /metrics scrape
+# validation as serve-smoke with engine_shard_* required present.
+shard-smoke:
+	$(GO) run ./cmd/snapshardd -smoke
+
 # bench runs the paper's E-series experiment benchmarks with allocation
 # stats and records the results as JSON (benchmark name -> ns/op,
 # allocs/op, and any custom metrics) for before/after comparisons.
@@ -53,17 +62,18 @@ bench:
 	( $(GO) test -bench 'BenchmarkE[0-9]' -benchmem -run '^$$' . && \
 	  $(GO) test -bench 'BenchmarkE[0-9]' -benchmem -run '^$$' . && \
 	  $(GO) test -bench 'BenchmarkE[0-9]' -benchmem -run '^$$' . ) \
-		| $(GO) run ./cmd/benchjson > BENCH_PR5.json
+		| $(GO) run ./cmd/benchjson > BENCH_PR7.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-diff compares the current benchmark record against the previous
 # PR's committed baseline and fails on any >20% ns/op regression — for
-# this PR, the proof that the content-addressed cache's hash-and-lookup
-# front leaves the uncached paths alone.
+# this PR, the proof that the shard subsystem costs the single-daemon
+# paths nothing (E18/direct is E17/cached re-measured; E18/routed prices
+# the router hop itself).
 bench-diff:
-	$(GO) run ./cmd/benchjson -baseline BENCH_PR4.json -current BENCH_PR5.json
+	$(GO) run ./cmd/benchjson -baseline BENCH_PR5.json -current BENCH_PR7.json
 
 # Regenerate every paper figure/listing/result as text.
 repro:

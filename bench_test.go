@@ -12,6 +12,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 
@@ -28,6 +30,7 @@ import (
 	"repro/internal/omp"
 	"repro/internal/runtime"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/value"
 	"repro/internal/workers"
 )
@@ -359,6 +362,71 @@ func BenchmarkE17RepeatedRun(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkE18RoutedRun prices the shard-router hop: the same cached
+// repeat-run workload as E17, submitted directly to one snapserved
+// versus through snapshardd's router over three real loopback backends.
+// "direct" is E17/cached re-measured in this harness (in-process handler,
+// no network); "routed" adds the router's placement hash, the admission
+// gate, and a full proxied HTTP round trip to the owning backend. The
+// body is identical every iteration, so the routed path also pins cache
+// affinity under load: one backend elaborates once, everything else is
+// hits.
+func BenchmarkE18RoutedRun(b *testing.B) {
+	var src strings.Builder
+	src.WriteString("(project \"routed\"\n")
+	src.WriteString("  (sprite \"Main\" (when green-flag (do (say \"hi\"))))\n")
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&src, "  (sprite \"S%d\" (when (receive \"m%d\") (do", i, i)
+		for j := 0; j < 12; j++ {
+			fmt.Fprintf(&src, " (say (join \"v%d-\" (+ %d %d)))", j, i, j)
+		}
+		src.WriteString(")))\n")
+	}
+	src.WriteString(")")
+	body, err := json.Marshal(map[string]string{"project": src.String()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	newBackend := func() *server.Server {
+		return server.New(server.Config{Runtime: runtime.Config{MaxConcurrent: 4, MaxQueue: 8}})
+	}
+	drive := func(b *testing.B, h http.Handler) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest("POST", "/v1/run", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+
+	b.Run("direct", func(b *testing.B) {
+		drive(b, newBackend().Handler())
+	})
+	b.Run("routed", func(b *testing.B) {
+		urls := make([]string, 3)
+		for i := range urls {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			hs := &http.Server{Handler: newBackend().Handler()}
+			go hs.Serve(ln) //nolint:errcheck
+			defer hs.Close()
+			urls[i] = "http://" + ln.Addr().String()
+		}
+		rt, err := shard.New(shard.Config{Backends: urls})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rt.Close()
+		drive(b, rt.Handler())
+	})
 }
 
 // BenchmarkSliceLength ablates the interpreter's time-slice length (the

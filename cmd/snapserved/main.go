@@ -51,6 +51,7 @@ func main() {
 		maxBody       = flag.Int64("maxbody", 1<<20, "request body cap in bytes")
 		cacheBytes    = flag.Int64("cache-bytes", 0, "byte budget of the content-addressed project cache (0 = default 32 MiB, negative disables)")
 		nworkers      = flag.Int("workers", 0, "shared worker-pool size (0 = hardware concurrency)")
+		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "longest SIGTERM waits for in-flight sessions before exiting")
 		smoke         = flag.Bool("smoke", false, "self-test: serve on an ephemeral port, run one project, exit")
 		enableObs     = flag.Bool("obs", true, "collect engine metrics and job spans (engine_* series on /metrics)")
 		enablePprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -99,7 +100,18 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Println("shutting down")
+		// Graceful drain: flip /healthz to draining (503) so a fronting
+		// shard router ejects this backend and stops sending work, wait
+		// for the in-flight sessions to finish (bounded), then close the
+		// listener. Requests that arrive during the drain window are
+		// still served — the router's health interval, not this daemon,
+		// decides how long that window is.
+		log.Printf("draining: waiting up to %v for in-flight sessions", *drainTimeout)
+		srv.SetDraining(true)
+		if !srv.Manager().Drain(*drainTimeout) {
+			st := srv.Manager().Stats()
+			log.Printf("drain timeout: %d running, %d queued sessions abandoned", st.Running, st.Queued)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(ctx) //nolint:errcheck

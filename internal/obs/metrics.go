@@ -88,6 +88,34 @@ var (
 		"tier", "project", "ring")
 )
 
+// ShardBackendIDs is the fixed backend-slot label set of the per-backend
+// shard-router series. Backends are identified by their position in the
+// router's -backends list; routers fronting more than eight backends
+// spill the excess into the implicit "other" slot (the always-on
+// shard.Router.Stats snapshot keeps exact per-backend totals regardless).
+var ShardBackendIDs = []string{"0", "1", "2", "3", "4", "5", "6", "7"}
+
+// The shard router (internal/shard, cmd/snapshardd).
+var (
+	ShardRequests = Default.NewCounterVec("engine_shard_requests_total",
+		"Requests forwarded to a backend, by backend slot.",
+		"backend", ShardBackendIDs...)
+	ShardRetries = Default.NewCounter("engine_shard_retries_total",
+		"Forward attempts retried onto another attempt after a connect error.")
+	ShardEjections = Default.NewCounterVec("engine_shard_ejections_total",
+		"Backends ejected from the ring by health checking, by backend slot.",
+		"backend", ShardBackendIDs...)
+	ShardReadmissions = Default.NewCounterVec("engine_shard_readmissions_total",
+		"Ejected backends re-admitted to the ring after recovering, by backend slot.",
+		"backend", ShardBackendIDs...)
+	ShardRingRebuilds = Default.NewCounter("engine_shard_ring_rebuilds_total",
+		"Consistent-hash ring rebuilds after membership changes.")
+	ShardRejected = Default.NewCounter("engine_shard_rejected_total",
+		"Requests rejected by cluster-wide admission control (429).")
+	ShardInflight = Default.NewGauge("engine_shard_inflight",
+		"Requests in flight through the router, cluster-wide.")
+)
+
 // Governed sessions (internal/runtime).
 var (
 	SessionsTotal = Default.NewCounter("engine_sessions_total",

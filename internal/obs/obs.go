@@ -243,6 +243,14 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 // Value reads the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// NewGauge registers an unlabeled settable gauge family.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	f := r.addFamily(name, help, "gauge")
+	g := &Gauge{}
+	f.series = []*metric{{read: func() float64 { return float64(g.Value()) }}}
+	return g
+}
+
 // GaugeVec is a gauge family with one label key over a fixed value set
 // (plus the implicit "other"), mirroring CounterVec.
 type GaugeVec struct {

@@ -181,6 +181,12 @@ func hashRing(r *blocks.Ring) (key string, cost int64, ok bool) {
 	return string(w.h.Sum(nil)), w.n, true
 }
 
+// BodyHash is Tier A's content address, exported for the shard router:
+// routing requests by the same key the per-backend project cache uses is
+// what keeps identical programs landing on the shard whose parse/lint
+// (and downstream ring-compile) caches already hold them.
+func BodyHash(src, format string) string { return hashBody(src, format) }
+
 // hashBody computes Tier A's content address: the raw project bytes plus
 // the declared format (the same bytes under "sblk" and "xml" must not
 // collide).

@@ -143,9 +143,10 @@ const (
 
 // Session is one governed run of one project.
 type Session struct {
-	id     string
-	done   chan struct{}
-	cancel atomic.Value // context.CancelFunc
+	id      string
+	traceID string
+	done    chan struct{}
+	cancel  atomic.Value // context.CancelFunc
 
 	mu      sync.Mutex
 	state   State
@@ -155,6 +156,12 @@ type Session struct {
 
 // ID returns the session's identifier.
 func (s *Session) ID() string { return s.id }
+
+// TraceID returns the ID the session's spans are recorded under: the
+// caller-supplied request ID when the run came through a fronting router
+// (so spans correlate across the router→backend hop), the session ID
+// otherwise.
+func (s *Session) TraceID() string { return s.traceID }
 
 // State reports the lifecycle position.
 func (s *Session) State() State {
@@ -311,6 +318,25 @@ func (mgr *Manager) Stats() Stats {
 	}
 }
 
+// Drain waits until no session is running or queued, bounded by timeout.
+// It reports whether the manager went idle in time. Draining does not
+// reject new work by itself — the daemon stops routing traffic here first
+// (the LB ejects on the draining /healthz) and then waits for the
+// in-flight tail before exiting.
+func (mgr *Manager) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		st := mgr.Stats()
+		if st.Running == 0 && st.Queued == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 func newID() string {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {
@@ -326,6 +352,15 @@ func newID() string {
 // ErrOverloaded from admission control, or the context's error if the
 // caller gave up while queued.
 func (mgr *Manager) Run(ctx context.Context, project *blocks.Project, lim Limits) (*Session, error) {
+	return mgr.RunTraced(ctx, project, lim, "")
+}
+
+// RunTraced is Run with an explicit trace ID: a non-empty requestID (the
+// router's X-Request-ID) becomes the ID every span of this session is
+// recorded under, so one distributed request correlates across the
+// router→backend hop. Empty requestID keeps the session ID as the trace
+// ID — standalone behavior is unchanged.
+func (mgr *Manager) RunTraced(ctx context.Context, project *blocks.Project, lim Limits, requestID string) (*Session, error) {
 	lim = lim.withDefaults(mgr.cfg.Defaults).clamp(mgr.cfg.Ceiling)
 
 	// Admission: bounded queue, bounded wait.
@@ -351,7 +386,10 @@ func (mgr *Manager) Run(ctx context.Context, project *blocks.Project, lim Limits
 	mgr.admitted.Add(1)
 	defer func() { <-mgr.slots }()
 
-	s := &Session{id: newID(), done: make(chan struct{}), state: StateQueued}
+	s := &Session{id: newID(), traceID: requestID, done: make(chan struct{}), state: StateQueued}
+	if s.traceID == "" {
+		s.traceID = s.id
+	}
 	mgr.mu.Lock()
 	mgr.sessions[s.id] = s
 	mgr.mu.Unlock()
@@ -373,7 +411,7 @@ func (mgr *Manager) execute(ctx context.Context, s *Session, project *blocks.Pro
 	s.cancel.Store(cancel)
 
 	m := interp.NewMachine(project, vclock.New())
-	m.TraceID = s.id // worker jobs launched by this session share its span ID
+	m.TraceID = s.traceID // worker jobs launched by this session share its span ID
 	if lim.MaxTraceLines > 0 {
 		m.Stage.MaxTrace = lim.MaxTraceLines
 	}
@@ -414,7 +452,7 @@ func (mgr *Manager) execute(ctx context.Context, s *Session, project *blocks.Pro
 			obs.SessionSlackSeconds.Observe(slack.Seconds())
 		}
 		obs.RecordSpan(obs.Span{
-			ID:    s.id,
+			ID:    s.traceID,
 			Kind:  "session",
 			Start: begin,
 			Dur:   elapsed,

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestHealthzReportsDraining pins the SIGTERM handshake's router-facing
+// half: while draining, /healthz flips to 503 with status "draining" (so
+// a shard router ejects this backend before the listener closes), and
+// flips back when draining ends.
+func TestHealthzReportsDraining(t *testing.T) {
+	srv := New(Config{})
+	get := func() (int, string) {
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		var body struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("healthz body %q: %v", rec.Body.String(), err)
+		}
+		return rec.Code, body.Status
+	}
+
+	if code, status := get(); code != http.StatusOK || status == "draining" {
+		t.Fatalf("healthz before drain = %d %q", code, status)
+	}
+	srv.SetDraining(true)
+	if code, status := get(); code != http.StatusServiceUnavailable || status != "draining" {
+		t.Fatalf("healthz while draining = %d %q, want 503 draining", code, status)
+	}
+	if !srv.Draining() {
+		t.Error("Draining() = false while draining")
+	}
+	srv.SetDraining(false)
+	if code, status := get(); code != http.StatusOK || status == "draining" {
+		t.Fatalf("healthz after drain = %d %q", code, status)
+	}
+}
+
+// TestRunAdoptsRequestID pins the request-ID satellite at the HTTP layer:
+// an X-Request-ID on POST /v1/run is echoed back, becomes the session's
+// trace ID, and the finished session's span list is resolved through it.
+func TestRunAdoptsRequestID(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	obs.ResetSpans()
+
+	srv := New(Config{})
+	body, _ := json.Marshal(RunRequest{Project: parallelSrc})
+	req := httptest.NewRequest("POST", "/v1/run", strings.NewReader(string(body)))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "req-http-9")
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("run = %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Request-ID"); got != "req-http-9" {
+		t.Errorf("X-Request-ID echoed as %q", got)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.SpansFor("req-http-9")) == 0 {
+		t.Error("no spans recorded under the request ID")
+	}
+
+	// The session endpoint still finds the spans even though they are
+	// keyed by the request ID rather than the session ID.
+	get := httptest.NewRequest("GET", "/v1/sessions/"+rr.ID, nil)
+	grec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(grec, get)
+	if grec.Code != http.StatusOK {
+		t.Fatalf("session lookup = %d: %s", grec.Code, grec.Body.String())
+	}
+	var sr SessionResponse
+	if err := json.Unmarshal(grec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Spans) == 0 {
+		t.Error("session response lost the spans keyed by the request ID")
+	}
+}

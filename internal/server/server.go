@@ -20,6 +20,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/blocks"
@@ -51,11 +52,12 @@ type Config struct {
 
 // Server is the HTTP front end over a runtime.Manager.
 type Server struct {
-	cfg   Config
-	mgr   *runtime.Manager
-	met   *metrics
-	mux   *http.ServeMux
-	cache *progcache.Projects // nil when disabled
+	cfg      Config
+	mgr      *runtime.Manager
+	met      *metrics
+	mux      *http.ServeMux
+	cache    *progcache.Projects // nil when disabled
+	draining atomic.Bool
 }
 
 // New builds a server and its session manager.
@@ -95,6 +97,21 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Manager exposes the session manager (for daemon wiring and tests).
 func (s *Server) Manager() *runtime.Manager { return s.mgr }
+
+// CacheStats snapshots the Tier A project-cache counters (zero value when
+// caching is disabled) — the always-on source the shard e2e suite reads to
+// assert cache affinity per backend.
+func (s *Server) CacheStats() progcache.Stats { return s.cache.Stats() }
+
+// SetDraining flips the draining state. While draining, /healthz answers
+// 503 with status "draining" so a fronting shard router ejects this
+// backend before the daemon finishes its in-flight sessions and exits.
+// Requests already in flight (and any stragglers that arrive before the
+// router reacts) are still served normally.
+func (s *Server) SetDraining(on bool) { s.draining.Store(on) }
+
+// Draining reports whether SetDraining was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // statusRecorder captures the response code for the request counters.
 type statusRecorder struct {
@@ -264,7 +281,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		MaxRounds:     req.MaxRounds,
 		MaxTraceLines: req.MaxTraceLines,
 	}
-	sess, err := s.mgr.Run(r.Context(), ent.Project, lim)
+	// A router in front of us stamps X-Request-ID; adopting it as the
+	// session's trace ID makes the engine job spans of this run
+	// addressable by the distributed request, not just the local session.
+	reqID := r.Header.Get("X-Request-ID")
+	if reqID != "" {
+		w.Header().Set("X-Request-ID", reqID)
+	}
+	sess, err := s.mgr.RunTraced(r.Context(), ent.Project, lim, reqID)
 	switch {
 	case errors.Is(err, runtime.ErrOverloaded):
 		w.Header().Set("Retry-After", s.retryAfter())
@@ -430,15 +454,21 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	resp := SessionResponse{ID: sess.ID(), State: sess.State(), Trace: sess.TraceLines()}
 	if res, done := sess.Result(); done {
 		resp.Result = &res
-		resp.Spans = spanSummaries(id)
+		resp.Spans = spanSummaries(sess.TraceID())
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.mgr.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		// 503 (not a body-only hint) so any health checker — ours or a
+		// stock LB — takes the backend out without parsing JSON.
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":  status,
 		"running": st.Running,
 		"queued":  st.Queued,
 	})

@@ -1,0 +1,83 @@
+package shard
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// admitter is the cluster-wide admission gate: one bounded in-flight
+// budget across every backend the router fronts. Per-backend admission
+// (snapserved's own queue + 429) protects a single daemon; this gate
+// protects the cluster — when every shard is saturated the router sheds
+// load at its own edge instead of queueing doomed work onto backends
+// that will reject it anyway.
+type admitter struct {
+	max      int64
+	inflight atomic.Int64
+	rejected atomic.Int64
+
+	// ewmaSec tracks recent request latency; the 429 Retry-After hint
+	// derives from it, so clients back off roughly one request-service
+	// time — long enough for a slot to plausibly free up.
+	mu      sync.Mutex
+	ewmaSec float64
+}
+
+func newAdmitter(max int) *admitter {
+	return &admitter{max: int64(max)}
+}
+
+// acquire claims an in-flight slot; false means the cluster budget is
+// spent and the caller answers 429.
+func (a *admitter) acquire() bool {
+	if a.inflight.Add(1) > a.max {
+		a.inflight.Add(-1)
+		a.rejected.Add(1)
+		if obs.Enabled() {
+			obs.ShardRejected.Inc()
+		}
+		return false
+	}
+	if obs.Enabled() {
+		obs.ShardInflight.Set(a.inflight.Load())
+	}
+	return true
+}
+
+// release returns a slot and folds the request's duration into the
+// latency estimate.
+func (a *admitter) release(d time.Duration) {
+	n := a.inflight.Add(-1)
+	if obs.Enabled() {
+		obs.ShardInflight.Set(n)
+	}
+	sec := d.Seconds()
+	a.mu.Lock()
+	if a.ewmaSec == 0 {
+		a.ewmaSec = sec
+	} else {
+		a.ewmaSec = 0.8*a.ewmaSec + 0.2*sec
+	}
+	a.mu.Unlock()
+}
+
+// retryAfter derives the 429 hint: one smoothed request-service time,
+// rounded up, clamped to [1s, 30s].
+func (a *admitter) retryAfter() string {
+	a.mu.Lock()
+	sec := a.ewmaSec
+	a.mu.Unlock()
+	secs := int(math.Ceil(sec))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.Itoa(secs)
+}

@@ -1,0 +1,140 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%d", i)
+	}
+	return out
+}
+
+func TestPreferDistinctAndComplete(t *testing.T) {
+	r := NewRing(5, 32)
+	for _, k := range keys(50) {
+		prefs := r.Prefer(k)
+		if len(prefs) != 5 {
+			t.Fatalf("Prefer(%q) = %v, want all 5 backends", k, prefs)
+		}
+		seen := map[int]bool{}
+		for _, b := range prefs {
+			if seen[b] {
+				t.Fatalf("Prefer(%q) repeats backend %d: %v", k, b, prefs)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+func TestPreferDeterministic(t *testing.T) {
+	a, b := NewRing(4, 64), NewRing(4, 64)
+	for _, k := range keys(100) {
+		pa, pb := a.Prefer(k), b.Prefer(k)
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("two identical rings disagree on %q: %v vs %v", k, pa, pb)
+			}
+		}
+	}
+}
+
+// TestEjectionMovesOnlyTheEjectedKeys is the consistent-hashing property
+// the router exists for: removing one backend must not reshuffle keys
+// owned by the others, or every shard's program cache would go cold on
+// every membership change.
+func TestEjectionMovesOnlyTheEjectedKeys(t *testing.T) {
+	r := NewRing(4, 64)
+	before := map[string]int{}
+	for _, k := range keys(200) {
+		before[k] = r.Prefer(k)[0]
+	}
+	if !r.SetMember(3, false) {
+		t.Fatal("removing backend 3 reported no change")
+	}
+	moved := 0
+	for k, owner := range before {
+		now := r.Prefer(k)[0]
+		if owner != 3 {
+			if now != owner {
+				t.Errorf("key %q moved %d→%d though its owner stayed in the ring", k, owner, now)
+			}
+			continue
+		}
+		moved++
+		if now == 3 {
+			t.Errorf("key %q still routes to the ejected backend", k)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by backend 3; distribution is broken")
+	}
+
+	// Re-admission: every key comes home, so the shard's caches are hot
+	// again the moment it rejoins.
+	if !r.SetMember(3, true) {
+		t.Fatal("re-adding backend 3 reported no change")
+	}
+	for k, owner := range before {
+		if now := r.Prefer(k)[0]; now != owner {
+			t.Errorf("after re-admission key %q routes to %d, want its original owner %d", k, now, owner)
+		}
+	}
+}
+
+func TestFailoverTargetIsNextPreference(t *testing.T) {
+	r := NewRing(4, 64)
+	for _, k := range keys(100) {
+		prefs := r.Prefer(k)
+		r.SetMember(prefs[0], false)
+		if got := r.Prefer(k)[0]; got != prefs[1] {
+			t.Errorf("key %q: owner ejected, routes to %d, want next preference %d", k, got, prefs[1])
+		}
+		r.SetMember(prefs[0], true)
+	}
+}
+
+func TestDistributionNotDegenerate(t *testing.T) {
+	r := NewRing(4, 64)
+	counts := make([]int, 4)
+	for _, k := range keys(2000) {
+		counts[r.Prefer(k)[0]]++
+	}
+	for b, n := range counts {
+		if n < 100 { // 5% floor on a fair 25% share
+			t.Errorf("backend %d owns only %d/2000 keys; vnode distribution is degenerate", b, n)
+		}
+	}
+}
+
+func TestRebuildCounting(t *testing.T) {
+	r := NewRing(3, 8)
+	base := r.Rebuilds()
+	if base < 1 {
+		t.Fatalf("initial build not counted: %d", base)
+	}
+	r.SetMember(1, false)
+	r.SetMember(1, false) // no change, no rebuild
+	r.SetMember(1, true)
+	if got := r.Rebuilds(); got != base+2 {
+		t.Errorf("rebuilds = %d, want %d (two real membership changes)", got, base+2)
+	}
+	if r.Live() != 3 {
+		t.Errorf("Live() = %d, want 3", r.Live())
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := NewRing(2, 8)
+	r.SetMember(0, false)
+	r.SetMember(1, false)
+	if prefs := r.Prefer("anything"); prefs != nil {
+		t.Errorf("empty ring Prefer = %v, want nil", prefs)
+	}
+	if r.Live() != 0 {
+		t.Errorf("Live() = %d, want 0", r.Live())
+	}
+}
