@@ -17,19 +17,21 @@ race:
 
 # check is the pre-merge gate: vet everything, run the race detector over
 # the packages with real concurrency (the worker pool with its chunked
-# dispatch, the MapReduce engine, the interpreter, the ring compiler, the
-# parallel blocks, the observability registry with its 64-goroutine
-# hammer, the program cache with its singleflight front, and the
-# execution service and the shard router with its concurrent failover
-# e2e), then give the compiled-vs-interpreted differential fuzzer a
-# short burst.
+# dispatch, the MapReduce engine, the interpreter, the bytecode machine
+# with its shared lowered programs, the ring compiler, the parallel
+# blocks, the observability registry with its 64-goroutine hammer, the
+# program cache with its singleflight front, and the execution service
+# and the shard router with its concurrent failover e2e), then give both
+# differential fuzzers — compiled-vs-interpreted rings and
+# lowered-vs-tree-walked scripts — a short burst.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/workers/... ./internal/mapreduce/... \
 		./internal/interp/... ./internal/compile/... ./internal/core/... \
-		./internal/progcache/... ./internal/runtime/... \
+		./internal/vm/... ./internal/progcache/... ./internal/runtime/... \
 		./internal/server/... ./internal/obs/... ./internal/shard/...
 	$(GO) test -run '^$$' -fuzz FuzzCompileRing -fuzztime 5s ./internal/compile/
+	$(GO) test -run '^$$' -fuzz FuzzLowerProject -fuzztime 5s ./internal/vm/
 
 # fuzz runs the compiler's differential fuzzer open-ended (ctrl-C to stop).
 fuzz:
@@ -62,18 +64,18 @@ bench:
 	( $(GO) test -bench 'BenchmarkE[0-9]' -benchmem -run '^$$' . && \
 	  $(GO) test -bench 'BenchmarkE[0-9]' -benchmem -run '^$$' . && \
 	  $(GO) test -bench 'BenchmarkE[0-9]' -benchmem -run '^$$' . ) \
-		| $(GO) run ./cmd/benchjson > BENCH_PR7.json
+		| $(GO) run ./cmd/benchjson > BENCH_PR8.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-diff compares the current benchmark record against the previous
-# PR's committed baseline and fails on any >20% ns/op regression — for
-# this PR, the proof that the shard subsystem costs the single-daemon
-# paths nothing (E18/direct is E17/cached re-measured; E18/routed prices
-# the router hop itself).
+# PR's committed baseline and fails on any >20% ns/op or allocs/op
+# regression — for this PR, the proof that the bytecode machine's wins on
+# the hot script paths (E1 sequential map, E5 word count) cost the
+# engine-bound and parallel paths nothing.
 bench-diff:
-	$(GO) run ./cmd/benchjson -baseline BENCH_PR5.json -current BENCH_PR7.json
+	$(GO) run ./cmd/benchjson -baseline BENCH_PR7.json -current BENCH_PR8.json
 
 # Regenerate every paper figure/listing/result as text.
 repro:

@@ -10,8 +10,9 @@
 //	go test -bench 'E[0-9]' -benchmem ./... | go run ./cmd/benchjson > BENCH_PR3.json
 //
 // Compare mode diffs against a committed baseline, prints per-benchmark
-// deltas, and exits nonzero when any ns/op regresses past the threshold —
-// the guard `make bench-diff` runs:
+// deltas, and exits nonzero when any ns/op — or, where both sides report
+// it, allocs/op — regresses past the threshold; the guard `make bench-diff`
+// runs:
 //
 //	go run ./cmd/benchjson -baseline BENCH_PR1.json -current BENCH_PR3.json
 //	go test -bench . ./... | go run ./cmd/benchjson -baseline BENCH_PR1.json > NEW.json
@@ -37,9 +38,9 @@ type entry struct {
 }
 
 func main() {
-	baseline := flag.String("baseline", "", "baseline JSON file to diff against; any ns/op regression past -threshold exits nonzero")
+	baseline := flag.String("baseline", "", "baseline JSON file to diff against; any ns/op or allocs/op regression past -threshold exits nonzero")
 	current := flag.String("current", "", "current JSON file to compare (instead of parsing bench output from stdin)")
-	threshold := flag.Float64("threshold", 20, "ns/op regression tolerance, in percent")
+	threshold := flag.Float64("threshold", 20, "regression tolerance for ns/op and allocs/op, in percent")
 	flag.Parse()
 
 	var results map[string]entry
@@ -81,7 +82,7 @@ func main() {
 	}
 	regressions := compare(table, base, results, *threshold)
 	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %g%% on ns/op\n", regressions, *threshold)
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark metric(s) regressed more than %g%% (ns/op or allocs/op)\n", regressions, *threshold)
 		os.Exit(1)
 	}
 }
@@ -167,10 +168,41 @@ func compare(w io.Writer, base, cur map[string]entry, threshold float64) int {
 				mark = "  REGRESSION"
 				regressions++
 			}
-			fmt.Fprintf(w, "%-60s %12.1f -> %12.1f ns/op  %+7.1f%%%s\n", name, old, now, delta, mark)
+			fmt.Fprintf(w, "%-60s %12.1f -> %12.1f ns/op  %+7.1f%%%s", name, old, now, delta, mark)
+			// allocs/op regresses independently of time: a change can hold
+			// ns/op steady on a quiet box while piling garbage onto every
+			// op, so when both sides report the column it is held to the
+			// same threshold and rides the same line.
+			if aOld, ok := b.Metrics["allocs/op"]; ok {
+				if aNow, ok := c.Metrics["allocs/op"]; ok {
+					aDelta, regressed := allocsDelta(aOld, aNow, threshold)
+					aMark := ""
+					if regressed {
+						aMark = "  ALLOC-REGRESSION"
+						regressions++
+					}
+					fmt.Fprintf(w, "   %9.1f -> %9.1f allocs/op  %+7.1f%%%s", aOld, aNow, aDelta, aMark)
+				}
+			}
+			fmt.Fprintln(w)
 		}
 	}
 	return regressions
+}
+
+// allocsDelta computes the allocs/op percentage change and whether it
+// breaches the threshold. A zero-alloc baseline cannot express a percentage:
+// any new allocation there is flagged outright (reported as +100%), and
+// zero-to-zero is a clean pass.
+func allocsDelta(old, now, threshold float64) (delta float64, regressed bool) {
+	if old == 0 {
+		if now == 0 {
+			return 0, false
+		}
+		return 100, true
+	}
+	delta = (now - old) / old * 100
+	return delta, delta > threshold
 }
 
 // parseLine recognizes the standard benchmark result format:

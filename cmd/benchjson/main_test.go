@@ -44,6 +44,51 @@ func TestCompareFlagsRegressionsPastThreshold(t *testing.T) {
 	}
 }
 
+func em(ns, allocs float64) entry {
+	return entry{N: 100, Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs}}
+}
+
+func TestCompareFlagsAllocRegressions(t *testing.T) {
+	base := map[string]entry{
+		"BenchmarkSteady-8":   em(100, 10), // allocs +50% with flat ns/op
+		"BenchmarkBetter-8":   em(100, 10), // both improve
+		"BenchmarkAtLimit-8":  em(100, 10), // allocs exactly +20% — tolerated
+		"BenchmarkFromZero-8": em(100, 0),  // any alloc on a zero baseline flags
+		"BenchmarkZeroZero-8": em(100, 0),  // zero to zero is clean
+		"BenchmarkNoAllocs-8": e(100),      // baseline lacks the column
+	}
+	cur := map[string]entry{
+		"BenchmarkSteady-8":   em(101, 15),
+		"BenchmarkBetter-8":   em(50, 2),
+		"BenchmarkAtLimit-8":  em(100, 12),
+		"BenchmarkFromZero-8": em(100, 1),
+		"BenchmarkZeroZero-8": em(100, 0),
+		"BenchmarkNoAllocs-8": em(100, 99),
+	}
+	var sb strings.Builder
+	got := compare(&sb, base, cur, 20)
+	out := sb.String()
+	if got != 2 {
+		t.Fatalf("regressions = %d, want 2 (Steady, FromZero)\n%s", got, out)
+	}
+	if strings.Count(out, "ALLOC-REGRESSION") != 2 {
+		t.Errorf("exactly two ALLOC-REGRESSION markers expected:\n%s", out)
+	}
+	if !strings.Contains(out, "allocs/op") {
+		t.Errorf("delta table should carry the allocs/op column:\n%s", out)
+	}
+}
+
+func TestCompareAllocRegressionAloneFailsTheRun(t *testing.T) {
+	// The guard exists for exactly this shape: time holds, garbage grows.
+	base := map[string]entry{"BenchmarkA-8": em(100, 10)}
+	cur := map[string]entry{"BenchmarkA-8": em(100, 13)}
+	var sb strings.Builder
+	if got := compare(&sb, base, cur, 20); got != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", got, sb.String())
+	}
+}
+
 func TestCompareThresholdIsStrict(t *testing.T) {
 	base := map[string]entry{"BenchmarkA": e(100)}
 	cur := map[string]entry{"BenchmarkA": e(120)} // exactly +20%

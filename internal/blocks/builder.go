@@ -1,6 +1,10 @@
 package blocks
 
-import "repro/internal/value"
+import (
+	"math"
+
+	"repro/internal/value"
+)
 
 // This file is the programmatic stand-in for Snap!'s palette: one
 // constructor per block. Dragging a block from the palette and dropping a
@@ -10,8 +14,25 @@ import "repro/internal/value"
 
 // --- literals and slots ---
 
+// smallNums interns the literal nodes for the integers 0..255 — the
+// numbers people actually type into slots. Literal nodes are immutable,
+// so every fixture and every request-built AST can share one boxed node
+// per value instead of allocating it again.
+var smallNums = func() [256]Node {
+	var ns [256]Node
+	for i := range ns {
+		ns[i] = Literal{Val: value.Number(i)}
+	}
+	return ns
+}()
+
 // Num is a number typed into a slot.
-func Num(f float64) Node { return Literal{Val: value.Number(f)} }
+func Num(f float64) Node {
+	if i := int(f); float64(i) == f && i >= 0 && i < len(smallNums) && !math.Signbit(f) {
+		return smallNums[i]
+	}
+	return Literal{Val: value.Number(f)}
+}
 
 // Txt is text typed into a slot.
 func Txt(s string) Node { return Literal{Val: value.Text(s)} }

@@ -63,6 +63,121 @@ func Ring(r *blocks.Ring) (Fn, bool) {
 // ring is the unmetered compiler; reason classifies the refusal (one of
 // obs.CompileReasons) when ok is false.
 func ring(r *blocks.Ring) (Fn, string, bool) {
+	ex, reason, ok := ringBody(r)
+	if !ok {
+		return nil, reason, false
+	}
+	return func(args []value.Value) (value.Value, error) {
+		v, err := ex(&env{args: args})
+		if v == nil && err == nil {
+			// Mirror Process.Result(): a detached evaluation that
+			// produced no value reports Nothing.
+			v = value.TheNothing
+		}
+		return v, err
+	}, "", true
+}
+
+// SeqRing compiles a shipped reporter ring once and returns a factory of
+// sequential kernels. Each factory call mints an independent caller that
+// hoists the per-call environment allocation out of the call and reuses
+// it, which is sound as long as that caller's calls never overlap or nest:
+// the compiled subset cannot let the environment escape a call — rings
+// flowing as values are refused ("ring-value"), so no closure survives the
+// return — and cannot re-enter the kernel (custom-block calls are outside
+// the subset). Callers are cheap to mint (two allocations); concurrent
+// users pool them rather than share one. SeqRing is unmetered: the
+// general-purpose compile of the same ring every caller also performs (see
+// Ring) is the tier decision's single metering point.
+func SeqRing(r *blocks.Ring) (func() Fn, bool) {
+	ex, _, ok := ringBody(r)
+	if !ok {
+		return nil, false
+	}
+	return func() Fn {
+		e := &env{}
+		return func(args []value.Value) (value.Value, error) {
+			e.args = args
+			v, err := ex(e)
+			e.args = nil
+			if v == nil && err == nil {
+				// Mirror Process.Result(), as ring does.
+				v = value.TheNothing
+			}
+			return v, err
+		}
+	}, true
+}
+
+// MapFn is a keyed sequential map kernel: one call maps one item to one
+// (key, value) pair, the mapReduce block's mapper convention already
+// applied (see core.RingMapper).
+type MapFn func(args []value.Value) (string, value.Value, error)
+
+// SeqMapperRing compiles a shipped map ring for the mapReduce block's
+// sequential fast path, fusing the mapper convention into the kernel: a
+// body that is literally `list A B` evaluates A and B and reports (A's
+// display string, B) without materializing the two-element pair list every
+// call just to take it apart again; any other body evaluates whole and is
+// keyed by the convention at run time (a two-element list is (key, value),
+// anything else maps the item to the shared "" key). Factory semantics and
+// the sequential-use contract are those of SeqRing.
+func SeqMapperRing(r *blocks.Ring) (func() MapFn, bool) {
+	if r == nil || r.Body == nil || r.Env != nil {
+		return nil, false
+	}
+	if b, ok := r.Body.(*blocks.Block); ok && b.Op == "reportNewList" && len(b.Inputs) == 2 {
+		// One scope across both inputs, exactly as compNewList would
+		// compile them: the implicit-slot cursor advances in order.
+		sc := &scope{params: r.Params, fail: new(string)}
+		ka, ok := compileNode(b.Input(0), sc)
+		if !ok {
+			return nil, false
+		}
+		kb, ok := compileNode(b.Input(1), sc)
+		if !ok {
+			return nil, false
+		}
+		return func() MapFn {
+			e := &env{}
+			return func(args []value.Value) (string, value.Value, error) {
+				e.args = args
+				av, err := ka(e)
+				if err != nil {
+					e.args = nil
+					return "", nil, err
+				}
+				bv, err := kb(e)
+				e.args = nil
+				if err != nil {
+					return "", nil, err
+				}
+				return av.String(), bv, nil
+			}
+		}, true
+	}
+	fac, ok := SeqRing(r)
+	if !ok {
+		return nil, false
+	}
+	return func() MapFn {
+		fn := fac()
+		return func(args []value.Value) (string, value.Value, error) {
+			v, err := fn(args)
+			if err != nil {
+				return "", nil, err
+			}
+			if l, ok := v.(*value.List); ok && l.Len() == 2 {
+				return l.MustItem(1).String(), l.MustItem(2), nil
+			}
+			return "", v, nil
+		}
+	}, true
+}
+
+// ringBody compiles the ring's body to one expr, shared by the concurrent
+// and sequential callers.
+func ringBody(r *blocks.Ring) (expr, string, bool) {
 	if r == nil || r.Body == nil {
 		return nil, "empty", false
 	}
@@ -81,15 +196,7 @@ func ring(r *blocks.Ring) (Fn, string, bool) {
 		}
 		return nil, reason, false
 	}
-	return func(args []value.Value) (value.Value, error) {
-		v, err := ex(&env{args: args})
-		if v == nil && err == nil {
-			// Mirror Process.Result(): a detached evaluation that
-			// produced no value reports Nothing.
-			v = value.TheNothing
-		}
-		return v, err
-	}, "", true
+	return ex, "", true
 }
 
 // env is the runtime scope chain: one level per ring call, holding that
@@ -785,12 +892,17 @@ func compileCombine(b *blocks.Block, sc *scope) (expr, bool) {
 			return value.Number(0), nil
 		}
 		acc := nonNil(items[0])
-		ienv := &env{parent: e}
-		var argbuf [2]value.Value
+		// One allocation for the fold's scope and its two-argument buffer:
+		// both escape through the indirect body call, so fusing them halves
+		// the per-fold allocation count.
+		ienv := &struct {
+			env
+			argbuf [2]value.Value
+		}{env: env{parent: e}}
+		ienv.args = ienv.argbuf[:]
 		for _, item := range items[1:] {
-			argbuf[0], argbuf[1] = acc, nonNil(item)
-			ienv.args = argbuf[:]
-			v, err := body(ienv)
+			ienv.argbuf[0], ienv.argbuf[1] = acc, nonNil(item)
+			v, err := body(&ienv.env)
 			if err != nil {
 				return nil, err
 			}

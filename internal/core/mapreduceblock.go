@@ -2,17 +2,40 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/blocks"
+	"repro/internal/compile"
 	"repro/internal/interp"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/value"
+	"repro/internal/vm"
 	"repro/internal/workers"
 )
 
 func init() {
 	interp.RegisterPrimitive("reportMapReduce", primMapReduce)
+	vm.SetMapReduceLowerer(lowerMapReduce)
+}
+
+// syncMapReduceMax is the largest input list the mapReduce block runs
+// synchronously inside its own primitive step. Below this the per-job
+// overhead of the asynchronous path (goroutine spawn, input clone, and at
+// least one poll/yield round trip through the scheduler) dwarfs the work
+// itself; above it the job moves to worker goroutines so the cooperative
+// interpreter keeps stepping other processes while it runs.
+const syncMapReduceMax = 64
+
+// mrResult converts an engine result to the block's reported value: a
+// sorted list of (key value) pairs, or — when every pair mapped to the
+// single shared key — the lone reduced value (the climate average).
+func mrResult(res mapreduce.Result) value.Value {
+	if len(res) == 1 && res[0].Key == "" {
+		return res[0].Val
+	}
+	return res.List()
 }
 
 // mrJob is the in-flight mapReduce block operation: the engine runs on
@@ -22,6 +45,78 @@ type mrJob struct {
 	resolved atomic.Bool
 	result   value.Value
 	err      error
+}
+
+// start kicks the engine off on worker goroutines over a private clone of
+// the input ("ship the data, not the list").
+func (job *mrJob) start(list *value.List, mf mapreduce.Mapper, rf mapreduce.Reducer, label string) {
+	input := list.Clone().(*value.List)
+	go func() {
+		res, err := mapreduce.Run(input, mf, rf, mapreduce.Config{Workers: workers.DefaultWorkers(), Label: label})
+		if err != nil {
+			job.err = err
+		} else {
+			job.result = mrResult(res)
+		}
+		job.resolved.Store(true)
+	}()
+}
+
+// seqKernels is one pooled pair of sequential map/reduce kernels for
+// mapreduce.RunSeq: each caller reuses its call environment, so a pair
+// serves one evaluation at a time and goes back to the pool.
+type seqKernels struct {
+	m compile.MapFn
+	r compile.Fn
+}
+
+// lowerMapReduce is the bytecode machine's engine adapter (see
+// vm.SetMapReduceLowerer): the ring kernels compile once per lowered
+// program, and each dispatch either completes synchronously (small input)
+// or starts the same polled job the tree primitive uses.
+//
+// When both rings compile, small inputs take mapreduce.RunSeq with pooled
+// sequential kernels — pooled, not shared, because the lowered program
+// (and so this closure) is cached by content and may be executing on many
+// machines at once. The engine proper handles interpreter-tier rings, and
+// every run with observability on, so spans and phase metrics stay
+// complete.
+func lowerMapReduce(mapRing, reduceRing *blocks.Ring) vm.MRCall {
+	mf, rf := RingMapper(mapRing), RingReducer(reduceRing)
+	var seqPool *sync.Pool
+	if mfac, ok := compile.SeqMapperRing(ShipRing(mapRing)); ok {
+		if rfac, ok := compile.SeqRing(ShipRing(reduceRing)); ok {
+			seqPool = &sync.Pool{New: func() any { return &seqKernels{m: mfac(), r: rfac()} }}
+		}
+	}
+	return func(p *interp.Process, lv value.Value) (value.Value, func() (value.Value, bool, error), error) {
+		list, err := asList(lv)
+		if err != nil {
+			return nil, nil, err
+		}
+		if list.Len() <= syncMapReduceMax {
+			var res mapreduce.Result
+			if seqPool != nil && !obs.Enabled() {
+				k := seqPool.Get().(*seqKernels)
+				res, err = mapreduce.RunSeq(list, k.m, k.r)
+				seqPool.Put(k)
+			} else {
+				res, err = mapreduce.Run(list, mf, rf, mapreduce.Config{Workers: 1, Label: traceLabel(p)})
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+			return mrResult(res), nil, nil
+		}
+		job := &mrJob{}
+		job.start(list, mf, rf, traceLabel(p))
+		return nil, func() (value.Value, bool, error) {
+			if !job.resolved.Load() {
+				return nil, false, nil
+			}
+			return job.result, true, job.err
+		}, nil
+	}
 }
 
 // RingMapper adapts a user map ring to the engine's Mapper contract of
@@ -75,21 +170,23 @@ func primMapReduce(p *interp.Process, ctx *interp.Context) (value.Value, interp.
 		if err != nil {
 			return nil, interp.Done, err
 		}
-		job := &mrJob{}
-		input := list.Clone().(*value.List) // ship the data, not the list
 		mf, rf := RingMapper(mapRing), RingReducer(reduceRing)
 		label := traceLabel(p)
-		go func() {
-			res, err := mapreduce.Run(input, mf, rf, mapreduce.Config{Workers: workers.DefaultWorkers(), Label: label})
+		if list.Len() <= syncMapReduceMax {
+			// Small inputs run the engine synchronously on this goroutine:
+			// the goroutine hand-off plus the poll/yield scheduler rounds
+			// cost more than the whole job. Nothing runs concurrently with
+			// the caller, and the map phase clones each item before the
+			// mapper sees it, so the defensive whole-list clone is also
+			// unnecessary.
+			res, err := mapreduce.Run(list, mf, rf, mapreduce.Config{Workers: 1, Label: label})
 			if err != nil {
-				job.err = err
-			} else if len(res) == 1 && res[0].Key == "" {
-				job.result = res[0].Val
-			} else {
-				job.result = res.List()
+				return nil, interp.Done, err
 			}
-			job.resolved.Store(true)
-		}()
+			return mrResult(res), interp.Done, nil
+		}
+		job := &mrJob{}
+		job.start(list, mf, rf, label)
 		ctx.Inputs = append(ctx.Inputs, &value.Opaque{Tag: "mapReduceJob", Payload: job})
 	} else {
 		job := ctx.Inputs[argc].(*value.Opaque).Payload.(*mrJob)

@@ -9,6 +9,7 @@ package demos
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/blocks"
 	_ "repro/internal/core" // register the parallel blocks
@@ -172,9 +173,26 @@ func ClimateBlock(temps blocks.Node) *blocks.Block {
 	return blocks.MapReduce(mapRing, reduceRing, temps)
 }
 
+// evalProject backs every EvalBlock machine. Machines deep-clone global
+// values out of their project and never write back into it, so one empty
+// project can serve every scratch evaluation instead of allocating two
+// maps per click.
+var evalProject = blocks.NewProject("eval")
+
+// evalMachines recycles scratch machines across EvalBlock calls: a
+// machine is Reset after each evaluation, which rebuilds its scopes as
+// fresh frames, so nothing the previous run produced — including ring
+// values still holding their captured environment — can see the next one.
+var evalMachines = sync.Pool{
+	New: func() any { return interp.NewMachine(evalProject, nil) },
+}
+
 // EvalBlock runs one reporter in a fresh machine — the "click a reporter"
 // gesture.
 func EvalBlock(b *blocks.Block) (value.Value, error) {
-	m := interp.NewMachine(blocks.NewProject("eval"), nil)
-	return m.EvalReporter(b)
+	m := evalMachines.Get().(*interp.Machine)
+	v, err := m.EvalReporter(b)
+	m.Reset()
+	evalMachines.Put(m)
+	return v, err
 }

@@ -50,17 +50,22 @@ type Machine struct {
 	errs        []error
 	round       int64
 	steps       int64
+	evalWrap    *blocks.Script
+	// The RunScript scratch pair, minted once per machine: the sprite is
+	// immutable and the actor is rehomed to its just-added state before
+	// each run, so reuse is indistinguishable from a fresh AddActor
+	// (except for the actor ID, which no script output exposes).
+	scratchSp    *blocks.Sprite
+	scratchActor *stage.Actor
 }
 
 // NewMachine builds a machine for the project over a fresh stage driven by
 // the given clock (nil for a plain clock). Every sprite gets a stage actor.
 func NewMachine(project *blocks.Project, clock *vclock.Clock) *Machine {
 	m := &Machine{
-		Project:     project,
-		Stage:       stage.New(clock),
-		SliceOps:    DefaultSliceOps,
-		spriteFrame: map[*blocks.Sprite]*Frame{},
-		actorSprite: map[*stage.Actor]*blocks.Sprite{},
+		Project:  project,
+		Stage:    stage.New(clock),
+		SliceOps: DefaultSliceOps,
 	}
 	// Initial variable values are deep-cloned out of the project: the
 	// project may be a shared, content-address-cached AST serving many
@@ -71,16 +76,62 @@ func NewMachine(project *blocks.Project, clock *vclock.Clock) *Machine {
 	for name, v := range project.Globals {
 		m.globalFrame.Declare(name, value.CloneValue(v))
 	}
+	// The sprite and actor maps stay nil for spriteless projects (the
+	// eval-session pattern: one scratch machine per request) — reads on
+	// nil maps are legal, and the write paths lazily allocate.
 	for _, sp := range project.Sprites {
 		f := NewFrame(m.globalFrame)
 		for name, v := range sp.Variables {
 			f.Declare(name, value.CloneValue(v))
 		}
-		m.spriteFrame[sp] = f
+		m.setSpriteFrame(sp, f)
 		actor := m.Stage.AddActor(sp.Name, sp.X, sp.Y)
-		m.actorSprite[actor] = sp
+		m.bindActor(actor, sp)
 	}
 	return m
+}
+
+// Reset returns the machine to its post-NewMachine state over the same
+// project, stage, and clock: every process, actor, trace line, error, and
+// accumulated counter is dropped and the scopes are rebuilt from the
+// project. Eval-style servers run one scratch machine per request; a pool
+// of Reset machines makes that pattern pay only per-script costs. Scopes
+// are rebuilt as fresh frames, not recycled ones, so ring values that
+// escaped a previous run keep their captured environment intact.
+func (m *Machine) Reset() {
+	m.Stage.Reset()
+	m.SliceOps = DefaultSliceOps
+	m.TraceBlock = nil
+	m.TraceID = ""
+	m.rng = nil
+	m.fs = nil
+	for i := range m.procs {
+		m.procs[i] = nil
+	}
+	m.procs = m.procs[:0]
+	m.errs = nil
+	m.round, m.steps = 0, 0
+	if m.evalWrap != nil {
+		// Unpin the last evaluated reporter; the shell itself is reused.
+		m.evalWrap.Blocks[0].Inputs[0] = nil
+	}
+	// Stage.Reset dropped the actors, the scratch one included.
+	m.scratchSp, m.scratchActor = nil, nil
+	m.globalFrame = NewFrame(nil)
+	for name, v := range m.Project.Globals {
+		m.globalFrame.Declare(name, value.CloneValue(v))
+	}
+	clear(m.spriteFrame)
+	clear(m.actorSprite)
+	for _, sp := range m.Project.Sprites {
+		f := NewFrame(m.globalFrame)
+		for name, v := range sp.Variables {
+			f.Declare(name, value.CloneValue(v))
+		}
+		m.setSpriteFrame(sp, f)
+		actor := m.Stage.AddActor(sp.Name, sp.X, sp.Y)
+		m.bindActor(actor, sp)
+	}
 }
 
 // Rand is the machine's deterministic random stream (seeded; reproducible
@@ -111,6 +162,20 @@ func (m *Machine) SetFS(fs FileSystem) { m.fs = fs }
 // GlobalFrame exposes the project-global scope.
 func (m *Machine) GlobalFrame() *Frame { return m.globalFrame }
 
+func (m *Machine) setSpriteFrame(sp *blocks.Sprite, f *Frame) {
+	if m.spriteFrame == nil {
+		m.spriteFrame = map[*blocks.Sprite]*Frame{}
+	}
+	m.spriteFrame[sp] = f
+}
+
+func (m *Machine) bindActor(a *stage.Actor, sp *blocks.Sprite) {
+	if m.actorSprite == nil {
+		m.actorSprite = map[*stage.Actor]*blocks.Sprite{}
+	}
+	m.actorSprite[a] = sp
+}
+
 // SpriteFrame returns the sprite-level scope.
 func (m *Machine) SpriteFrame(sp *blocks.Sprite) *Frame { return m.spriteFrame[sp] }
 
@@ -122,7 +187,18 @@ func (m *Machine) SpawnScript(sp *blocks.Sprite, actor *stage.Actor, script *blo
 	if f, ok := m.spriteFrame[sp]; ok {
 		base = f
 	}
-	p := NewProcess(m, sp, actor, script, base)
+	// Build the process without its initial tree context: when the spawn
+	// hook installs a bytecode executor the context is never used, and
+	// this is the hot path of every eval-style request.
+	p := &Process{Machine: m, Sprite: sp, Actor: actor}
+	p.frameStore.parent = base
+	p.rootFrame = &p.frameStore
+	if spawnHook != nil {
+		spawnHook(m, p, script)
+	}
+	if p.exec == nil {
+		p.context = &Context{Expr: script, Frame: p.rootFrame}
+	}
 	m.procs = append(m.procs, p)
 	return p
 }
@@ -133,7 +209,9 @@ func (m *Machine) SpawnExpr(sp *blocks.Sprite, actor *stage.Actor, expr any, fra
 	if frame == nil {
 		frame = m.globalFrame
 	}
-	p := &Process{Machine: m, Sprite: sp, Actor: actor, rootFrame: NewFrame(frame)}
+	p := &Process{Machine: m, Sprite: sp, Actor: actor}
+	p.frameStore.parent = frame
+	p.rootFrame = &p.frameStore
 	p.context = &Context{Expr: expr, Frame: p.rootFrame}
 	m.procs = append(m.procs, p)
 	return p
@@ -192,7 +270,7 @@ func (m *Machine) CreateClone(parent *stage.Actor) *stage.Actor {
 		sp = m.actorSprite[parent.Parent]
 	}
 	if sp != nil {
-		m.actorSprite[clone] = sp
+		m.bindActor(clone, sp)
 		for _, hs := range sp.Scripts {
 			if hs.Hat == blocks.HatCloneStart {
 				m.SpawnScript(sp, clone, hs.Script)
@@ -210,7 +288,7 @@ func (m *Machine) CloneSilent(parent *stage.Actor) *stage.Actor {
 	clone := m.Stage.Clone(parent)
 	sp := m.actorSprite[parent]
 	if sp != nil {
-		m.actorSprite[clone] = sp
+		m.bindActor(clone, sp)
 	}
 	return clone
 }
@@ -424,11 +502,17 @@ func (m *Machine) Kill() {
 // runs a single script to completion on a scratch sprite and returns the
 // value of the script's last doReport (or Nothing).
 func (m *Machine) RunScript(script *blocks.Script) (value.Value, error) {
-	sp := blocks.NewSprite("__main__")
-	actor := m.Stage.AddActor(sp.Name, 0, 0)
-	m.spriteFrame[sp] = NewFrame(m.globalFrame)
-	m.actorSprite[actor] = sp
-	p := m.SpawnScript(sp, actor, script)
+	// A bare sprite, no frame registration: the scratch sprite declares no
+	// variables (lookups fall through to the global frame either way, and
+	// custom-block environments fall back to GlobalFrame), and no maps
+	// are paid on a path that exists to run one script and be thrown away.
+	if m.scratchSp == nil {
+		m.scratchSp = &blocks.Sprite{Name: "__main__"}
+		m.scratchActor = m.Stage.AddActor(m.scratchSp.Name, 0, 0)
+	} else {
+		m.scratchActor.Rehome(0, 0)
+	}
+	p := m.SpawnScript(m.scratchSp, m.scratchActor, script)
 	if err := m.Run(0); err != nil {
 		return nil, err
 	}
@@ -438,5 +522,14 @@ func (m *Machine) RunScript(script *blocks.Script) (value.Value, error) {
 // EvalReporter evaluates a single reporter block to a value — dropping a
 // reporter on the scripting area and clicking it.
 func (m *Machine) EvalReporter(b *blocks.Block) (value.Value, error) {
-	return m.RunScript(blocks.NewScript(blocks.Report(b)))
+	// The report wrapper is machine-owned and reused across calls: the
+	// program caches key lowered bytecode by content, never by the
+	// wrapper's identity, so splicing a new reporter into the same script
+	// shell is invisible to them and saves three allocations per request.
+	if m.evalWrap == nil {
+		m.evalWrap = blocks.NewScript(blocks.Report(b))
+	} else {
+		m.evalWrap.Blocks[0].Inputs[0] = b
+	}
+	return m.RunScript(m.evalWrap)
 }

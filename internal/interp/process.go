@@ -94,6 +94,7 @@ type Process struct {
 
 	context      *Context
 	freeCtx      *Context // recycled contexts (single-threaded freelist)
+	exec         Exec     // non-nil: a bytecode executor drives this process
 	trace        func(*Process, *blocks.Block)
 	rootFrame    *Frame
 	result       value.Value
@@ -110,6 +111,13 @@ type Process struct {
 
 	// OnDone, when set, runs as soon as the process completes or dies.
 	OnDone func(*Process)
+
+	// frameStore is the inline storage behind rootFrame for processes
+	// built on the spawn fast path: one fewer allocation per spawn, and
+	// anything that captured the root frame (a reified ring, a spliced
+	// closure) keeps the whole Process alive with it, which it already
+	// did via the frame's parent chain.
+	frameStore Frame
 }
 
 // NewProcess builds a process that will run expr (a *blocks.Script or any
@@ -122,7 +130,15 @@ func NewProcess(m *Machine, sprite *blocks.Sprite, actor *stage.Actor, expr any,
 }
 
 // Done reports whether the process has finished (normally or not).
-func (p *Process) Done() bool { return p.context == nil || p.stopped || p.err != nil }
+func (p *Process) Done() bool {
+	if p.stopped || p.err != nil {
+		return true
+	}
+	if p.exec != nil {
+		return p.exec.Done()
+	}
+	return p.context == nil
+}
 
 // Err returns the error that killed the process, if any.
 func (p *Process) Err() error { return p.err }
@@ -298,6 +314,9 @@ func (p *Process) RunStep(maxOps int) int {
 	p.trace = nil
 	if p.Machine != nil {
 		p.trace = p.Machine.TraceBlock
+	}
+	if p.exec != nil {
+		return p.exec.Step(p, maxOps)
 	}
 	ops := 0
 	for p.context != nil && !p.stopped {

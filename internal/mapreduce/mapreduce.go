@@ -9,7 +9,8 @@ package mapreduce
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,13 +60,19 @@ type Config struct {
 // the words appear" of Figure 12.
 type Result []KVP
 
-// List converts the result to a Snap! list of (key value) pairs.
+// List converts the result to a Snap! list of (key value) pairs. All the
+// pair lists are carved out of one backing array (capped sub-slices, so a
+// pair growing past its two cells reallocates privately instead of
+// clobbering its neighbor).
 func (r Result) List() *value.List {
-	out := value.NewListCap(len(r))
-	for _, kv := range r {
-		out.Add(value.NewList(value.Text(kv.Key), kv.Val))
+	backing := make([]value.Value, 2*len(r))
+	outer := make([]value.Value, len(r))
+	for i, kv := range r {
+		pair := backing[2*i : 2*i+2 : 2*i+2]
+		pair[0], pair[1] = value.Text(kv.Key), kv.Val
+		outer[i] = value.AdoptSlice(pair)
 	}
-	return out
+	return value.AdoptSlice(outer)
 }
 
 // Strings renders each pair.
@@ -148,6 +155,129 @@ func Run(input *value.List, m Mapper, r Reducer, cfg Config) (Result, error) {
 	return out, err
 }
 
+// RunSeq executes the whole pipeline synchronously on the calling
+// goroutine with direct single-result kernel calls (the compile tier's Fn
+// shape), fusing map and shuffle into one pass. It exists for the
+// mapReduce block's small-input fast path: Run with Workers 1 still pays a
+// per-item argument slice, an intermediate KVP slice per call, and a fresh
+// call environment inside the adapter closures; RunSeq calls each kernel
+// with one reused argument buffer and buckets the pair as it is emitted.
+//
+// mcall is a keyed kernel with the block's mapper convention already
+// applied (compile.SeqMapperRing); rcall is called with each key's value
+// list. Observable behavior — item/value clone discipline, panic
+// containment, error wording, key order — is pin-identical to
+// Run(input, RingMapper(m), RingReducer(r), Config{Workers: 1}).
+//
+// RunSeq records no telemetry; callers fall back to Run when the
+// observability switch is on so spans and phase metrics stay complete.
+func RunSeq(input *value.List, mcall func(args []value.Value) (string, value.Value, error), rcall func(args []value.Value) (value.Value, error)) (out Result, err error) {
+	items := input.Items()
+	n := len(items)
+	// One recover for the whole run replaces the per-call defer of
+	// safeMap/safeReduce; the cursors pin which call blew up so the error
+	// text stays identical.
+	phase, cur, curKey := "mapper", 0, ""
+	defer func() {
+		if r := recover(); r != nil {
+			inner := fmt.Errorf("%s panic: %v", phase, r)
+			if phase == "mapper" {
+				err = fmt.Errorf("map item %d: %w", cur+1, inner)
+			} else {
+				err = fmt.Errorf("reduce key %q: %w", curKey, inner)
+			}
+			out = nil
+		}
+	}()
+	// Every kernel call emits exactly one pair, so the pair count is n and
+	// the emission buffers fit the sync path's stack arrays.
+	var argv [1]value.Value
+	var keyStore [smallShuffle]string
+	var valStore [smallShuffle]value.Value
+	keys, vals := keyStore[:0], valStore[:0]
+	if n > smallShuffle {
+		keys, vals = make([]string, 0, n), make([]value.Value, 0, n)
+	}
+	for ; cur < n; cur++ {
+		argv[0] = value.CloneValue(items[cur])
+		key, v, cerr := mcall(argv[:])
+		if cerr != nil {
+			return nil, fmt.Errorf("map item %d: %w", cur+1, cerr)
+		}
+		keys = append(keys, key)
+		vals = append(vals, value.CloneValue(v))
+	}
+	// Shuffle: count each key's pairs (linear scan with a last-pair memo,
+	// as groupSmall), sort the distinct keys, then lay every group's values
+	// out in one backing array in emission order. The per-group lists are
+	// capped sub-slices, so a reducer growing its list reallocates
+	// privately.
+	type bucket struct {
+		key          string
+		n, off, fill int
+	}
+	var bstore [smallShuffle]bucket
+	buckets := bstore[:0]
+	last := -1
+	for _, k := range keys {
+		g := last
+		if g < 0 || buckets[g].key != k {
+			g = -1
+			for j := range buckets {
+				if buckets[j].key == k {
+					g = j
+					break
+				}
+			}
+			if g < 0 {
+				g = len(buckets)
+				buckets = append(buckets, bucket{key: k})
+			}
+			last = g
+		}
+		buckets[g].n++
+	}
+	slices.SortFunc(buckets, func(a, b bucket) int { return strings.Compare(a.key, b.key) })
+	off := 0
+	for j := range buckets {
+		buckets[j].off = off
+		off += buckets[j].n
+	}
+	backing := make([]value.Value, n)
+	last = -1
+	for i, k := range keys {
+		g := last
+		if g < 0 || buckets[g].key != k {
+			for j := range buckets {
+				if buckets[j].key == k {
+					g = j
+					break
+				}
+			}
+			last = g
+		}
+		b := &buckets[g]
+		backing[b.off+b.fill] = vals[i]
+		b.fill++
+	}
+	phase = "reducer"
+	out = make(Result, len(buckets))
+	for i := range buckets {
+		b := &buckets[i]
+		curKey = b.key
+		argv[0] = value.AdoptSlice(backing[b.off : b.off+b.n : b.off+b.n])
+		v, cerr := rcall(argv[:])
+		if cerr != nil {
+			return nil, fmt.Errorf("reduce key %q: %w", b.key, cerr)
+		}
+		if v == nil {
+			v = value.TheNothing
+		}
+		out[i] = KVP{Key: b.key, Val: value.CloneValue(v)}
+	}
+	return out, nil
+}
+
 // bucketSkew measures shuffle imbalance: the largest key group's size
 // over the mean group size. 1 is perfectly balanced; the single-key
 // pattern (climate average) reports the group count.
@@ -222,6 +352,16 @@ func runPhase(n, w int, fn func(i int) error) error {
 	if n == 0 {
 		return nil
 	}
+	// One executor needs no pool dispatch, shared counter, or WaitGroup —
+	// a plain loop on the calling goroutine has the same semantics.
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	grain := phaseGrain(n, w)
 	errs := make([]error, w)
 	var next atomic.Int64
@@ -262,6 +402,22 @@ func runPhase(n, w int, fn func(i int) error) error {
 func mapPhase(input *value.List, m Mapper, w int) ([]KVP, error) {
 	n := input.Len()
 	items := input.Items()
+	if w <= 1 || n <= 1 {
+		// Sequential map: emit straight into the intermediate slice
+		// instead of per-item parts that are flattened afterwards.
+		mid := make([]KVP, 0, n)
+		for i := 0; i < n; i++ {
+			kvs, err := safeMap(m, value.CloneValue(items[i]))
+			if err != nil {
+				return nil, fmt.Errorf("map item %d: %w", i+1, err)
+			}
+			for j := range kvs {
+				kvs[j].Val = value.CloneValue(kvs[j].Val)
+			}
+			mid = append(mid, kvs...)
+		}
+		return mid, nil
+	}
 	parts := make([][]KVP, n)
 	err := runPhase(n, w, func(i int) error {
 		item := items[i]
@@ -303,11 +459,78 @@ type group struct {
 	vals *value.List
 }
 
+// smallShuffle is the pair count below which the shuffle groups by linear
+// scan instead of a hash index: for a handful of distinct keys the scan is
+// cache-resident and skips the map allocation and per-key hashing.
+const smallShuffle = 64
+
 // groupByKey is the shuffle: it buckets the intermediate pairs by key in
 // one pass (appending each value in emission order) and then sorts the
 // distinct keys. Equivalent to stable-sorting mid by key and grouping
 // adjacent runs, but the comparison sort touches only the k unique keys.
 func groupByKey(mid []KVP) []group {
+	var groups []group
+	if len(mid) <= smallShuffle {
+		groups = groupSmall(mid)
+	} else {
+		groups = groupHashed(mid)
+	}
+	slices.SortFunc(groups, func(a, b group) int { return strings.Compare(a.key, b.key) })
+	return groups
+}
+
+// groupSmall buckets by scanning the group slice directly. The first pass
+// counts each key's pairs so the second allocates every value list at its
+// exact size; the memo of the previous pair's group keeps single-key and
+// run-keyed workloads O(n).
+func groupSmall(mid []KVP) []group {
+	type bucket struct {
+		key string
+		n   int
+	}
+	var store [smallShuffle]bucket
+	counts := store[:0]
+	last := -1
+	for _, kv := range mid {
+		g := last
+		if g < 0 || counts[g].key != kv.Key {
+			g = -1
+			for j := range counts {
+				if counts[j].key == kv.Key {
+					g = j
+					break
+				}
+			}
+			if g < 0 {
+				g = len(counts)
+				counts = append(counts, bucket{key: kv.Key})
+			}
+			last = g
+		}
+		counts[g].n++
+	}
+	groups := make([]group, len(counts))
+	for i, b := range counts {
+		groups[i] = group{key: b.key, vals: value.NewListCap(b.n)}
+	}
+	last = -1
+	for _, kv := range mid {
+		g := last
+		if g < 0 || groups[g].key != kv.Key {
+			for j := range groups {
+				if groups[j].key == kv.Key {
+					g = j
+					break
+				}
+			}
+			last = g
+		}
+		groups[g].vals.Add(kv.Val)
+	}
+	return groups
+}
+
+func groupHashed(mid []KVP) []group {
 	idx := make(map[string]int)
 	var groups []group
 	// last memoizes the group of the previous pair: mappers that emit one
@@ -328,7 +551,6 @@ func groupByKey(mid []KVP) []group {
 		}
 		groups[g].vals.Add(kv.Val)
 	}
-	sort.Slice(groups, func(i, j int) bool { return groups[i].key < groups[j].key })
 	return groups
 }
 
@@ -337,7 +559,10 @@ func reducePhase(groups []group, r Reducer, w int) (Result, error) {
 	out := make(Result, n)
 	err := runPhase(n, w, func(i int) error {
 		g := groups[i]
-		v, err := safeReduce(r, g.key, g.vals.Clone().(*value.List))
+		// The group lists are engine-built in groupByKey and their values
+		// were already cloned when they crossed out of the map phase, so
+		// the reducer sees private data without another defensive clone.
+		v, err := safeReduce(r, g.key, g.vals)
 		if err != nil {
 			return fmt.Errorf("reduce key %q: %w", g.key, err)
 		}

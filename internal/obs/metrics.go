@@ -67,25 +67,43 @@ var (
 )
 
 // The content-addressed program cache (internal/progcache). The "tier"
-// label is "project" (parsed+linted request bodies) or "ring" (memoized
-// compile.Ring outcomes). Counters are bumped while Enabled(); the bytes
+// label is "project" (parsed+linted request bodies), "ring" (memoized
+// compile.Ring outcomes), or "script" (whole script bodies lowered to
+// internal/vm bytecode). Counters are bumped while Enabled(); the bytes
 // gauge tracks residency unconditionally (one atomic store per insert).
 var (
 	ProgcacheHits = Default.NewCounterVec("engine_progcache_hits_total",
 		"Program-cache gets served by a resident entry, by tier.",
-		"tier", "project", "ring")
+		"tier", "project", "ring", "script")
 	ProgcacheMisses = Default.NewCounterVec("engine_progcache_misses_total",
-		"Program-cache gets that paid the load (parse+lint or ring lowering), by tier.",
-		"tier", "project", "ring")
+		"Program-cache gets that paid the load (parse+lint or lowering), by tier.",
+		"tier", "project", "ring", "script")
 	ProgcacheSharedLoads = Default.NewCounterVec("engine_progcache_shared_loads_total",
 		"Program-cache gets that waited on and shared another caller's in-flight load (singleflight), by tier.",
-		"tier", "project", "ring")
+		"tier", "project", "ring", "script")
 	ProgcacheEvictions = Default.NewCounterVec("engine_progcache_evictions_total",
 		"Program-cache entries evicted by the byte budget, by tier.",
-		"tier", "project", "ring")
+		"tier", "project", "ring", "script")
 	ProgcacheBytes = Default.NewGaugeVec("engine_progcache_bytes",
 		"Resident program-cache bytes, by tier.",
-		"tier", "project", "ring")
+		"tier", "project", "ring", "script")
+)
+
+// The flat bytecode machine (internal/vm). Ops count executed bytecode
+// instructions; yields count cooperative hand-backs from bytecode;
+// tree_calls count CallTree splices into the tree-walking evaluator
+// (the coverage gap, the bytecode analog of the compile tier's
+// engine_compile_fallbacks_total{reason="script-body"} class); lowerings
+// count scripts compiled to bytecode (cache misses, not executions).
+var (
+	VMOps = Default.NewCounter("engine_vm_ops_total",
+		"Bytecode operations executed by the flat VM.")
+	VMYields = Default.NewCounter("engine_vm_yields_total",
+		"Cooperative yields taken while executing bytecode.")
+	VMTreeCalls = Default.NewCounter("engine_vm_tree_calls_total",
+		"Un-lowerable subtrees spliced from bytecode through the tree-walker.")
+	VMLowerings = Default.NewCounter("engine_vm_lowerings_total",
+		"Whole scripts lowered to bytecode programs.")
 )
 
 // ShardBackendIDs is the fixed backend-slot label set of the per-backend

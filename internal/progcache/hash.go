@@ -3,7 +3,6 @@ package progcache
 import (
 	"crypto/sha256"
 	"encoding/binary"
-	"hash"
 	"math"
 
 	"repro/internal/blocks"
@@ -43,34 +42,39 @@ const (
 	tagRingValue
 )
 
-// hasher accumulates the canonical encoding. n tallies the encoded bytes
-// and doubles as the cache-cost proxy for the compiled artifact.
+// hasher accumulates the canonical encoding in one buffer that is hashed
+// at the end: a streaming hash.Hash costs an interface call (and usually a
+// heap-escaping slice header) per field, which dominates hashing the
+// tens-to-hundreds of bytes a typical ring encodes to. len(buf) doubles as
+// the cache-cost proxy for the compiled artifact.
 type hasher struct {
-	h  hash.Hash
-	n  int64
-	ok bool
+	buf []byte
+	ok  bool
 }
 
 func newHasher() *hasher {
-	return &hasher{h: sha256.New(), ok: true}
+	return &hasher{buf: make([]byte, 0, 256), ok: true}
 }
 
-func (w *hasher) write(p []byte) {
-	w.h.Write(p) //nolint:errcheck // hash.Hash never errors
-	w.n += int64(len(p))
+// sum finalizes the content address over the accumulated encoding.
+func (w *hasher) sum() (key string, cost int64) {
+	d := sha256.Sum256(w.buf)
+	return string(d[:]), int64(len(w.buf))
 }
 
-func (w *hasher) tag(t byte) { w.write([]byte{t}) }
+func (w *hasher) write(p []byte) { w.buf = append(w.buf, p...) }
+
+func (w *hasher) tag(t byte) { w.buf = append(w.buf, t) }
 
 func (w *hasher) uint64(v uint64) {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], v)
-	w.write(b[:])
+	w.buf = append(w.buf, b[:]...)
 }
 
 func (w *hasher) str(s string) {
 	w.uint64(uint64(len(s)))
-	w.write([]byte(s))
+	w.buf = append(w.buf, s...)
 }
 
 func (w *hasher) strs(ss []string) {
@@ -178,7 +182,8 @@ func hashRing(r *blocks.Ring) (key string, cost int64, ok bool) {
 	if !w.ok {
 		return "", 0, false
 	}
-	return string(w.h.Sum(nil)), w.n, true
+	key, cost = w.sum()
+	return key, cost, true
 }
 
 // BodyHash is Tier A's content address, exported for the shard router:
@@ -198,4 +203,21 @@ func hashBody(src, format string) string {
 	h.Write([]byte(format))
 	h.Write([]byte(src))
 	return string(h.Sum(nil))
+}
+
+// hashScript computes the structural content address of a whole script
+// body, the key of the "script" tier (lowered bytecode programs). ok is
+// false when any literal defeats structural hashing (opaque payloads,
+// environment-carrying rings); cost prices the canonical encoding.
+func hashScript(s *blocks.Script) (key string, cost int64, ok bool) {
+	if s == nil {
+		return "", 0, false
+	}
+	w := newHasher()
+	w.node(s)
+	if !w.ok {
+		return "", 0, false
+	}
+	key, cost = w.sum()
+	return key, cost, true
 }

@@ -1,0 +1,73 @@
+package progcache
+
+import (
+	"repro/internal/blocks"
+	"repro/internal/vm"
+)
+
+// scriptEntryOverhead prices a cached lowered program beyond its encoded
+// structure (op slice headers, map slot, LRU node).
+const scriptEntryOverhead = 256
+
+// Scripts is the whole-script lowering cache: the bytecode analog of the
+// ring tier, keyed by the same structural hash family, so repeated script
+// bodies (the request-per-evaluation pattern every front end produces)
+// skip the lowering walk entirely. A nil *Scripts lowers in place.
+type Scripts struct {
+	c *cache
+}
+
+// DefaultScriptBudget is the script-tier byte budget. Lowered programs
+// are a few hundred bytes to a few KiB; this holds every distinct script
+// a realistic session mix keeps hot.
+const DefaultScriptBudget int64 = 16 << 20
+
+// NewScripts builds a script-tier cache with the given byte budget
+// (<= 0 disables caching).
+func NewScripts(budget int64) *Scripts {
+	c := newCache("script", budget)
+	if c == nil {
+		return nil
+	}
+	return &Scripts{c: c}
+}
+
+// DefaultScripts is the process-wide script tier, installed into
+// internal/vm as its shared program cache at init.
+var DefaultScripts = NewScripts(DefaultScriptBudget)
+
+// Lower memoizes vm.LowerScript for a script body. Scripts without a
+// stable content address skip the cache and pay the direct lowering.
+func (sc *Scripts) Lower(s *blocks.Script) *vm.Program {
+	if sc == nil || sc.c == nil {
+		return vm.LowerScript(s)
+	}
+	key, _, hashable := hashScript(s)
+	if !hashable {
+		return vm.LowerScript(s)
+	}
+	v, _ := sc.c.get(key, func() (any, int64) {
+		p := vm.LowerScript(s)
+		return p, p.Cost() + scriptEntryOverhead
+	})
+	return v.(*vm.Program)
+}
+
+// Stats snapshots the tier's counters (zero value when disabled).
+func (sc *Scripts) Stats() Stats {
+	if sc == nil || sc.c == nil {
+		return Stats{}
+	}
+	return sc.c.snapshot()
+}
+
+// Reset empties the cache (test/bench hook); no-op when disabled.
+func (sc *Scripts) Reset() {
+	if sc != nil && sc.c != nil {
+		sc.c.reset()
+	}
+}
+
+func init() {
+	vm.SetProgramCache(DefaultScripts.Lower)
+}

@@ -37,6 +37,17 @@ type Actor struct {
 // IsClone reports whether the actor is a temporary clone.
 func (a *Actor) IsClone() bool { return a.Parent != nil }
 
+// Rehome returns the actor to the state AddActor would have minted it in
+// at (x, y) — pose, visibility, speech — keeping its identity. Scratch
+// runners reuse one actor per machine instead of growing the actor list
+// on every run.
+func (a *Actor) Rehome(x, y float64) {
+	a.X, a.Y = x, y
+	a.Heading = 90
+	a.Visible = true
+	a.Saying = ""
+}
+
 // MoveForward moves n steps along the current heading.
 func (a *Actor) MoveForward(n float64) {
 	rad := (90 - a.Heading) * math.Pi / 180
@@ -108,11 +119,32 @@ func New(clock *vclock.Clock) *Stage {
 	if clock == nil {
 		clock = vclock.New()
 	}
+	// Vars stays nil until a watcher is set: reads on a nil map are legal,
+	// and most machines (every eval-style session) never set one.
 	return &Stage{
 		Clock: clock,
 		Timer: vclock.NewTimer(clock),
-		Vars:  map[string]value.Value{},
 	}
+}
+
+// Reset empties the stage — actors, trace, watchers, timer, and clock —
+// restoring the state New returns while keeping allocated capacity, so
+// eval-style servers can recycle a stage per request. Trace is dropped
+// rather than truncated: callers may still hold the old slice.
+func (s *Stage) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.actors {
+		s.actors[i] = nil
+	}
+	s.actors = s.actors[:0]
+	s.nextID = 0
+	s.Trace = nil
+	s.MaxTrace = 0
+	s.Vars = nil
+	s.dropped = 0
+	s.Clock.Reset()
+	s.Timer.Reset()
 }
 
 // AddActor places a new original sprite on the stage.

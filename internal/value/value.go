@@ -178,6 +178,12 @@ func NewList(items ...Value) *List {
 // NewListCap builds an empty list with capacity for n items.
 func NewListCap(n int) *List { return &List{items: make([]Value, 0, n)} }
 
+// AdoptSlice wraps an existing slice as a List without copying. The list
+// takes ownership: the caller must not retain or reuse the slice (or any
+// aliasing sub-slice) afterwards. Engine code uses it to carve many small
+// result lists out of one backing allocation.
+func AdoptSlice(items []Value) *List { return &List{items: items} }
+
 // FromFloats builds a list of Numbers.
 func FromFloats(xs []float64) *List {
 	l := &List{items: make([]Value, len(xs))}

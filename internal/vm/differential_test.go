@@ -1,0 +1,302 @@
+// Differential harness: every script in the corpus runs once on the
+// tree-walker and once on the bytecode machine, and the two executions must
+// agree on the reported value, the error string (verbatim), and the stage
+// snapshot. This is the contract the lowering pass is held to — identical
+// observable behavior, including failure text.
+package vm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/blocks"
+	_ "repro/internal/core" // hof, mapReduce, parallel and stage primitives
+	"repro/internal/interp"
+	"repro/internal/value"
+	"repro/internal/vm"
+)
+
+func newMachine() *interp.Machine {
+	return interp.NewMachine(blocks.NewProject("vm-diff"), nil)
+}
+
+// runEngine executes script on a fresh machine with the bytecode machine
+// switched on or off, returning the machine for stage inspection.
+func runEngine(t *testing.T, script *blocks.Script, bytecode bool) (value.Value, error, *interp.Machine) {
+	t.Helper()
+	vm.MemoReset()
+	vm.SetEnabled(bytecode)
+	defer vm.SetEnabled(true)
+	m := newMachine()
+	v, err := m.RunScript(script)
+	return v, err, m
+}
+
+// assertSame runs script under both engines and fails on any observable
+// divergence. Error strings are compared byte-for-byte: the VM must not
+// merely also fail, it must fail with the tree-walker's words.
+func assertSame(t *testing.T, script *blocks.Script) {
+	t.Helper()
+	tv, terr, tm := runEngine(t, script, false)
+	bv, berr, bm := runEngine(t, script, true)
+	ts, bs := errString(terr), errString(berr)
+	if ts != bs {
+		t.Fatalf("error mismatch:\n tree: %s\n   vm: %s", ts, bs)
+	}
+	tstr, bstr := valString(tv), valString(bv)
+	if tstr != bstr {
+		t.Fatalf("value mismatch:\n tree: %s\n   vm: %s", tstr, bstr)
+	}
+	tsnap := strings.Join(tm.Stage.Snapshot(), "\n")
+	bsnap := strings.Join(bm.Stage.Snapshot(), "\n")
+	if tsnap != bsnap {
+		t.Fatalf("stage mismatch:\n tree:\n%s\n vm:\n%s", tsnap, bsnap)
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "<nil>"
+	}
+	return err.Error()
+}
+
+func valString(v value.Value) string {
+	if v == nil {
+		return "<no value>"
+	}
+	return v.String()
+}
+
+func rep(b *blocks.Block) *blocks.Script {
+	return blocks.NewScript(blocks.Report(b))
+}
+
+func sumRing() blocks.Node {
+	return blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Empty()))
+}
+
+func wordCount(sentence string) *blocks.Block {
+	return blocks.MapReduce(
+		blocks.RingOf(blocks.ListOf(blocks.Empty(), blocks.Num(1))),
+		blocks.RingOf(blocks.Combine(blocks.Empty(), sumRing())),
+		blocks.Split(blocks.Txt(sentence), blocks.Txt(" ")))
+}
+
+func TestDifferentialCorpus(t *testing.T) {
+	cases := []struct {
+		name   string
+		script *blocks.Script
+	}{
+		{"arith-folded", rep(blocks.Sum(
+			blocks.Product(blocks.Num(2), blocks.Num(3)),
+			blocks.Quotient(blocks.Num(10), blocks.Num(4))))},
+		{"arith-mod-round", rep(blocks.Sum(
+			blocks.Modulus(blocks.Num(17), blocks.Num(5)),
+			blocks.Round(blocks.Num(2.5))))},
+		{"monadic", rep(blocks.Monadic("sqrt", blocks.Num(2)))},
+		{"text", rep(blocks.Join(
+			blocks.Letter(blocks.Num(2), blocks.Txt("hello")),
+			blocks.StringSize(blocks.Txt("world")),
+			blocks.Split(blocks.Txt("a,b"), blocks.Txt(","))))},
+		{"logic", rep(blocks.Ternary(
+			blocks.And(
+				blocks.LessThan(blocks.Num(1), blocks.Num(2)),
+				blocks.Not(blocks.Equals(blocks.Txt("a"), blocks.Txt("b")))),
+			blocks.Txt("yes"), blocks.Txt("no")))},
+		{"vars", blocks.NewScript(
+			blocks.DeclareLocal("x"),
+			blocks.SetVar("x", blocks.Num(5)),
+			blocks.ChangeVar("x", blocks.Num(2.5)),
+			blocks.Report(blocks.Var("x")))},
+		{"if-else", blocks.NewScript(
+			blocks.DeclareLocal("x"),
+			blocks.SetVar("x", blocks.Num(0)),
+			blocks.If(blocks.GreaterThan(blocks.Num(3), blocks.Num(1)),
+				blocks.Body(blocks.ChangeVar("x", blocks.Num(1)))),
+			blocks.IfElse(blocks.LessThan(blocks.Num(3), blocks.Num(1)),
+				blocks.Body(blocks.SetVar("x", blocks.Num(-1))),
+				blocks.Body(blocks.ChangeVar("x", blocks.Num(10)))),
+			blocks.Report(blocks.Var("x")))},
+		{"repeat", blocks.NewScript(
+			blocks.DeclareLocal("x"),
+			blocks.SetVar("x", blocks.Num(1)),
+			blocks.Repeat(blocks.Num(6),
+				blocks.Body(blocks.SetVar("x",
+					blocks.Product(blocks.Var("x"), blocks.Num(2))))),
+			blocks.Report(blocks.Var("x")))},
+		{"for", blocks.NewScript(
+			blocks.DeclareLocal("s"),
+			blocks.SetVar("s", blocks.Num(0)),
+			blocks.For("i", blocks.Num(1), blocks.Num(10),
+				blocks.Body(blocks.ChangeVar("s", blocks.Var("i")))),
+			blocks.Report(blocks.Var("s")))},
+		{"until", blocks.NewScript(
+			blocks.DeclareLocal("n"),
+			blocks.SetVar("n", blocks.Num(10)),
+			blocks.Until(blocks.LessThan(blocks.Var("n"), blocks.Num(1)),
+				blocks.Body(blocks.ChangeVar("n", blocks.Num(-3)))),
+			blocks.Report(blocks.Var("n")))},
+		{"foreach", blocks.NewScript(
+			blocks.DeclareLocal("s"),
+			blocks.SetVar("s", blocks.Txt("")),
+			blocks.ForEach("w",
+				blocks.ListOf(blocks.Txt("a"), blocks.Txt("b"), blocks.Txt("c")),
+				blocks.Body(blocks.SetVar("s",
+					blocks.Join(blocks.Var("s"), blocks.Var("w"))))),
+			blocks.Report(blocks.Var("s")))},
+		{"warp", blocks.NewScript(
+			blocks.DeclareLocal("x"),
+			blocks.SetVar("x", blocks.Num(0)),
+			blocks.Warp(blocks.Body(
+				blocks.Repeat(blocks.Num(100),
+					blocks.Body(blocks.ChangeVar("x", blocks.Num(1)))))),
+			blocks.Report(blocks.Var("x")))},
+		{"lists", blocks.NewScript(
+			blocks.DeclareLocal("l"),
+			blocks.SetVar("l", blocks.Numbers(blocks.Num(1), blocks.Num(5))),
+			blocks.AddToList(blocks.Num(99), blocks.Var("l")),
+			blocks.DeleteFromList(blocks.Num(1), blocks.Var("l")),
+			blocks.InsertInList(blocks.Num(7), blocks.Num(2), blocks.Var("l")),
+			blocks.ReplaceInList(blocks.Num(3), blocks.Var("l"), blocks.Txt("x")),
+			blocks.Report(blocks.Join(
+				blocks.Var("l"),
+				blocks.LengthOf(blocks.Var("l")),
+				blocks.ItemOf(blocks.Num(2), blocks.Var("l")),
+				blocks.ListContains(blocks.Var("l"), blocks.Num(99)))))},
+		{"stop-this", blocks.NewScript(
+			blocks.DeclareLocal("x"),
+			blocks.SetVar("x", blocks.Num(1)),
+			blocks.Stop(),
+			blocks.SetVar("x", blocks.Num(2)),
+			blocks.Report(blocks.Var("x")))},
+		{"hof-map", rep(blocks.Map(
+			blocks.RingOf(blocks.Product(blocks.Empty(), blocks.Num(10))),
+			blocks.Numbers(blocks.Num(1), blocks.Num(20))))},
+		{"hof-keep", rep(blocks.Keep(
+			blocks.RingOf(blocks.GreaterThan(blocks.Empty(), blocks.Num(5))),
+			blocks.Numbers(blocks.Num(1), blocks.Num(12))))},
+		{"hof-combine", rep(blocks.Combine(
+			blocks.Numbers(blocks.Num(1), blocks.Num(50)), sumRing()))},
+		{"ring-call", rep(blocks.Call(
+			blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Empty())),
+			blocks.Num(3), blocks.Num(4)))},
+		{"mapreduce-wordcount", rep(wordCount("the quick fox the lazy dog the end"))},
+		{"mapreduce-climate", rep(blocks.MapReduce(
+			blocks.RingOf(blocks.Quotient(
+				blocks.Product(blocks.Num(5),
+					blocks.Difference(blocks.Empty(), blocks.Num(32))),
+				blocks.Num(9))),
+			blocks.RingOf(blocks.Quotient(
+				blocks.Combine(blocks.Empty(), sumRing()),
+				blocks.LengthOf(blocks.Empty()))),
+			blocks.ListOf(blocks.Num(32), blocks.Num(212), blocks.Num(122))))},
+		{"mapreduce-async", rep(blocks.MapReduce(
+			blocks.RingOf(blocks.ListOf(
+				blocks.Modulus(blocks.Empty(), blocks.Num(7)), blocks.Num(1))),
+			blocks.RingOf(blocks.Combine(blocks.Empty(), sumRing())),
+			blocks.Numbers(blocks.Num(1), blocks.Num(200))))},
+		{"mapreduce-dynamic-ring", blocks.NewScript(
+			blocks.DeclareLocal("r"),
+			blocks.SetVar("r", blocks.RingOf(
+				blocks.Product(blocks.Empty(), blocks.Num(10)))),
+			blocks.Report(blocks.MapReduce(
+				blocks.Var("r"),
+				blocks.RingOf(blocks.LengthOf(blocks.Empty())),
+				blocks.Numbers(blocks.Num(1), blocks.Num(8)))))},
+		{"splice-stage", blocks.NewScript(
+			blocks.DeclareLocal("x"),
+			blocks.SetVar("x", blocks.Num(1)),
+			blocks.Forward(blocks.Num(10)),
+			blocks.TurnRight(blocks.Num(90)),
+			blocks.Forward(blocks.Num(5)),
+			blocks.ChangeVar("x", blocks.Num(41)),
+			blocks.Report(blocks.Var("x")))},
+		{"splice-gotoxy-loop", blocks.NewScript(
+			blocks.Repeat(blocks.Num(4), blocks.Body(
+				blocks.Forward(blocks.Num(25)),
+				blocks.TurnRight(blocks.Num(90)))),
+			blocks.GotoXY(blocks.Num(7), blocks.Num(-3)),
+			blocks.Report(blocks.Txt("done")))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { assertSame(t, tc.script) })
+	}
+}
+
+// TestDifferentialErrors pins failure text: the bytecode machine must
+// produce the tree-walker's exact error strings, whether the failure is in
+// a lowered opcode, a spliced tree call, or the mapReduce engine.
+func TestDifferentialErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		script *blocks.Script
+	}{
+		{"division-by-zero", rep(blocks.Quotient(blocks.Num(1), blocks.Num(0)))},
+		{"modulus-by-zero", rep(blocks.Modulus(blocks.Num(1), blocks.Num(0)))},
+		{"unset-variable", blocks.NewScript(
+			blocks.Report(blocks.Var("nope")))},
+		{"item-out-of-range", rep(blocks.ItemOf(
+			blocks.Num(9), blocks.ListOf(blocks.Num(1))))},
+		{"mapreduce-nonring-map", rep(blocks.MapReduce(
+			blocks.Num(1), sumRing(), blocks.ListOf()))},
+		{"mapreduce-nonring-reduce", rep(blocks.MapReduce(
+			sumRing(), blocks.Num(1), blocks.ListOf()))},
+		{"mapreduce-nonlist-input", rep(blocks.MapReduce(
+			sumRing(), sumRing(), blocks.Num(1)))},
+		{"mapreduce-map-error", rep(blocks.MapReduce(
+			blocks.RingOf(blocks.Quotient(blocks.Empty(), blocks.Num(0))),
+			sumRing(),
+			blocks.ListOf(blocks.Num(1), blocks.Num(2))))},
+		{"mapreduce-reduce-error", rep(blocks.MapReduce(
+			blocks.RingOf(blocks.ListOf(blocks.Empty(), blocks.Num(1))),
+			blocks.RingOf(blocks.Quotient(blocks.Num(1), blocks.Num(0))),
+			blocks.ListOf(blocks.Txt("a"), blocks.Txt("b"))))},
+		{"mapreduce-async-map-error", rep(blocks.MapReduce(
+			blocks.RingOf(blocks.Quotient(blocks.Num(1),
+				blocks.Difference(blocks.Empty(), blocks.Num(70)))),
+			sumRing(),
+			blocks.Numbers(blocks.Num(1), blocks.Num(100))))},
+		{"hof-map-nonring", rep(blocks.Map(
+			blocks.Num(1), blocks.ListOf(blocks.Num(1))))},
+		{"error-inside-loop", blocks.NewScript(
+			blocks.DeclareLocal("x"),
+			blocks.SetVar("x", blocks.Num(3)),
+			blocks.Until(blocks.LessThan(blocks.Var("x"), blocks.Num(0)),
+				blocks.Body(
+					blocks.SetVar("x", blocks.Difference(blocks.Var("x"), blocks.Num(1))),
+					blocks.If(blocks.Equals(blocks.Var("x"), blocks.Num(1)),
+						blocks.Body(blocks.SetVar("x",
+							blocks.Quotient(blocks.Num(1), blocks.Num(0))))))),
+			blocks.Report(blocks.Var("x")))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			assertSame(t, tc.script)
+			// The case exists to pin an error; make sure there is one.
+			if _, err, _ := runEngine(t, tc.script, true); err == nil {
+				t.Fatal("expected an error, got none")
+			}
+		})
+	}
+}
+
+// TestDifferentialMapReduceAsyncValue pins the async (polled) mapReduce
+// path's value: an input past the sync threshold runs on worker goroutines
+// while the bytecode loop spins opMRPoll, and the sorted result must match
+// the tree primitive's byte for byte.
+func TestDifferentialMapReduceAsyncValue(t *testing.T) {
+	script := rep(blocks.MapReduce(
+		blocks.RingOf(blocks.ListOf(
+			blocks.Modulus(blocks.Empty(), blocks.Num(3)), blocks.Num(1))),
+		blocks.RingOf(blocks.Combine(blocks.Empty(), sumRing())),
+		blocks.Numbers(blocks.Num(1), blocks.Num(300))))
+	v, err, _ := runEngine(t, script, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "[[0 100] [1 100] [2 100]]" {
+		t.Fatalf("async mapReduce = %s", v)
+	}
+	assertSame(t, script)
+}

@@ -1,0 +1,6 @@
+package vm
+
+// MemoReset exposes the memo flush to the external differential and fuzz
+// harnesses: they flip SetEnabled between runs and start each comparison
+// from a cold cache so a lowering bug cannot hide behind a stale entry.
+var MemoReset = memoReset

@@ -1,0 +1,513 @@
+// Package vm is the flat bytecode machine of the execution engine: whole
+// scripts lower to a linear op array executed over a value stack with an
+// explicit control stack and real interpreter frames, in the style of
+// gno's machine.go — preallocated slices and a dispatch loop instead of
+// one heap-allocated context per AST node per evaluation.
+//
+// The machine deliberately drives the same interp.Process the tree-walker
+// would: frames are interp.Frames, yields set the same cooperative flag,
+// stops and errors land in the same fields, and every construct the
+// lowering pass cannot express splices back through the tree evaluator
+// via a CallTree op (interp.BeginSplice/StepSplice). Scheduling,
+// governance (deadlines, step budgets, Kill), and observable semantics —
+// values AND error strings — are therefore identical by construction,
+// and pinned by the differential + fuzz harnesses in this package.
+package vm
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/blocks"
+	"repro/internal/interp"
+	"repro/internal/value"
+)
+
+// Code is a bytecode opcode.
+type Code uint8
+
+// The op catalog. Jump targets are absolute op indices in A. Ops that can
+// fail carry the block selector they wrap their error with, matching the
+// tree-walker's "%s: %w" convention exactly.
+const (
+	opInvalid Code = iota
+
+	// Values.
+	opConst     // push Consts[A]
+	opConstList // push Consts[A].(*value.List).Clone() — container literals copy per evaluation
+	opNothing   // push Nothing
+	opPop       // drop the top of stack (a discarded statement value)
+	opVarGet    // push frame.Get(Names[A]); the error is NOT wrapped (tree parity)
+	opMakeRing  // push the reified closure of RingTemplates[A] capturing the current frame
+	opMakeScrip // push &blocks.Ring{Body: Scripts[A], Env: frame} (a C-slot script value)
+	opHofArg    // push the implicit argument: ctrl[A] is the hof scope, B the static cursor
+
+	// Frames.
+	opPushFrame // frame = NewFrame(frame)
+	opPopFrame  // frame = saved parent
+
+	// Variables.
+	opDeclare   // pop B values; Declare(v.String(), Nothing) each, in evaluation order
+	opSetVar    // pop v, pop name; frame.Set — wraps "doSetVar"
+	opChangeVar // pop delta, pop name; numeric add — wraps "doChangeVar"
+
+	// Control.
+	opJump      // pc = A
+	opJumpFalse // pop cond; !cond -> pc = A; ToBool error wraps Names[B]
+	opJumpTrue  // pop cond; cond -> pc = A; ToBool error wraps Names[B]
+	opYield     // request a cooperative yield (the loop top honors warp)
+	opReport    // pop v; the process reports v and the program halts
+	opStop      // doStopThis: stop the process
+	opHalt      // end of script
+	opEnterWarp // doWarp entry
+	opExitWarp  // doWarp exit
+
+	// Loops (control stack).
+	opRepeatInit  // pop n ("doRepeat"); n<1 -> jump A, else push counter
+	opRepeatNext  // decrement; continue -> jump A (loop head), else pop ctrl
+	opWaitInit    // pop n ("doWait"); n<=0 -> jump A, else push remaining
+	opWaitTick    // consume one wait timestep, yield; exhausted -> pop ctrl, jump A
+	opForInit     // pop to, from, var name ("doFor"); push loop frame + ctrl
+	opForNext     // bounds-check; exit -> pop ctrl+frame, jump A; else declare counter
+	opForEachInit // pop list, var name ("doForEach"); push ctrl
+	opForEachNext // exhausted -> pop ctrl, jump A; else push iter frame, declare item
+
+	// Inlined sequential higher-order blocks.
+	opMapInit     // pop list ("reportMap"); push ctrl with result accumulator
+	opMapNext     // collect previous result; exhausted -> push out, jump A; else stage next arg
+	opKeepInit    // pop list ("reportKeep")
+	opKeepNext    // collect previous verdict; exhausted -> push out, jump A
+	opCombineInit // pop list ("reportCombine"); empty -> push 0, jump A
+	opCombineNext // fold previous result; exhausted -> push acc, jump A
+	opHofParams   // push a call frame declaring Metas[B].params from ctrl[A]'s args
+
+	// Table-driven eager operators.
+	opUnary    // pop 1, apply unaryTable[A]
+	opBinary   // pop 2, apply binaryTable[A]
+	opTernary  // pop 3, apply ternaryTable[A]
+	opVariadic // pop B, apply variadicTable[A]
+
+	// Fallback: evaluate Nodes[A] through the tree-walker in the current
+	// frame; B==1 discards the value (statement position).
+	opCallTree
+
+	// Engine dispatch: a mapReduce call whose rings are literal, adapted
+	// once at lower time (see SetMapReduceLowerer). Begin pops the input
+	// list and either completes synchronously (small input: push result,
+	// jump A) or starts the engine on worker goroutines and pushes a
+	// polling ctrl entry; Poll checks the in-flight job, yielding between
+	// rounds exactly like the tree primitive's Again loop.
+	opMRBegin // pop list; MRCalls[A]; sync -> push v, jump B
+	opMRPoll  // resolved -> pop ctrl, push v, jump A; else yield
+)
+
+// Op is one instruction.
+type Op struct {
+	Code Code
+	A, B int32
+}
+
+// ringMeta carries the formal parameters of an inlined parameterized ring.
+type ringMeta struct {
+	params []string
+}
+
+// Program is a lowered script: immutable once built and shared freely
+// across machines (the progcache script tier hands one instance to every
+// session running a structurally identical script).
+type Program struct {
+	Ops           []Op
+	Consts        []value.Value
+	Names         []string
+	Nodes         []blocks.Node     // opCallTree splice roots
+	RingTemplates []blocks.RingNode // opMakeRing
+	Scripts       []*blocks.Script  // opMakeScrip
+	Metas         []ringMeta
+	MRCalls       []MRCall // opMRBegin engine adapters
+
+	// NativeStmts counts statements lowered to bytecode; TreeStmts counts
+	// statements spliced whole through the tree-walker. A program with no
+	// native statements is not worth installing.
+	NativeStmts int
+	TreeStmts   int
+}
+
+// Cost prices the program for the cache byte budget.
+func (p *Program) Cost() int64 {
+	return int64(len(p.Ops))*12 + int64(len(p.Consts)+len(p.Names)+len(p.Nodes))*32 + 256
+}
+
+// MRCall dispatches one lowered mapReduce site over an evaluated input.
+// It returns either a synchronous result (poll nil), or a poll function
+// for an engine job started on worker goroutines: poll reports
+// (result, resolved, error) and is invoked once per scheduler round. err
+// carries the input type error, with the exact text the tree primitive
+// produces.
+type MRCall func(p *interp.Process, list value.Value) (v value.Value, poll func() (value.Value, bool, error), err error)
+
+// mapReduceHook adapts a pair of literal, shipped rings to an engine
+// dispatch at lower time — installed by the core package (the engine
+// adapters live above this one in the dependency order), nil until then.
+// Precompiling the ring kernels once per lowered program is what lets a
+// cached program skip the per-evaluation ring hashing and compile-tier
+// lookup the tree primitive pays.
+var mapReduceHook func(mapRing, reduceRing *blocks.Ring) MRCall
+
+// SetMapReduceLowerer installs the mapReduce engine adapter used by the
+// lowering pass. Lowered programs capture the adapter's closures, so it
+// must be installed once at init time, before any script is lowered.
+func SetMapReduceLowerer(h func(mapRing, reduceRing *blocks.Ring) MRCall) {
+	mapReduceHook = h
+}
+
+// primEntry is one table-driven operator: the tree primitive's exact
+// logic over already-evaluated inputs, plus the selector its errors wrap
+// with. cmd entries are command blocks: they push no value.
+type primEntry struct {
+	name string
+	cmd  bool
+	fn   func(args []value.Value) (value.Value, error)
+}
+
+func asList(v value.Value) (*value.List, error) {
+	if l, ok := v.(*value.List); ok {
+		return l, nil
+	}
+	return nil, fmt.Errorf("expecting a list but getting a %s", v.Kind())
+}
+
+func numBin(f func(a, b float64) float64) func(args []value.Value) (value.Value, error) {
+	return func(args []value.Value) (value.Value, error) {
+		a, err := value.ToNumber(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := value.ToNumber(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return value.Num(f(float64(a), float64(b))), nil
+	}
+}
+
+// Table indices are referenced by name from the lowering pass; the
+// fnIndex maps selector -> (arity class, index).
+var unaryTable = []primEntry{
+	{name: "reportRound", fn: func(args []value.Value) (value.Value, error) {
+		a, err := value.ToNumber(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return value.Num(math.Round(float64(a))), nil
+	}},
+	{name: "reportNot", fn: func(args []value.Value) (value.Value, error) {
+		a, err := value.ToBool(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return value.BoolVal(bool(!a)), nil
+	}},
+	{name: "reportListLength", fn: func(args []value.Value) (value.Value, error) {
+		l, err := asList(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return value.Number(float64(l.Len())), nil
+	}},
+	{name: "reportStringSize", fn: func(args []value.Value) (value.Value, error) {
+		return value.NumInt(len([]rune(args[0].String()))), nil
+	}},
+}
+
+var binaryTable = []primEntry{
+	{name: "reportSum", fn: numBin(func(a, b float64) float64 { return a + b })},
+	{name: "reportDifference", fn: numBin(func(a, b float64) float64 { return a - b })},
+	{name: "reportProduct", fn: numBin(func(a, b float64) float64 { return a * b })},
+	{name: "reportQuotient", fn: func(args []value.Value) (value.Value, error) {
+		a, err := value.ToNumber(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := value.ToNumber(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if b == 0 {
+			return nil, fmt.Errorf("division by zero")
+		}
+		return value.Num(float64(a / b)), nil
+	}},
+	{name: "reportModulus", fn: func(args []value.Value) (value.Value, error) {
+		a, err := value.ToNumber(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := value.ToNumber(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if b == 0 {
+			return nil, fmt.Errorf("modulus by zero")
+		}
+		m := math.Mod(float64(a), float64(b))
+		if m != 0 && (m < 0) != (float64(b) < 0) {
+			m += float64(b)
+		}
+		return value.Num(m), nil
+	}},
+	{name: "reportMonadic", fn: func(args []value.Value) (value.Value, error) {
+		fn := strings.ToLower(args[0].String())
+		a, err := value.ToNumber(args[1])
+		if err != nil {
+			return nil, err
+		}
+		x := float64(a)
+		var r float64
+		switch fn {
+		case "sqrt":
+			if x < 0 {
+				return nil, fmt.Errorf("square root of a negative number")
+			}
+			r = math.Sqrt(x)
+		case "abs":
+			r = math.Abs(x)
+		case "floor":
+			r = math.Floor(x)
+		case "ceiling":
+			r = math.Ceil(x)
+		case "sin":
+			r = math.Sin(x * math.Pi / 180)
+		case "cos":
+			r = math.Cos(x * math.Pi / 180)
+		case "tan":
+			r = math.Tan(x * math.Pi / 180)
+		case "asin":
+			r = math.Asin(x) * 180 / math.Pi
+		case "acos":
+			r = math.Acos(x) * 180 / math.Pi
+		case "atan":
+			r = math.Atan(x) * 180 / math.Pi
+		case "ln":
+			r = math.Log(x)
+		case "log":
+			r = math.Log10(x)
+		case "e^":
+			r = math.Exp(x)
+		case "10^":
+			r = math.Pow(10, x)
+		default:
+			return nil, fmt.Errorf("unknown function %q", fn)
+		}
+		return value.Num(r), nil
+	}},
+	{name: "reportLessThan", fn: func(args []value.Value) (value.Value, error) {
+		lt, err := value.Less(args[0], args[1])
+		if err != nil {
+			return nil, err
+		}
+		return value.BoolVal(lt), nil
+	}},
+	{name: "reportGreaterThan", fn: func(args []value.Value) (value.Value, error) {
+		gt, err := value.Greater(args[0], args[1])
+		if err != nil {
+			return nil, err
+		}
+		return value.BoolVal(gt), nil
+	}},
+	{name: "reportEquals", fn: func(args []value.Value) (value.Value, error) {
+		return value.BoolVal(value.Equal(args[0], args[1])), nil
+	}},
+	{name: "reportAnd", fn: func(args []value.Value) (value.Value, error) {
+		a, err := value.ToBool(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := value.ToBool(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return value.BoolVal(bool(a && b)), nil
+	}},
+	{name: "reportOr", fn: func(args []value.Value) (value.Value, error) {
+		a, err := value.ToBool(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := value.ToBool(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return value.BoolVal(bool(a || b)), nil
+	}},
+	{name: "reportLetter", fn: func(args []value.Value) (value.Value, error) {
+		i, err := value.ToInt(args[0])
+		if err != nil {
+			return nil, err
+		}
+		s := []rune(args[1].String())
+		if i < 1 || i > len(s) {
+			return value.Str(""), nil
+		}
+		return value.Str(string(s[i-1])), nil
+	}},
+	{name: "reportTextSplit", fn: func(args []value.Value) (value.Value, error) {
+		text := args[0].String()
+		delim := args[1].String()
+		var parts []string
+		switch delim {
+		case "whitespace", " ":
+			parts = strings.Fields(text)
+		case "":
+			for _, r := range text {
+				parts = append(parts, string(r))
+			}
+		case "line":
+			parts = strings.Split(text, "\n")
+		default:
+			parts = strings.Split(text, delim)
+		}
+		if err := checkListLen(len(parts)); err != nil {
+			return nil, err
+		}
+		return value.FromStrings(parts), nil
+	}},
+	{name: "reportNumbers", fn: func(args []value.Value) (value.Value, error) {
+		from, err := value.ToNumber(args[0])
+		if err != nil {
+			return nil, err
+		}
+		to, err := value.ToNumber(args[1])
+		if err != nil {
+			return nil, err
+		}
+		step := 1.0
+		if from > to {
+			step = -1
+		}
+		if err := checkListLen(int(math.Abs(float64(to-from))) + 1); err != nil {
+			return nil, err
+		}
+		return value.Range(float64(from), float64(to), step), nil
+	}},
+	{name: "reportListItem", fn: func(args []value.Value) (value.Value, error) {
+		i, err := value.ToInt(args[0])
+		if err != nil {
+			return nil, err
+		}
+		l, err := asList(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return l.Item(i)
+	}},
+	{name: "reportListContainsItem", fn: func(args []value.Value) (value.Value, error) {
+		l, err := asList(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return value.Bool(l.Contains(args[1])), nil
+	}},
+	{name: "doAddToList", cmd: true, fn: func(args []value.Value) (value.Value, error) {
+		l, err := asList(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if err := checkListLen(l.Len() + 1); err != nil {
+			return nil, err
+		}
+		l.Add(args[0])
+		return nil, nil
+	}},
+	{name: "doDeleteFromList", cmd: true, fn: func(args []value.Value) (value.Value, error) {
+		l, err := asList(args[1])
+		if err != nil {
+			return nil, err
+		}
+		i, err := value.ToInt(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return nil, l.DeleteAt(i)
+	}},
+}
+
+var ternaryTable = []primEntry{
+	{name: "reportIfElse", fn: func(args []value.Value) (value.Value, error) {
+		cond, err := value.ToBool(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if cond {
+			return args[1], nil
+		}
+		return args[2], nil
+	}},
+	{name: "doInsertInList", cmd: true, fn: func(args []value.Value) (value.Value, error) {
+		l, err := asList(args[2])
+		if err != nil {
+			return nil, err
+		}
+		i, err := value.ToInt(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if err := checkListLen(l.Len() + 1); err != nil {
+			return nil, err
+		}
+		return nil, l.InsertAt(i, args[0])
+	}},
+	{name: "doReplaceInList", cmd: true, fn: func(args []value.Value) (value.Value, error) {
+		l, err := asList(args[1])
+		if err != nil {
+			return nil, err
+		}
+		i, err := value.ToInt(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return nil, l.SetItem(i, args[2])
+	}},
+}
+
+var variadicTable = []primEntry{
+	{name: "reportJoinWords", fn: func(args []value.Value) (value.Value, error) {
+		total := 0
+		for _, v := range args {
+			total += len(v.String())
+		}
+		if err := checkTextLen(total); err != nil {
+			return nil, err
+		}
+		var b strings.Builder
+		for _, v := range args {
+			b.WriteString(v.String())
+		}
+		return value.Text(b.String()), nil
+	}},
+	{name: "reportNewList", fn: func(args []value.Value) (value.Value, error) {
+		return value.NewList(args...), nil
+	}},
+}
+
+// fnRef locates a selector in the operator tables.
+type fnRef struct {
+	code  Code // opUnary / opBinary / opTernary / opVariadic
+	idx   int32
+	arity int // fixed arity; -1 for variadic
+	cmd   bool
+}
+
+var fnIndex = map[string]fnRef{}
+
+func init() {
+	reg := func(code Code, arity int, tbl []primEntry) {
+		for i, e := range tbl {
+			fnIndex[e.name] = fnRef{code: code, idx: int32(i), arity: arity, cmd: e.cmd}
+		}
+	}
+	reg(opUnary, 1, unaryTable)
+	reg(opBinary, 2, binaryTable)
+	reg(opTernary, 3, ternaryTable)
+	reg(opVariadic, -1, variadicTable)
+}
