@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-all bench-diff check fuzz serve-smoke shard-smoke repro lint fmt vet cover clean
+.PHONY: all build test race bench bench-all bench-diff check fuzz stress serve-smoke shard-smoke repro lint fmt vet cover clean
 
 all: build test
 
@@ -21,17 +21,31 @@ race:
 # with its shared lowered programs, the ring compiler, the parallel
 # blocks, the observability registry with its 64-goroutine hammer, the
 # program cache with its singleflight front, and the execution service
-# and the shard router with its concurrent failover e2e), then give both
-# differential fuzzers — compiled-vs-interpreted rings and
-# lowered-vs-tree-walked scripts — a short burst.
+# and the shard router with its concurrent failover e2e, plus the
+# evolutionary stress engine itself), shuffled so inter-test ordering
+# dependencies can't hide, then give both differential fuzzers —
+# compiled-vs-interpreted rings and lowered-vs-tree-walked scripts — a
+# short burst, and finish with the deterministic-seed cross-tier stress
+# soak.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/workers/... ./internal/mapreduce/... \
+	$(GO) test -race -shuffle=on ./internal/workers/... ./internal/mapreduce/... \
 		./internal/interp/... ./internal/compile/... ./internal/core/... \
 		./internal/vm/... ./internal/progcache/... ./internal/runtime/... \
-		./internal/server/... ./internal/obs/... ./internal/shard/...
+		./internal/server/... ./internal/obs/... ./internal/shard/... \
+		./internal/evo/...
 	$(GO) test -run '^$$' -fuzz FuzzCompileRing -fuzztime 5s ./internal/compile/
 	$(GO) test -run '^$$' -fuzz FuzzLowerProject -fuzztime 5s ./internal/vm/
+	$(MAKE) stress
+
+# stress runs the evolutionary cross-tier differential engine
+# (docs/TESTING.md) as a fixed-seed soak: every evolved program executes
+# under all four tiers (tree, vm, sequential kernels, live session +
+# cache replay) and any divergence is shrunk, persisted to the committed
+# corpus, and fails the build. The fixed seed makes CI runs reproducible.
+stress:
+	$(GO) run ./cmd/snapstress -seed 1 -duration 60s -min-programs 1000 \
+		-corpus internal/evo/corpus -q
 
 # fuzz runs the compiler's differential fuzzer open-ended (ctrl-C to stop).
 fuzz:

@@ -1,10 +1,15 @@
 package compile
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/blocks"
+	"repro/internal/evo/oracle"
 	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/value"
@@ -201,18 +206,17 @@ func runDifferential(t *testing.T, rnd *rand.Rand, iters int) int {
 		iv, ierr := interp.CallFunction(ring, args, 1<<20)
 		cv, cerr := fn(cargs)
 		desc := body.Describe()
-		if (ierr == nil) != (cerr == nil) {
-			t.Fatalf("tier divergence on %s (args %v):\n  interp: v=%v err=%v\n  compiled: v=%v err=%v",
-				desc, args, iv, ierr, cv, cerr)
+		// The comparison contract is the shared oracle's: identical
+		// error wording (not merely both-failed), and value agreement up
+		// to rendering.
+		if is, cs := oracle.ErrString(ierr), oracle.ErrString(cerr); is != cs {
+			t.Fatalf("error divergence on %s (args %v):\n  interp:   %s\n  compiled: %s",
+				desc, args, is, cs)
 		}
 		if ierr != nil {
-			if ierr.Error() != cerr.Error() {
-				t.Fatalf("error wording divergence on %s (args %v):\n  interp:   %q\n  compiled: %q",
-					desc, args, ierr.Error(), cerr.Error())
-			}
 			continue
 		}
-		if !value.Equal(iv, cv) && iv.String() != cv.String() {
+		if !oracle.ValuesAgree(iv, cv) {
 			t.Fatalf("value divergence on %s (args %v):\n  interp:   %s\n  compiled: %s",
 				desc, args, iv, cv)
 		}
@@ -250,10 +254,26 @@ func TestDifferentialCompiledVsInterpreted(t *testing.T) {
 // FuzzCompileRing lets the fuzzer steer the generator seed, hunting for a
 // ring whose compiled and interpreted behavior disagree. `make check` runs
 // a short -fuzztime burst; `go test -fuzz FuzzCompileRing ./internal/compile`
-// runs it open-ended.
+// runs it open-ended. Beyond the fixed seeds, every reproducer the evo
+// stress engine has persisted contributes a derived seed, so the ring
+// generator re-explores the neighborhoods where cross-tier divergences
+// were actually found.
 func FuzzCompileRing(f *testing.F) {
 	for _, seed := range []int64{0, 1, 2, 42, 0xBEEF, -7} {
 		f.Add(seed)
+	}
+	if entries, err := os.ReadDir("../evo/corpus"); err == nil {
+		for _, e := range entries {
+			if e.IsDir() || filepath.Ext(e.Name()) != ".bytes" {
+				continue
+			}
+			b, err := os.ReadFile(filepath.Join("../evo/corpus", e.Name()))
+			if err != nil {
+				continue
+			}
+			sum := sha256.Sum256(b)
+			f.Add(int64(binary.LittleEndian.Uint64(sum[:8])))
+		}
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {
 		runDifferential(t, rand.New(rand.NewSource(seed)), 25)

@@ -1,0 +1,62 @@
+package evo
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/evo/gen"
+)
+
+// writeCorpus persists one shrunk divergence under its content address:
+// <dir>/<sha256[:16]>.bytes holds the raw shrunk genome (the exact shape
+// FuzzLowerProject consumes as a seed) and a sibling .txt holds the
+// human-readable detail. Re-finding the same reproducer is a no-op.
+func writeCorpus(dir string, d Divergence) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(d.Shrunk)
+	addr := hex.EncodeToString(sum[:8])
+	if err := os.WriteFile(filepath.Join(dir, addr+".bytes"), d.Shrunk, 0o644); err != nil {
+		return "", err
+	}
+	note := fmt.Sprintf("blocks: %d\n\n%s\n", d.Blocks, d.Detail)
+	if err := os.WriteFile(filepath.Join(dir, addr+".txt"), []byte(note), 0o644); err != nil {
+		return "", err
+	}
+	return addr, nil
+}
+
+// CorpusGenomes loads every .bytes genome from a corpus directory in
+// stable (name-sorted) order — the fuzzers reseed from this so each
+// divergence the engine ever found stays a permanent regression seed. A
+// missing directory is an empty corpus, not an error.
+func CorpusGenomes(dir string) ([]gen.Genome, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".bytes" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	gs := make([]gen.Genome, 0, len(names))
+	for _, name := range names {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		gs = append(gs, gen.Genome(b))
+	}
+	return gs, nil
+}

@@ -1,0 +1,126 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/blocks"
+	_ "repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/parse"
+)
+
+func runScript(t *testing.T, g Genome) {
+	t.Helper()
+	m := interp.NewMachine(blocks.NewProject("gen"), nil)
+	_, _ = m.RunScript(Script(g))
+}
+
+// TestDecodeDeterministic: the same genome must decode to the same
+// script, rendered and counted identically — resume, corpus replay, and
+// shrinking all depend on it.
+func TestDecodeDeterministic(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		g := Random(rnd, 1+rnd.Intn(96))
+		a, erra := parse.PrintProject(Project(g))
+		b, errb := parse.PrintProject(Project(g))
+		if (erra == nil) != (errb == nil) || a != b {
+			t.Fatalf("genome %x decoded differently across calls", g)
+		}
+		if CountBlocks(Script(g)) != CountBlocks(Script(g)) {
+			t.Fatalf("genome %x counted differently across calls", g)
+		}
+	}
+}
+
+// TestEveryGenomePrintsAndParses: the serving tier feeds programs through
+// the text syntax, so every genome — random, mutated, crossed, truncated,
+// or empty — must decode to a printable, re-parseable project.
+func TestEveryGenomePrintsAndParses(t *testing.T) {
+	rnd := rand.New(rand.NewSource(22))
+	check := func(g Genome) {
+		t.Helper()
+		src, err := parse.PrintProject(Project(g))
+		if err != nil {
+			t.Fatalf("genome %x decodes to unprintable project: %v", g, err)
+		}
+		if _, err := parse.Project(src); err != nil {
+			t.Fatalf("genome %x prints unparseable text: %v\n%s", g, err, src)
+		}
+	}
+	check(nil)
+	check(Genome{})
+	check(Genome{0})
+	for _, g := range Seeds() {
+		check(g)
+	}
+	for i := 0; i < 300; i++ {
+		g := Random(rnd, rnd.Intn(128))
+		check(g)
+		check(Mutate(rnd, g))
+		check(Crossover(rnd, g, Random(rnd, rnd.Intn(64))))
+		if len(g) > 2 {
+			check(g[:len(g)/2])
+		}
+	}
+}
+
+// TestDecodedScriptsTerminate: the grammar must be unable to express an
+// unbounded loop; a wide random sweep through the tree-walker must finish
+// fast. (Hostile() scripts are built outside the genome grammar on
+// purpose.)
+func TestDecodedScriptsTerminate(t *testing.T) {
+	rnd := rand.New(rand.NewSource(33))
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 0; i < 150; i++ {
+		if time.Now().After(deadline) {
+			t.Fatalf("termination sweep overran its deadline at genome %d", i)
+		}
+		g := Random(rnd, 1+rnd.Intn(128))
+		runScript(t, g)
+	}
+}
+
+// TestGenomeOperatorsBounded: mutation and crossover must respect the
+// genome size cap so populations can't balloon.
+func TestGenomeOperatorsBounded(t *testing.T) {
+	rnd := rand.New(rand.NewSource(44))
+	big := Random(rnd, 256)
+	for i := 0; i < 100; i++ {
+		if m := Mutate(rnd, big); len(m) > 256 {
+			t.Fatalf("mutate grew genome to %d bytes", len(m))
+		}
+		if c := Crossover(rnd, big, big); len(c) > 256 {
+			t.Fatalf("crossover grew genome to %d bytes", len(c))
+		}
+	}
+}
+
+// TestPinnedScriptsPrint: every pinned parity edge must survive the
+// print/parse round trip — they run through the serving tier too.
+func TestPinnedScriptsPrint(t *testing.T) {
+	for _, p := range PinnedScripts() {
+		src, err := parse.PrintProject(WrapScript(p.Script))
+		if err != nil {
+			t.Fatalf("pinned %s is unprintable: %v", p.Name, err)
+		}
+		if _, err := parse.Project(src); err != nil {
+			t.Fatalf("pinned %s prints unparseable text: %v", p.Name, err)
+		}
+	}
+}
+
+// TestCountBlocks pins the size measure on a known shape: the shrink
+// acceptance bound (<=10 blocks) is meaningless if counting drifts.
+func TestCountBlocks(t *testing.T) {
+	s := Script(Genome{0})
+	n := CountBlocks(s)
+	if n < 8 || n > 12 {
+		t.Fatalf("minimal genome should decode to a ~10-block script, got %d", n)
+	}
+	if CountBlocks(nil) != 0 {
+		t.Fatal("nil script must count as 0 blocks")
+	}
+}

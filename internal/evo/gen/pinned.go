@@ -1,0 +1,138 @@
+package gen
+
+import "repro/internal/blocks"
+
+// Pinned is a named, hand-built script the stress engine evaluates ahead
+// of every evolved population — edge cases that byte genomes reach only
+// by luck are pinned here so every soak (and the differential test suite)
+// covers them unconditionally.
+type Pinned struct {
+	Name   string
+	Script *blocks.Script
+}
+
+func sumRing() blocks.Node {
+	return blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Empty()))
+}
+
+func countMapRing() blocks.Node {
+	return blocks.RingOf(blocks.ListOf(
+		blocks.Modulus(blocks.Empty(), blocks.Num(3)), blocks.Num(1)))
+}
+
+func sumReduceRing() blocks.Node {
+	return blocks.RingOf(blocks.Combine(blocks.Empty(), sumRing()))
+}
+
+func rep(b *blocks.Block) *blocks.Script {
+	return blocks.NewScript(blocks.Report(b))
+}
+
+// PinnedScripts are the mapReduce parity edges: the empty input, the
+// single item, the single shared key (through both the sync and async
+// engine paths), and both sides of the sync/async threshold at 64.
+func PinnedScripts() []Pinned {
+	scalarRing := blocks.RingOf(blocks.Product(blocks.Empty(), blocks.Num(2)))
+	avgReduce := blocks.RingOf(blocks.Quotient(
+		blocks.Combine(blocks.Empty(), sumRing()),
+		blocks.LengthOf(blocks.Empty())))
+	return []Pinned{
+		{"mapreduce-empty-input", rep(blocks.MapReduce(
+			countMapRing(), sumReduceRing(), blocks.ListOf()))},
+		{"mapreduce-single-item", rep(blocks.MapReduce(
+			countMapRing(), sumReduceRing(), blocks.ListOf(blocks.Num(7))))},
+		{"mapreduce-single-key-sync", rep(blocks.MapReduce(
+			scalarRing, avgReduce,
+			blocks.ListOf(blocks.Num(32), blocks.Num(212), blocks.Num(122))))},
+		{"mapreduce-single-key-async", rep(blocks.MapReduce(
+			blocks.RingOf(blocks.Product(blocks.Empty(), blocks.Num(2))),
+			blocks.RingOf(blocks.Combine(blocks.Empty(), sumRing())),
+			blocks.Numbers(blocks.Num(1), blocks.Num(100))))},
+		{"mapreduce-threshold-64", rep(blocks.MapReduce(
+			countMapRing(), sumReduceRing(),
+			blocks.Numbers(blocks.Num(1), blocks.Num(64))))},
+		{"mapreduce-threshold-65", rep(blocks.MapReduce(
+			countMapRing(), sumReduceRing(),
+			blocks.Numbers(blocks.Num(1), blocks.Num(65))))},
+		{"mapreduce-empty-key-diversity", rep(blocks.MapReduce(
+			blocks.RingOf(blocks.ListOf(blocks.Empty(), blocks.Num(1))),
+			sumReduceRing(),
+			blocks.Split(blocks.Txt(""), blocks.Txt(" "))))},
+	}
+}
+
+// Hostile are deliberately non-terminating scripts for the governance
+// tests only: they must never enter the differential population (no tier
+// comparison can finish them), but a governed session must kill them by
+// deadline, step budget, or explicit Cancel.
+func Hostile() []Pinned {
+	forever := func(bs ...*blocks.Block) *blocks.Block {
+		return blocks.NewBlock("doForever", blocks.Body(bs...))
+	}
+	return []Pinned{
+		{"forever-count", blocks.NewScript(
+			blocks.DeclareLocal("x"),
+			blocks.SetVar("x", blocks.Num(0)),
+			forever(blocks.ChangeVar("x", blocks.Num(1))))},
+		{"warp-forever", blocks.NewScript(
+			blocks.DeclareLocal("x"),
+			blocks.SetVar("x", blocks.Num(0)),
+			blocks.Warp(blocks.Body(forever(blocks.ChangeVar("x", blocks.Num(1))))))},
+		{"until-never", blocks.NewScript(
+			blocks.DeclareLocal("x"),
+			blocks.SetVar("x", blocks.Num(1)),
+			blocks.Until(blocks.LessThan(blocks.Num(1), blocks.Num(0)),
+				blocks.Body(blocks.ChangeVar("x", blocks.Num(1)))))},
+	}
+}
+
+// WrapScript wraps any script as a runnable one-sprite project, the
+// serving tier's input shape; the sprite matches the scratch machine's
+// name and origin so snapshots align across tiers.
+func WrapScript(s *blocks.Script) *blocks.Project {
+	p := blocks.NewProject("evo")
+	sp := blocks.NewSprite(SpriteName)
+	sp.AddScript(blocks.HatGreenFlag, "", s)
+	p.AddSprite(sp)
+	return p
+}
+
+// CountBlocks counts every block in the script, including reporter
+// blocks nested in inputs, ring bodies, and C-slot scripts — the size
+// measure shrunk reproducers are reported in.
+func CountBlocks(s *blocks.Script) int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, b := range s.Blocks {
+		n += countBlock(b)
+	}
+	return n
+}
+
+func countBlock(b *blocks.Block) int {
+	if b == nil {
+		return 0
+	}
+	n := 1
+	for _, in := range b.Inputs {
+		n += countNode(in)
+	}
+	return n
+}
+
+func countNode(in blocks.Node) int {
+	switch x := in.(type) {
+	case *blocks.Block:
+		return countBlock(x)
+	case blocks.ScriptNode:
+		return CountBlocks(x.Script)
+	case blocks.RingNode:
+		if sc, ok := x.Body.(*blocks.Script); ok {
+			return CountBlocks(sc)
+		}
+		return countNode(x.Body)
+	}
+	return 0
+}

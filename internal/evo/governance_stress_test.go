@@ -1,0 +1,169 @@
+package evo
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/evo/gen"
+	"repro/internal/runtime"
+)
+
+// Governance under stress: the generator's hostile set (non-terminating
+// loops, warped and plain) and its evolved (terminating) programs run
+// concurrently through one governed manager, and every session must end
+// with the status its limits dictate — wall-clock deadline, step budget,
+// or mid-run kill — with nothing hung and the manager's books balanced.
+// The whole file is exercised under -race by make check.
+
+// govRun runs one project to completion through mgr and returns its
+// result, failing the test if the session never finishes.
+func govRun(t *testing.T, mgr *runtime.Manager, ctx context.Context, p gen.Pinned, lim runtime.Limits) runtime.Result {
+	t.Helper()
+	proj := gen.WrapScript(p.Script)
+	s, err := mgr.Run(ctx, proj, lim)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name, err)
+	}
+	select {
+	case <-s.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s: session never finished", p.Name)
+	}
+	res, done := s.Result()
+	if !done {
+		t.Fatalf("%s: Done() closed but Result not ready", p.Name)
+	}
+	return res
+}
+
+func TestGovernanceDeadlineUnderChurn(t *testing.T) {
+	mgr := runtime.NewManager(runtime.Config{MaxConcurrent: 4, MaxQueue: 64, QueueWait: 30 * time.Second})
+	var wg sync.WaitGroup
+	for _, h := range gen.Hostile() {
+		h := h
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// A huge step budget makes the wall clock the only limit
+			// that can fire.
+			res := govRun(t, mgr, context.Background(), h, runtime.Limits{
+				Timeout:  200 * time.Millisecond,
+				MaxSteps: 1 << 40,
+			})
+			if res.Status != runtime.StatusTimeout {
+				t.Errorf("%s: status = %s (%s), want %s", h.Name, res.Status, res.Error, runtime.StatusTimeout)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := mgr.Stats().ByStatus[runtime.StatusTimeout]; got != int64(len(gen.Hostile())) {
+		t.Errorf("ByStatus[timeout] = %d, want %d", got, len(gen.Hostile()))
+	}
+}
+
+func TestGovernanceStepBudgetUnderChurn(t *testing.T) {
+	mgr := runtime.NewManager(runtime.Config{MaxConcurrent: 4, MaxQueue: 64, QueueWait: 30 * time.Second})
+	var wg sync.WaitGroup
+	for _, h := range gen.Hostile() {
+		h := h
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// A generous deadline makes the step budget the limit that
+			// fires; an infinite loop burns 20k steps in well under 30s.
+			res := govRun(t, mgr, context.Background(), h, runtime.Limits{
+				Timeout:  30 * time.Second,
+				MaxSteps: 20_000,
+			})
+			if res.Status != runtime.StatusSteps {
+				t.Errorf("%s: status = %s (%s), want %s", h.Name, res.Status, res.Error, runtime.StatusSteps)
+			}
+			if res.Steps < 20_000 {
+				t.Errorf("%s: killed after %d steps, before the 20000-step budget", h.Name, res.Steps)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := mgr.Stats().ByStatus[runtime.StatusSteps]; got != int64(len(gen.Hostile())) {
+		t.Errorf("ByStatus[step-budget] = %d, want %d", got, len(gen.Hostile()))
+	}
+}
+
+func TestGovernanceKillMidRun(t *testing.T) {
+	// Kill-mid-generation: hostile sessions admitted with generous limits
+	// are canceled from outside while running. The cancel must land as
+	// StatusCanceled, not hang and not surface as a timeout.
+	mgr := runtime.NewManager(runtime.Config{MaxConcurrent: 4, MaxQueue: 16, QueueWait: 30 * time.Second})
+	hostile := gen.Hostile()
+	var wg sync.WaitGroup
+	results := make([]runtime.Result, len(hostile))
+	ctx, cancel := context.WithCancel(context.Background())
+	for i, h := range hostile {
+		i, h := i, h
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = govRun(t, mgr, ctx, h, runtime.Limits{Timeout: 30 * time.Second, MaxSteps: 1 << 40})
+		}()
+	}
+	// Wait until every hostile session holds an execution slot (they
+	// never finish on their own), then pull the plug on all of them.
+	deadline := time.Now().Add(10 * time.Second)
+	for mgr.Stats().Running < len(hostile) {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d hostile sessions running", mgr.Stats().Running, len(hostile))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	for i, res := range results {
+		if res.Status != runtime.StatusCanceled {
+			t.Errorf("%s: status = %s (%s), want %s", hostile[i].Name, res.Status, res.Error, runtime.StatusCanceled)
+		}
+	}
+	if got := mgr.Stats().ByStatus[runtime.StatusCanceled]; got != int64(len(hostile)) {
+		t.Errorf("ByStatus[canceled] = %d, want %d", got, len(hostile))
+	}
+}
+
+func TestGovernanceEvolvedChurnStaysClean(t *testing.T) {
+	// Evolved programs are terminating by construction: a concurrent
+	// batch through a governed manager must land on ok or a program
+	// error — any timeout, step-budget, or hang here means either the
+	// generator leaked a non-terminating shape or governance misfired.
+	mgr := runtime.NewManager(runtime.Config{MaxConcurrent: 4, MaxQueue: 64, QueueWait: 30 * time.Second})
+	rnd := rand.New(rand.NewSource(31))
+	var genomes []gen.Genome
+	for i := 0; i < 24; i++ {
+		genomes = append(genomes, gen.Random(rnd, 16+rnd.Intn(48)))
+	}
+	var wg sync.WaitGroup
+	for i, g := range genomes {
+		i, g := i, g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := gen.Pinned{Name: g.String(), Script: gen.Script(g)}
+			res := govRun(t, mgr, context.Background(), p, runtime.Limits{Timeout: 20 * time.Second})
+			if res.Status != runtime.StatusOK && res.Status != runtime.StatusError {
+				t.Errorf("genome %d (%s): status = %s (%s), want ok or error", i, g, res.Status, res.Error)
+			}
+		}()
+	}
+	wg.Wait()
+	st := mgr.Stats()
+	if st.Running != 0 || st.Queued != 0 {
+		t.Errorf("manager not idle after churn: running %d, queued %d", st.Running, st.Queued)
+	}
+	var total int64
+	for _, n := range st.ByStatus {
+		total += n
+	}
+	if total != int64(len(genomes)) {
+		t.Errorf("ByStatus total = %d, want %d", total, len(genomes))
+	}
+}

@@ -1,0 +1,76 @@
+package evo
+
+import "repro/internal/evo/gen"
+
+// shrink minimizes a diverging genome by delta debugging over the byte
+// string: repeatedly remove halving-sized chunks, then lower surviving
+// bytes toward zero (small bytes decode to the grammar's cheapest
+// choices at every decision point). The predicate is "any divergence
+// persists" — the shrunk genome's divergence may legitimately differ in
+// detail from the original's, and the caller re-derives the detail
+// afterwards. Progress is measured in decoded blocks, not genome bytes:
+// a byte edit is only kept when the reproducer's script gets no bigger.
+func (e *engine) shrink(g gen.Genome) gen.Genome {
+	best := append(gen.Genome(nil), g...)
+	bestBlocks := gen.CountBlocks(gen.Script(best))
+	budget := e.cfg.ShrinkBudget
+
+	try := func(cand gen.Genome) bool {
+		if budget <= 0 {
+			return false
+		}
+		n := gen.CountBlocks(gen.Script(cand))
+		if len(cand) >= len(best) && n > bestBlocks {
+			return false
+		}
+		budget--
+		if _, bad := e.diverges(cand); bad {
+			best = append(best[:0:0], cand...)
+			bestBlocks = n
+			return true
+		}
+		return false
+	}
+
+	// Removal and byte lowering interact (dropping a span renumbers
+	// every later decision), so run both to a joint fixpoint.
+	for progress := true; progress && budget > 0; {
+		progress = false
+
+		// Chunk removal, halving chunk sizes down to one byte.
+		for chunk := len(best) / 2; chunk >= 1; chunk /= 2 {
+			for pos := 0; pos+chunk <= len(best) && budget > 0; {
+				cand := append(gen.Genome(nil), best[:pos]...)
+				cand = append(cand, best[pos+chunk:]...)
+				if try(cand) {
+					// best shrank in place; retry the same position.
+					progress = true
+					continue
+				}
+				pos += chunk
+			}
+		}
+
+		// Byte lowering: walk every surviving decision down toward its
+		// cheapest decoding without changing the genome's length. The
+		// small non-zero values matter because a divergence shape can
+		// hide behind the grammar's low-numbered cases: zero alone
+		// cannot move an error-shaped reproducer onto the smaller
+		// value-shaped one.
+		for i := 0; i < len(best) && budget > 0; i++ {
+			for _, v := range []byte{0, 1, 2} {
+				if best[i] <= v {
+					break
+				}
+				cand := append(gen.Genome(nil), best...)
+				cand[i] = v
+				if try(cand) {
+					progress = true
+					break
+				}
+			}
+		}
+	}
+
+	return best
+}

@@ -118,9 +118,11 @@ func primRepeat(p *Process, ctx *Context) (value.Value, Control, error) {
 		return nil, Done, nil
 	}
 	ctx.Inputs[0] = value.Num(float64(n - 1)) // the mutated-counter trick Snap! itself uses
-	if !p.Warped() {
-		p.PushYield()
-	}
+	// The yield marker is pushed even inside warp (where the scheduler
+	// ignores it): it also swallows the body script's Nothing result,
+	// which must not land in this context's own inputs. Snap! pushes
+	// doYield unconditionally in its loop primitives for the same reason.
+	p.PushYield()
 	if err := p.PushBody(ctx.Inputs[1]); err != nil {
 		return nil, Done, err
 	}
@@ -128,9 +130,7 @@ func primRepeat(p *Process, ctx *Context) (value.Value, Control, error) {
 }
 
 func primForever(p *Process, ctx *Context) (value.Value, Control, error) {
-	if !p.Warped() {
-		p.PushYield()
-	}
+	p.PushYield() // unconditional: see primRepeat
 	if err := p.PushBody(ctx.Inputs[0]); err != nil {
 		return nil, Done, err
 	}
@@ -147,11 +147,13 @@ func primUntil(p *Process, ctx *Context) (value.Value, Control, error) {
 	}
 	body := ctx.Inputs[1]
 	// Clear the evaluated inputs so the condition is re-evaluated on
-	// re-entry — Snap!'s `this.context.inputs = []` in doUntil.
+	// re-entry — Snap!'s `this.context.inputs = []` in doUntil. The
+	// unconditional yield marker below (see primRepeat) is what keeps the
+	// body's Nothing result from filling the freshly cleared slot: a
+	// warped until would otherwise read the stale pseudo-condition
+	// forever and never terminate.
 	ctx.Inputs = ctx.Inputs[:0]
-	if !p.Warped() {
-		p.PushYield()
-	}
+	p.PushYield()
 	if err := p.PushBody(body); err != nil {
 		return nil, Done, err
 	}
@@ -196,9 +198,7 @@ func primFor(p *Process, ctx *Context) (value.Value, Control, error) {
 	}
 	s.frame.Declare(s.varName, value.Num(s.i))
 	s.i += s.step
-	if !p.Warped() {
-		p.PushYield()
-	}
+	p.PushYield() // unconditional: see primRepeat
 	if err := p.PushBodyInFrame(ctx.Inputs[3], s.frame); err != nil {
 		return nil, Done, err
 	}

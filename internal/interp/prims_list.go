@@ -305,9 +305,7 @@ func primForEach(p *Process, ctx *Context) (value.Value, Control, error) {
 	s.i++
 	iter := NewFrame(ringEnv(body, p))
 	iter.Declare(ctx.Inputs[0].String(), item)
-	if !p.Warped() {
-		p.PushYield()
-	}
+	p.PushYield() // unconditional: see primRepeat in prims_control.go
 	if err := p.PushBodyInFrame(ctx.Inputs[2], iter); err != nil {
 		return nil, Done, err
 	}

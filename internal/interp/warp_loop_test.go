@@ -1,0 +1,73 @@
+package interp_test
+
+import (
+	"testing"
+
+	"repro/internal/blocks"
+	"repro/internal/interp"
+	"repro/internal/parse"
+	"repro/internal/vm"
+)
+
+// Regression: loop primitives used to skip the yield marker inside warp,
+// so the body script's Nothing result was delivered into the loop's own
+// input slot. For doUntil — which clears its inputs so the condition is
+// re-read each iteration — the stale Nothing became a permanently-false
+// condition and a warped until never terminated (found by the evo
+// cross-tier stress engine: the bytecode tier ran the same program
+// correctly). The yield marker is now pushed unconditionally, exactly as
+// Snap! does; while warped the scheduler ignores it, but it still
+// swallows the body's return value.
+func TestWarpedLoopsTerminate(t *testing.T) {
+	// The bug was in the tree walker; pin that engine explicitly.
+	vm.SetEnabled(false)
+	defer vm.SetEnabled(true)
+
+	for _, tc := range []struct {
+		name, src, want string
+	}{
+		{"warp-until", `
+			(declare c)
+			(warp (do (set c 5) (until (< $c 0) (do (change c -1)))))
+			(report $c)`, "-1"},
+		{"warp-repeat", `
+			(declare n)
+			(set n 0)
+			(warp (do (repeat 4 (do (change n 1)))))
+			(report $n)`, "4"},
+		{"warp-for", `
+			(declare n)
+			(set n 0)
+			(warp (do (for i 1 5 (do (change n $i)))))
+			(report $n)`, "15"},
+		{"warp-foreach", `
+			(declare n)
+			(set n 0)
+			(warp (do (foreach x (list 1 2 3) (do (change n $x)))))
+			(report $n)`, "6"},
+		{"nested-warp-until", `
+			(declare a b)
+			(set b 0)
+			(warp (do
+			  (set a 2)
+			  (until (< $a 0) (do
+			    (change a -1)
+			    (warp (do (change b 1)))))))
+			(report $b)`, "3"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := parse.Script(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := interp.NewMachine(blocks.NewProject("warp"), nil)
+			v, err := m.RunScript(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v == nil || v.String() != tc.want {
+				t.Fatalf("got %v, want %s", v, tc.want)
+			}
+		})
+	}
+}

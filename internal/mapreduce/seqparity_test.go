@@ -1,0 +1,149 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// RunSeq documents that its observable behavior is pin-identical to
+// Run(input, m, r, Config{Workers: 1}) for one-pair-per-item mappers.
+// These tests hold it to that: the same keyed kernel is run through both
+// engines and the results — pair-for-pair, error wording included — must
+// match on every edge the evolutionary generator seeds (empty input,
+// single item, single key, multi-key, the smallShuffle boundary) and on
+// the failure modes (mapper/reducer errors and panics).
+
+// seqKernelsFor adapts a one-pair Mapper/Reducer to RunSeq's kernel
+// shapes, mirroring what compile.SeqMapperRing/SeqRing produce.
+func seqKernelsFor(m Mapper, r Reducer) (func(args []value.Value) (string, value.Value, error), func(args []value.Value) (value.Value, error)) {
+	mcall := func(args []value.Value) (string, value.Value, error) {
+		kvs, err := m(args[0])
+		if err != nil {
+			return "", nil, err
+		}
+		return kvs[0].Key, kvs[0].Val, nil
+	}
+	rcall := func(args []value.Value) (value.Value, error) {
+		return r("", args[0].(*value.List))
+	}
+	return mcall, rcall
+}
+
+// assertParity runs both engines over the same input and fails on any
+// observable difference.
+func assertParity(t *testing.T, input *value.List, m Mapper, r Reducer) {
+	t.Helper()
+	mcall, rcall := seqKernelsFor(m, r)
+	seqRes, seqErr := RunSeq(input, mcall, rcall)
+	asyncRes, asyncErr := Run(input, m, r, Config{Workers: 1})
+	if (seqErr == nil) != (asyncErr == nil) {
+		t.Fatalf("error parity: RunSeq err = %v, Run err = %v", seqErr, asyncErr)
+	}
+	if seqErr != nil {
+		if seqErr.Error() != asyncErr.Error() {
+			t.Fatalf("error wording: RunSeq %q, Run %q", seqErr, asyncErr)
+		}
+		return
+	}
+	if len(seqRes) != len(asyncRes) {
+		t.Fatalf("result length: RunSeq %d pairs, Run %d pairs\nseq:   %v\nasync: %v",
+			len(seqRes), len(asyncRes), seqRes.Strings(), asyncRes.Strings())
+	}
+	for i := range seqRes {
+		if got, want := seqRes[i].String(), asyncRes[i].String(); got != want {
+			t.Errorf("pair %d: RunSeq %q, Run %q", i, got, want)
+		}
+	}
+}
+
+func TestRunSeqParityEdges(t *testing.T) {
+	many := make([]string, 0, smallShuffle+8)
+	for i := 0; i < smallShuffle+8; i++ {
+		many = append(many, fmt.Sprintf("w%02d", i%7))
+	}
+	cases := []struct {
+		name  string
+		input *value.List
+		m     Mapper
+		r     Reducer
+	}{
+		// The two edges ISSUE.md pins explicitly: an empty input must
+		// produce an empty (not nil-error) result from both engines, and
+		// a single-key workload must keep its values in emission order.
+		{"empty input", value.NewList(), WordCount, SumReduce},
+		{"empty input identity", value.NewList(), Identity, IdentityReduce},
+		{"single item", value.FromStrings([]string{"only"}), WordCount, SumReduce},
+		{"single key", value.FromFloats([]float64{3, 1, 2}), SingleKey, IdentityReduce},
+		{"single key avg", value.FromFloats([]float64{32, 212, 122}), FahrenheitToCelsius, AvgReduce},
+		{"multi key", fig11Input("the quick brown fox jumps over the lazy dog the end"), WordCount, SumReduce},
+		{"at smallShuffle boundary", value.FromStrings(many[:smallShuffle]), WordCount, SumReduce},
+		{"past smallShuffle boundary", value.FromStrings(many), WordCount, SumReduce},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			assertParity(t, tc.input, tc.m, tc.r)
+		})
+	}
+}
+
+func TestRunSeqParityEmptyShape(t *testing.T) {
+	// Beyond agreeing with Run, the empty-input result must be a usable
+	// empty Result: zero pairs, a zero-length Snap! list, no error.
+	mcall, rcall := seqKernelsFor(WordCount, SumReduce)
+	res, err := RunSeq(value.NewList(), mcall, rcall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("res = %v, want empty", res.Strings())
+	}
+	if l := res.List(); l.Len() != 0 {
+		t.Fatalf("List() = %s, want empty list", l)
+	}
+}
+
+func TestRunSeqParityErrors(t *testing.T) {
+	failMap := func(item value.Value) ([]KVP, error) {
+		if item.String() == "boom" {
+			return nil, fmt.Errorf("no mapping for %s", item)
+		}
+		return WordCount(item)
+	}
+	panicMap := func(item value.Value) ([]KVP, error) {
+		if item.String() == "boom" {
+			panic("mapper exploded")
+		}
+		return WordCount(item)
+	}
+	failReduce := func(key string, vals *value.List) (value.Value, error) {
+		return nil, fmt.Errorf("no reduction")
+	}
+	panicReduce := func(key string, vals *value.List) (value.Value, error) {
+		panic("reducer exploded")
+	}
+	in := value.FromStrings([]string{"ok", "ok", "boom", "ok"})
+	cases := []struct {
+		name string
+		m    Mapper
+		r    Reducer
+		want string
+	}{
+		{"mapper error", failMap, SumReduce, `map item 3: no mapping for boom`},
+		{"mapper panic", panicMap, SumReduce, `map item 3: mapper panic: mapper exploded`},
+		{"reducer error", WordCount, failReduce, `reduce key "boom": no reduction`},
+		{"reducer panic", WordCount, panicReduce, `reduce key "boom": reducer panic: reducer exploded`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			assertParity(t, in, tc.m, tc.r)
+			mcall, rcall := seqKernelsFor(tc.m, tc.r)
+			_, err := RunSeq(in, mcall, rcall)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("RunSeq err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -5,8 +5,17 @@ import "strings"
 // Equal implements Snap!'s "=" block semantics: numeric comparison when both
 // sides coerce to numbers, case-insensitive text comparison otherwise, and
 // structural (deep) comparison for lists. Rings and opaque values compare
-// by identity.
-func Equal(a, b Value) bool {
+// by identity. Self-referential lists compare coinductively: re-entering a
+// pair already under comparison counts as equal, so two structurally
+// identical cycles are equal and the comparison always terminates.
+func Equal(a, b Value) bool { return equalWith(a, b, nil) }
+
+// listPair is one in-flight list comparison, the cycle-detection key.
+type listPair struct{ a, b *List }
+
+// equalWith compares with seen tracking the list pairs on the current
+// comparison branch; it stays nil (no allocation) until lists nest.
+func equalWith(a, b Value, seen map[listPair]bool) bool {
 	if a == nil {
 		a = Nothing{}
 	}
@@ -19,14 +28,30 @@ func Equal(a, b Value) bool {
 		if !aIsList || !bIsList {
 			return false
 		}
+		if la == lb {
+			return true
+		}
 		if la.Len() != lb.Len() {
 			return false
 		}
+		if seen[listPair{la, lb}] {
+			return true
+		}
 		for i := range la.items {
-			if !Equal(la.items[i], lb.items[i]) {
+			ia, ib := la.items[i], lb.items[i]
+			_, aSub := ia.(*List)
+			_, bSub := ib.(*List)
+			if aSub && bSub {
+				if seen == nil {
+					seen = make(map[listPair]bool, 4)
+				}
+				seen[listPair{la, lb}] = true
+			}
+			if !equalWith(ia, ib, seen) {
 				return false
 			}
 		}
+		delete(seen, listPair{la, lb})
 		return true
 	}
 	// Numeric comparison when both sides are numeric (number, bool, or

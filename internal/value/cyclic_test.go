@@ -1,0 +1,80 @@
+package value
+
+import "testing"
+
+// Block programs can legally make a list contain itself (add l to l), so
+// every deep walker over values — rendering, structured clone, equality —
+// must terminate on cycles. These used to blow the stack; the crash was
+// found by the evolutionary stress soak (see docs/TESTING.md).
+
+func selfList() *List {
+	l := NewList(Num(1), Num(2))
+	l.Add(l)
+	return l
+}
+
+func TestCyclicListString(t *testing.T) {
+	if got, want := selfList().String(), "[1 2 [...]]"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	// A cycle deeper than the root: a → b → a.
+	a := NewList(Num(1))
+	b := NewList(a)
+	a.Add(b)
+	if got, want := a.String(), "[1 [[...]]]"; got != want {
+		t.Errorf("nested cycle String() = %q, want %q", got, want)
+	}
+	// Sharing without a cycle is not a back-reference: both occurrences
+	// render in full.
+	x := NewList(Num(7))
+	root := NewList(x, x)
+	if got, want := root.String(), "[[7] [7]]"; got != want {
+		t.Errorf("DAG String() = %q, want %q", got, want)
+	}
+}
+
+func TestCyclicListClone(t *testing.T) {
+	l := selfList()
+	c := l.Clone().(*List)
+	if c == l {
+		t.Fatal("clone is the original")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("clone Len = %d, want 3", c.Len())
+	}
+	// The clone's self-reference points at the clone, not the original.
+	if c.MustItem(3) != Value(c) {
+		t.Errorf("clone's cycle points at %p, want the clone %p", c.MustItem(3), c)
+	}
+	// Aliasing inside a clone is preserved, like a structured clone.
+	x := NewList(Num(7))
+	root := NewList(x, x)
+	cr := root.Clone().(*List)
+	if cr.MustItem(1) != cr.MustItem(2) {
+		t.Error("clone split a shared sublist into two copies")
+	}
+	if cr.MustItem(1) == Value(x) {
+		t.Error("clone shares the original's sublist")
+	}
+}
+
+func TestCyclicListEqual(t *testing.T) {
+	a, b := selfList(), selfList()
+	if !Equal(a, a) {
+		t.Error("a cyclic list must equal itself")
+	}
+	if !Equal(a, b) {
+		t.Error("structurally identical cycles must be equal")
+	}
+	if !Equal(a, a.Clone()) {
+		t.Error("a cyclic list must equal its clone")
+	}
+	c := selfList()
+	c.SetItem(2, Num(9))
+	if Equal(a, c) {
+		t.Error("cycles with different scalar items must differ")
+	}
+	if Equal(a, NewList(Num(1), Num(2), NewList(Num(1)))) {
+		t.Error("a cycle must not equal an acyclic list of the same length")
+	}
+}

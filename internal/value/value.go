@@ -234,9 +234,23 @@ func Range(from, to, step float64) *List {
 func (*List) Kind() Kind { return KindList }
 
 // String renders the list the way a Snap! watcher does: items separated by
-// spaces inside brackets; nested lists nest.
+// spaces inside brackets; nested lists nest. Programs can legally build
+// self-referential lists (add a list to itself), so rendering tracks the
+// lists on the current branch and prints the back-reference as [...]
+// instead of recursing forever.
 func (l *List) String() string {
 	var b strings.Builder
+	l.render(&b, nil)
+	return b.String()
+}
+
+// render writes l to b. path holds the lists currently being rendered on
+// this branch; it stays nil (no allocation) until the first nested list.
+func (l *List) render(b *strings.Builder, path map[*List]bool) {
+	if path[l] {
+		b.WriteString("[...]")
+		return
+	}
 	b.WriteByte('[')
 	for i, it := range l.items {
 		if i > 0 {
@@ -245,20 +259,48 @@ func (l *List) String() string {
 		if it == nil {
 			continue
 		}
+		if sub, ok := it.(*List); ok {
+			if path == nil {
+				path = make(map[*List]bool, 4)
+			}
+			path[l] = true
+			sub.render(b, path)
+			continue
+		}
 		b.WriteString(it.String())
 	}
 	b.WriteByte(']')
-	return b.String()
+	delete(path, l)
 }
 
 // Clone implements Value with a structured clone: a deep copy of the list
 // spine and, recursively, of every mutable item. Immutable scalar items are
 // shared between original and clone (see CloneValue); only containers are
 // copied, which preserves the share-nothing semantics while skipping the
-// re-boxing allocation per scalar element.
-func (l *List) Clone() Value {
+// re-boxing allocation per scalar element. Like the structured clone it is
+// named for, cycles and aliasing among nested lists are preserved: the
+// clone of a list that contains itself contains its own clone.
+func (l *List) Clone() Value { return l.cloneWith(nil) }
+
+// cloneWith maps already-cloned lists to their clones; it stays nil (no
+// allocation) until the first nested list.
+func (l *List) cloneWith(memo map[*List]*List) Value {
+	if c, ok := memo[l]; ok {
+		return c
+	}
 	c := &List{items: make([]Value, len(l.items))}
+	if memo != nil {
+		memo[l] = c
+	}
 	for i, it := range l.items {
+		if sub, ok := it.(*List); ok {
+			if memo == nil {
+				memo = make(map[*List]*List, 4)
+				memo[l] = c
+			}
+			c.items[i] = sub.cloneWith(memo)
+			continue
+		}
 		c.items[i] = CloneValue(it)
 	}
 	return c

@@ -1,72 +1,19 @@
 // Differential harness: every script in the corpus runs once on the
 // tree-walker and once on the bytecode machine, and the two executions must
-// agree on the reported value, the error string (verbatim), and the stage
-// snapshot. This is the contract the lowering pass is held to — identical
-// observable behavior, including failure text.
+// agree on the reported value, the error string (verbatim), the stage
+// snapshot, and the trace log. This is the contract the lowering pass is
+// held to — identical observable behavior, including failure text. The
+// comparison machinery itself lives in internal/evo/oracle, shared with
+// the compile differential test and the evolutionary stress engine.
 package vm_test
 
 import (
-	"strings"
 	"testing"
 
 	"repro/internal/blocks"
 	_ "repro/internal/core" // hof, mapReduce, parallel and stage primitives
-	"repro/internal/interp"
-	"repro/internal/value"
-	"repro/internal/vm"
+	"repro/internal/evo/oracle"
 )
-
-func newMachine() *interp.Machine {
-	return interp.NewMachine(blocks.NewProject("vm-diff"), nil)
-}
-
-// runEngine executes script on a fresh machine with the bytecode machine
-// switched on or off, returning the machine for stage inspection.
-func runEngine(t *testing.T, script *blocks.Script, bytecode bool) (value.Value, error, *interp.Machine) {
-	t.Helper()
-	vm.MemoReset()
-	vm.SetEnabled(bytecode)
-	defer vm.SetEnabled(true)
-	m := newMachine()
-	v, err := m.RunScript(script)
-	return v, err, m
-}
-
-// assertSame runs script under both engines and fails on any observable
-// divergence. Error strings are compared byte-for-byte: the VM must not
-// merely also fail, it must fail with the tree-walker's words.
-func assertSame(t *testing.T, script *blocks.Script) {
-	t.Helper()
-	tv, terr, tm := runEngine(t, script, false)
-	bv, berr, bm := runEngine(t, script, true)
-	ts, bs := errString(terr), errString(berr)
-	if ts != bs {
-		t.Fatalf("error mismatch:\n tree: %s\n   vm: %s", ts, bs)
-	}
-	tstr, bstr := valString(tv), valString(bv)
-	if tstr != bstr {
-		t.Fatalf("value mismatch:\n tree: %s\n   vm: %s", tstr, bstr)
-	}
-	tsnap := strings.Join(tm.Stage.Snapshot(), "\n")
-	bsnap := strings.Join(bm.Stage.Snapshot(), "\n")
-	if tsnap != bsnap {
-		t.Fatalf("stage mismatch:\n tree:\n%s\n vm:\n%s", tsnap, bsnap)
-	}
-}
-
-func errString(err error) string {
-	if err == nil {
-		return "<nil>"
-	}
-	return err.Error()
-}
-
-func valString(v value.Value) string {
-	if v == nil {
-		return "<no value>"
-	}
-	return v.String()
-}
 
 func rep(b *blocks.Block) *blocks.Script {
 	return blocks.NewScript(blocks.Report(b))
@@ -137,6 +84,17 @@ func TestDifferentialCorpus(t *testing.T) {
 			blocks.Until(blocks.LessThan(blocks.Var("n"), blocks.Num(1)),
 				blocks.Body(blocks.ChangeVar("n", blocks.Num(-3)))),
 			blocks.Report(blocks.Var("n")))},
+		{"warp-until", blocks.NewScript(
+			// Regression: a warped until used to hang the tree-walker
+			// (the body's Nothing result landed in the cleared condition
+			// slot) while the vm ran it fine — the first divergence the
+			// evo engine found.
+			blocks.DeclareLocal("n"),
+			blocks.Warp(blocks.Body(
+				blocks.SetVar("n", blocks.Num(5)),
+				blocks.Until(blocks.LessThan(blocks.Var("n"), blocks.Num(0)),
+					blocks.Body(blocks.ChangeVar("n", blocks.Num(-1)))))),
+			blocks.Report(blocks.Var("n")))},
 		{"foreach", blocks.NewScript(
 			blocks.DeclareLocal("s"),
 			blocks.SetVar("s", blocks.Txt("")),
@@ -152,6 +110,15 @@ func TestDifferentialCorpus(t *testing.T) {
 				blocks.Repeat(blocks.Num(100),
 					blocks.Body(blocks.ChangeVar("x", blocks.Num(1)))))),
 			blocks.Report(blocks.Var("x")))},
+		{"self-referential-list", blocks.NewScript(
+			// Regression: a list added to itself used to blow the stack
+			// in value.List.String (unrecoverable, killing the whole
+			// process) — found by the evo engine's make-check soak. The
+			// cycle must render as a [...] back-reference on both tiers.
+			blocks.DeclareLocal("l"),
+			blocks.SetVar("l", blocks.ListOf(blocks.Num(1), blocks.Num(2))),
+			blocks.AddToList(blocks.Var("l"), blocks.Var("l")),
+			blocks.Report(blocks.Var("l")))},
 		{"lists", blocks.NewScript(
 			blocks.DeclareLocal("l"),
 			blocks.SetVar("l", blocks.Numbers(blocks.Num(1), blocks.Num(5))),
@@ -220,7 +187,7 @@ func TestDifferentialCorpus(t *testing.T) {
 			blocks.Report(blocks.Txt("done")))},
 	}
 	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) { assertSame(t, tc.script) })
+		t.Run(tc.name, func(t *testing.T) { oracle.AssertSame(t, tc.script) })
 	}
 }
 
@@ -272,9 +239,9 @@ func TestDifferentialErrors(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			assertSame(t, tc.script)
+			oracle.AssertSame(t, tc.script)
 			// The case exists to pin an error; make sure there is one.
-			if _, err, _ := runEngine(t, tc.script, true); err == nil {
+			if out, _ := oracle.Run(tc.script, true); out.Err == "<nil>" {
 				t.Fatal("expected an error, got none")
 			}
 		})
@@ -291,12 +258,12 @@ func TestDifferentialMapReduceAsyncValue(t *testing.T) {
 			blocks.Modulus(blocks.Empty(), blocks.Num(3)), blocks.Num(1))),
 		blocks.RingOf(blocks.Combine(blocks.Empty(), sumRing())),
 		blocks.Numbers(blocks.Num(1), blocks.Num(300))))
-	v, err, _ := runEngine(t, script, true)
-	if err != nil {
-		t.Fatal(err)
+	out, _ := oracle.Run(script, true)
+	if out.Err != "<nil>" {
+		t.Fatal(out.Err)
 	}
-	if v.String() != "[[0 100] [1 100] [2 100]]" {
-		t.Fatalf("async mapReduce = %s", v)
+	if out.Value != "[[0 100] [1 100] [2 100]]" {
+		t.Fatalf("async mapReduce = %s", out.Value)
 	}
-	assertSame(t, script)
+	oracle.AssertSame(t, script)
 }

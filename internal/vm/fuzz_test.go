@@ -1,181 +1,81 @@
-// FuzzLowerProject: a byte-driven script generator feeds the same random —
-// but deterministic and terminating — program to the tree-walker and the
-// bytecode machine, and the two must agree on value, error string, and
-// stage snapshot. The generator leans on the lowerable statement set plus
-// stage motion (which forces tree splices), so the fuzzer explores the
-// lowering, folding, and fallback seams rather than just arithmetic.
+// FuzzLowerProject: the evo byte-genome generator (internal/evo/gen) feeds
+// the same random — but deterministic and terminating — program to the
+// tree-walker and the bytecode machine, and the two must agree on value,
+// error string, stage snapshot, and trace. The generator leans on the
+// lowerable statement set plus stage motion (which forces tree splices),
+// inlined hofs, and mapReduce, so the fuzzer explores the lowering,
+// folding, and fallback seams rather than just arithmetic.
+//
+// Seeds come from two places: a handful of fixed genomes, and every
+// shrunk reproducer the evolutionary stress engine has ever persisted to
+// internal/evo/corpus — a divergence found once by evolution stays a
+// regression seed for the fuzzer forever.
 package vm_test
 
 import (
-	"strings"
+	"os"
+	"path/filepath"
 	"testing"
 
-	"repro/internal/blocks"
+	"repro/internal/evo/gen"
+	"repro/internal/evo/oracle"
 )
 
-// fuzzGen decodes a byte string into a bounded script. Out-of-data reads
-// return zero, so every input decodes to something; the node budget bounds
-// script size and the loop shapes are all finitely bounded, so every
-// generated program terminates.
-type fuzzGen struct {
-	data  []byte
-	pos   int
-	nodes int
-}
+// corpusDir is where the stress engine persists shrunk divergences,
+// relative to this package directory.
+const corpusDir = "../evo/corpus"
 
-func (g *fuzzGen) next() byte {
-	if g.pos >= len(g.data) {
-		return 0
+// corpusSeeds loads every persisted reproducer genome; a missing corpus
+// directory simply contributes no seeds.
+func corpusSeeds(tb testing.TB) [][]byte {
+	entries, err := os.ReadDir(corpusDir)
+	if os.IsNotExist(err) {
+		return nil
 	}
-	b := g.data[g.pos]
-	g.pos++
-	return b
-}
-
-var fuzzVars = []string{"a", "b", "c"}
-
-func (g *fuzzGen) varName() string { return fuzzVars[int(g.next())%len(fuzzVars)] }
-
-func (g *fuzzGen) expr(depth int) blocks.Node {
-	g.nodes++
-	if depth <= 0 || g.nodes > 64 {
-		switch g.next() % 4 {
-		case 0:
-			return blocks.Num(float64(int8(g.next())))
-		case 1:
-			return blocks.Txt(string(rune('a' + g.next()%5)))
-		case 2:
-			return blocks.Var(g.varName())
-		default:
-			return blocks.BoolLit(g.next()%2 == 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var out [][]byte
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".bytes" {
+			continue
 		}
+		b, err := os.ReadFile(filepath.Join(corpusDir, e.Name()))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out = append(out, b)
 	}
-	switch g.next() % 14 {
-	case 0:
-		return blocks.Sum(g.expr(depth-1), g.expr(depth-1))
-	case 1:
-		return blocks.Difference(g.expr(depth-1), g.expr(depth-1))
-	case 2:
-		return blocks.Product(g.expr(depth-1), g.expr(depth-1))
-	case 3:
-		return blocks.Quotient(g.expr(depth-1), g.expr(depth-1))
-	case 4:
-		return blocks.Modulus(g.expr(depth-1), g.expr(depth-1))
-	case 5:
-		return blocks.LessThan(g.expr(depth-1), g.expr(depth-1))
-	case 6:
-		return blocks.Not(g.expr(depth - 1))
-	case 7:
-		return blocks.Ternary(g.expr(depth-1), g.expr(depth-1), g.expr(depth-1))
-	case 8:
-		return blocks.Join(g.expr(depth-1), g.expr(depth-1))
-	case 9:
-		return blocks.Numbers(blocks.Num(1), blocks.Num(float64(g.next()%6)))
-	case 10:
-		return blocks.LengthOf(g.expr(depth - 1))
-	case 11:
-		return blocks.Map(
-			blocks.RingOf(blocks.Sum(blocks.Empty(), g.expr(depth-1))),
-			blocks.Numbers(blocks.Num(1), blocks.Num(float64(1+g.next()%5))))
-	case 12:
-		return blocks.Combine(
-			blocks.Numbers(blocks.Num(1), blocks.Num(float64(1+g.next()%6))),
-			blocks.RingOf(blocks.Sum(blocks.Empty(), blocks.Empty())))
-	default:
-		return blocks.MapReduce(
-			blocks.RingOf(blocks.ListOf(
-				blocks.Modulus(blocks.Empty(), blocks.Num(float64(2+g.next()%3))),
-				blocks.Num(1))),
-			blocks.RingOf(blocks.LengthOf(blocks.Empty())),
-			blocks.Numbers(blocks.Num(1), blocks.Num(float64(g.next()%8))))
-	}
-}
-
-func (g *fuzzGen) body(n int) blocks.Node {
-	var bs []*blocks.Block
-	for i := 0; i < n; i++ {
-		bs = append(bs, g.stmt())
-	}
-	return blocks.ScriptNode{Script: blocks.NewScript(bs...)}
-}
-
-func (g *fuzzGen) stmt() *blocks.Block {
-	g.nodes++
-	if g.nodes > 64 {
-		return blocks.SetVar(g.varName(), blocks.Num(0))
-	}
-	switch g.next() % 10 {
-	case 0:
-		return blocks.SetVar(g.varName(), g.expr(2))
-	case 1:
-		return blocks.ChangeVar(g.varName(), g.expr(2))
-	case 2:
-		return blocks.If(g.expr(2), g.body(1+int(g.next()%2)))
-	case 3:
-		return blocks.IfElse(g.expr(1), g.body(1), g.body(1))
-	case 4:
-		return blocks.Repeat(blocks.Num(float64(g.next()%4)), g.body(1+int(g.next()%2)))
-	case 5:
-		return blocks.For(g.varName(), blocks.Num(1),
-			blocks.Num(float64(g.next()%5)), g.body(1))
-	case 6:
-		return blocks.ForEach(g.varName(),
-			blocks.Numbers(blocks.Num(1), blocks.Num(float64(g.next()%4))),
-			g.body(1))
-	case 7:
-		return blocks.Warp(g.body(1 + int(g.next()%2)))
-	case 8:
-		// Not lowerable: forces a tree splice in the middle of bytecode.
-		return blocks.Forward(blocks.Num(float64(int8(g.next()))))
-	default:
-		return blocks.TurnRight(blocks.Num(float64(int8(g.next()))))
-	}
-}
-
-// scriptFromBytes decodes data into a script: declared variables, a
-// bounded run of statements, and a final report of one expression.
-func scriptFromBytes(data []byte) *blocks.Script {
-	g := &fuzzGen{data: data}
-	bs := []*blocks.Block{
-		blocks.DeclareLocal(fuzzVars...),
-		blocks.SetVar("a", blocks.Num(1)),
-		blocks.SetVar("b", blocks.Num(2)),
-		blocks.SetVar("c", blocks.Txt("x")),
-	}
-	for n := int(g.next() % 6); n > 0; n-- {
-		bs = append(bs, g.stmt())
-	}
-	bs = append(bs, blocks.Report(g.expr(3)))
-	return blocks.NewScript(bs...)
+	return out
 }
 
 func FuzzLowerProject(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
 	f.Add([]byte("hello fuzzer"))
 	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0xff, 0x00, 0xff, 0x00, 0xff})
-	f.Add([]byte{4, 8, 2, 13, 3, 9, 5, 7, 12, 1, 0, 6, 11, 10, 4, 8})
-	f.Add([]byte{5, 4, 4, 4, 4, 7, 7, 8, 9, 13, 13, 13, 2, 2, 2, 255, 128, 64})
+	for _, g := range gen.Seeds() {
+		f.Add([]byte(g))
+	}
+	for _, b := range corpusSeeds(f) {
+		f.Add(b)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 256 {
 			t.Skip("bounded input")
 		}
-		script := scriptFromBytes(data)
-		tv, terr, tm := runEngine(t, script, false)
-		bv, berr, bm := runEngine(t, script, true)
-		if ts, bs := errString(terr), errString(berr); ts != bs {
-			t.Fatalf("error mismatch on %s:\n tree: %s\n   vm: %s",
-				script.Describe(), ts, bs)
-		}
-		if ts, bs := valString(tv), valString(bv); ts != bs {
-			t.Fatalf("value mismatch on %s:\n tree: %s\n   vm: %s",
-				script.Describe(), ts, bs)
-		}
-		tsnap := strings.Join(tm.Stage.Snapshot(), "\n")
-		bsnap := strings.Join(bm.Stage.Snapshot(), "\n")
-		if tsnap != bsnap {
-			t.Fatalf("stage mismatch on %s:\n tree:\n%s\n vm:\n%s",
-				script.Describe(), tsnap, bsnap)
-		}
+		oracle.AssertSame(t, gen.Script(gen.Genome(data)))
 	})
+}
+
+// TestCorpusReproducers replays every persisted reproducer through the
+// tree/vm oracle as a plain test, independent of the fuzz harness: the
+// corpus is the regression suite the stress engine writes for us, and a
+// failure here names the offending genome directly.
+func TestCorpusReproducers(t *testing.T) {
+	for _, b := range corpusSeeds(t) {
+		b := b
+		t.Run(gen.Genome(b).String(), func(t *testing.T) {
+			oracle.AssertSame(t, gen.Script(gen.Genome(b)))
+		})
+	}
 }

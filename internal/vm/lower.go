@@ -123,6 +123,9 @@ func LowerScript(s *blocks.Script) *Program {
 		}
 	}
 	l.emit(Op{Code: opHalt})
+	if programMutator != nil {
+		programMutator(l.p)
+	}
 	if enabledMetrics() {
 		mLowerings.Inc()
 	}

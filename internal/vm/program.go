@@ -500,6 +500,26 @@ type fnRef struct {
 
 var fnIndex = map[string]fnRef{}
 
+// SwapBinaryOps builds a program mutator that rewrites every lowered
+// binary op implementing selector `from` so it executes `to` instead — a
+// deliberate, surgical VM bug for the stress engine's self-test (install
+// with SetProgramMutator). ok is false when either selector is not a
+// table-driven binary primitive.
+func SwapBinaryOps(from, to string) (func(*Program), bool) {
+	f, okf := fnIndex[from]
+	t, okt := fnIndex[to]
+	if !okf || !okt || f.code != opBinary || t.code != opBinary {
+		return nil, false
+	}
+	return func(p *Program) {
+		for i := range p.Ops {
+			if p.Ops[i].Code == opBinary && p.Ops[i].A == f.idx {
+				p.Ops[i].A = t.idx
+			}
+		}
+	}, true
+}
+
 func init() {
 	reg := func(code Code, arity int, tbl []primEntry) {
 		for i, e := range tbl {

@@ -40,6 +40,19 @@ var lowerCache func(*blocks.Script) *Program
 // SetProgramCache installs the shared lowered-program cache hook.
 func SetProgramCache(f func(*blocks.Script) *Program) { lowerCache = f }
 
+// programMutator, when installed, rewrites every freshly lowered program
+// before it is returned — after constant folding, so the corruption
+// cannot be folded away. It exists for the evolutionary stress engine's
+// self-test: inject a deliberate op-level bug and prove the cross-tier
+// oracle catches and shrinks it. Both caches (the memo here and the
+// progcache script tier) hold pre-mutation programs, so installing or
+// clearing a mutator is only sound after resetting both.
+var programMutator func(*Program)
+
+// SetProgramMutator installs (nil clears) the post-lowering program
+// mutator. Test/stress hook only — never set in production paths.
+func SetProgramMutator(f func(*Program)) { programMutator = f }
+
 func init() {
 	enabled.Store(true)
 	interp.SetSpawnHook(hookSpawn)
@@ -127,6 +140,13 @@ func memoReset() {
 	defer memoMu.Unlock()
 	memo = make(map[memoKey]*Program)
 }
+
+// ResetMemo flushes the in-process lowered-program memo so the next
+// lookup lowers from scratch. Differential harnesses call it between
+// engine flips so a comparison never starts from a stale entry; anyone
+// installing a program mutator must also reset the progcache script tier,
+// which holds programs the memo does not.
+func ResetMemo() { memoReset() }
 
 // Structural hashing. The encoder flattens the AST into one byte buffer
 // (stack-backed for realistic script sizes) and hashes it twice; tag
