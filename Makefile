@@ -33,7 +33,7 @@ check:
 		./internal/interp/... ./internal/compile/... ./internal/core/... \
 		./internal/vm/... ./internal/progcache/... ./internal/runtime/... \
 		./internal/server/... ./internal/obs/... ./internal/shard/... \
-		./internal/evo/...
+		./internal/evo/... ./internal/value/... ./internal/ingest/...
 	$(GO) test -run '^$$' -fuzz FuzzCompileRing -fuzztime 5s ./internal/compile/
 	$(GO) test -run '^$$' -fuzz FuzzLowerProject -fuzztime 5s ./internal/vm/
 	$(MAKE) stress
@@ -78,18 +78,18 @@ bench:
 	( $(GO) test -bench 'BenchmarkE[0-9]' -benchmem -run '^$$' . && \
 	  $(GO) test -bench 'BenchmarkE[0-9]' -benchmem -run '^$$' . && \
 	  $(GO) test -bench 'BenchmarkE[0-9]' -benchmem -run '^$$' . ) \
-		| $(GO) run ./cmd/benchjson > BENCH_PR8.json
+		| $(GO) run ./cmd/benchjson > BENCH_PR10.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-diff compares the current benchmark record against the previous
 # PR's committed baseline and fails on any >20% ns/op or allocs/op
-# regression — for this PR, the proof that the bytecode machine's wins on
-# the hot script paths (E1 sequential map, E5 word count) cost the
-# engine-bound and parallel paths nothing.
+# regression — for this PR, the proof that the columnar-list wins on the
+# data-bound paths (E6 climate) cost the script-bound and parallel paths
+# nothing.
 bench-diff:
-	$(GO) run ./cmd/benchjson -baseline BENCH_PR7.json -current BENCH_PR8.json
+	$(GO) run ./cmd/benchjson -baseline BENCH_PR8.json -current BENCH_PR10.json
 
 # Regenerate every paper figure/listing/result as text.
 repro:

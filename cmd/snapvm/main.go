@@ -19,9 +19,11 @@ import (
 
 	"repro/internal/blocks"
 	"repro/internal/demos"
+	"repro/internal/ingest"
 	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/parse"
+	"repro/internal/value"
 	"repro/internal/vclock"
 	"repro/internal/xmlio"
 )
@@ -36,6 +38,16 @@ func main() {
 	traceBlocks := flag.Bool("traceblocks", false, "print every block application (watch the blocks run)")
 	view := flag.Bool("view", false, "draw the final stage as ASCII art")
 	stats := flag.Bool("stats", false, "collect engine metrics during the run and print a report after")
+	var dataSpecs []string
+	flag.Func("data", "load a data file into a global list before the run (repeatable): "+
+		"VAR=FILE reads lines, VAR=FILE:COL streams a CSV column (header name or 1-based index)",
+		func(s string) error {
+			if !strings.Contains(s, "=") {
+				return fmt.Errorf("want VAR=FILE or VAR=FILE:COL, got %q", s)
+			}
+			dataSpecs = append(dataSpecs, s)
+			return nil
+		})
 	flag.Parse()
 
 	if *stats {
@@ -44,6 +56,10 @@ func main() {
 
 	project, err := loadProject(*demo, flag.Arg(0))
 	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := loadData(project, dataSpecs); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -115,6 +131,44 @@ func runGoverned(m *interp.Machine, rounds int, maxSteps int64, timeout time.Dur
 		defer cancel()
 	}
 	return m.RunContext(ctx, interp.RunLimits{MaxRounds: rounds, MaxSteps: maxSteps})
+}
+
+// loadData streams each -data VAR=FILE[:COL] spec into a columnar global
+// list: plain files become one text item per line, FILE:COL streams one
+// CSV column (numeric when every cell parses as a number). The lists go in
+// before the green flag, so scripts read them like any other global.
+func loadData(project *blocks.Project, specs []string) error {
+	for _, spec := range specs {
+		name, target, _ := strings.Cut(spec, "=")
+		if name == "" || target == "" {
+			return fmt.Errorf("-data %q: want VAR=FILE or VAR=FILE:COL", spec)
+		}
+		file, col := target, ""
+		if i := strings.LastIndexByte(target, ':'); i > 0 {
+			file, col = target[:i], target[i+1:]
+		}
+		f, err := os.Open(file)
+		if err != nil {
+			return fmt.Errorf("-data %s: %w", name, err)
+		}
+		var list *value.List
+		if col != "" {
+			list, err = ingest.CSVColumn(f, col)
+		} else {
+			list, err = ingest.Lines(f)
+		}
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("-data %s: %s: %w", name, file, err)
+		}
+		project.Globals[name] = list
+		kind := "text"
+		if _, ok := list.FloatsView(); ok {
+			kind = "numeric"
+		}
+		fmt.Printf("data %q: %d %s item(s) from %s\n", name, list.Len(), kind, file)
+	}
+	return nil
 }
 
 func loadProject(demo, path string) (*blocks.Project, error) {

@@ -787,7 +787,7 @@ func compNumbers(op string, ins []expr) expr {
 		if from > to {
 			step = -1
 		}
-		if err := checkListLen(int(math.Abs(float64(to-from))) + 1); err != nil {
+		if err := interp.CheckNumbersBounds(float64(from), float64(to)); err != nil {
 			return nil, wrapOp(op, err)
 		}
 		return value.Range(float64(from), float64(to), step), nil
@@ -887,11 +887,11 @@ func compileCombine(b *blocks.Block, sc *scope) (expr, bool) {
 		if !ok {
 			return nil, wrapOp("reportCombine", fmt.Errorf("expecting a list but getting a %s", lv.Kind()))
 		}
-		items := l.Items()
-		if len(items) == 0 {
+		n, it := columnIter(l)
+		if n == 0 {
 			return value.Number(0), nil
 		}
-		acc := nonNil(items[0])
+		acc := it.at(0)
 		// One allocation for the fold's scope and its two-argument buffer:
 		// both escape through the indirect body call, so fusing them halves
 		// the per-fold allocation count.
@@ -900,8 +900,8 @@ func compileCombine(b *blocks.Block, sc *scope) (expr, bool) {
 			argbuf [2]value.Value
 		}{env: env{parent: e}}
 		ienv.args = ienv.argbuf[:]
-		for _, item := range items[1:] {
-			ienv.argbuf[0], ienv.argbuf[1] = acc, nonNil(item)
+		for i := 1; i < n; i++ {
+			ienv.argbuf[0], ienv.argbuf[1] = acc, it.at(i)
 			v, err := body(&ienv.env)
 			if err != nil {
 				return nil, err
@@ -910,6 +910,41 @@ func compileCombine(b *blocks.Block, sc *scope) (expr, bool) {
 		}
 		return acc, nil
 	}, true
+}
+
+// colIter is an indexed accessor over a list's backing that iterates a
+// raw column directly — boxing each element through the interner, with no
+// materialized []Value view — falling back to the boxed backing
+// otherwise. It is a plain value (no closures), so taking one allocates
+// nothing; that matters because the fold and map kernels run once per
+// reduce key or call site on hot paths. Compiled kernels refuse script
+// bodies, so a ring body cannot mutate l mid-iteration and the snapshot
+// the iterator holds stays valid.
+type colIter struct {
+	nums  []float64
+	strs  []string
+	items []value.Value
+}
+
+func columnIter(l *value.List) (int, colIter) {
+	if xs, ok := l.FloatsView(); ok {
+		return len(xs), colIter{nums: xs}
+	}
+	if ss, ok := l.StringsView(); ok {
+		return len(ss), colIter{strs: ss}
+	}
+	items := l.Items()
+	return len(items), colIter{items: items}
+}
+
+func (it colIter) at(i int) value.Value {
+	if it.nums != nil {
+		return value.Num(it.nums[i])
+	}
+	if it.strs != nil {
+		return value.Str(it.strs[i])
+	}
+	return nonNil(it.items[i])
 }
 
 // compileMapKeep lowers "map _ over _" / "keep items _ from _". Inputs:
@@ -939,17 +974,17 @@ func compileMapKeep(b *blocks.Block, sc *scope) (expr, bool) {
 		if !ok {
 			return nil, wrapOp(op, fmt.Errorf("expecting a list but getting a %s", lv.Kind()))
 		}
-		items := l.Items()
-		var out *value.List
+		n, it := columnIter(l)
+		var outItems []value.Value
 		if keep {
-			out = value.NewList()
+			outItems = make([]value.Value, 0)
 		} else {
-			out = value.NewListCap(len(items))
+			outItems = make([]value.Value, 0, n)
 		}
 		ienv := &env{parent: e}
 		var argbuf [1]value.Value
-		for _, item := range items {
-			item = nonNil(item)
+		for i := 0; i < n; i++ {
+			item := it.at(i)
 			argbuf[0] = item
 			ienv.args = argbuf[:]
 			v, err := body(ienv)
@@ -962,13 +997,15 @@ func compileMapKeep(b *blocks.Block, sc *scope) (expr, bool) {
 					return nil, wrapOp(op, err)
 				}
 				if kb {
-					out.Add(item)
+					outItems = append(outItems, item)
 				}
 			} else {
-				out.Add(v)
+				outItems = append(outItems, v)
 			}
 		}
-		return out, nil
+		// AdoptSlice re-columnarizes a long homogeneous result, so chained
+		// maps keep the struct-of-arrays backing end to end.
+		return value.AdoptSlice(outItems), nil
 	}, true
 }
 

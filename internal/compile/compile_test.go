@@ -118,6 +118,16 @@ func TestCompiledErrorsMatchInterpreterWording(t *testing.T) {
 			"reportNot:"},
 		{"negative sqrt", ship(blocks.Monadic("sqrt", blocks.Num(-1))), nil,
 			"reportMonadic: square root of a negative number"},
+		{"numbers to Infinity", // the OOM regression, compiled tier
+			ship(blocks.Reporter(blocks.Numbers(blocks.Num(1), blocks.Txt("Infinity")))), nil,
+			`reportNumbers: expecting a number but getting text "Infinity"`},
+		{"numbers overflow bound",
+			ship(blocks.Reporter(blocks.Numbers(blocks.Num(1),
+				blocks.Reporter(blocks.Product(blocks.Num(1e308), blocks.Num(10)))))), nil,
+			"reportNumbers: numbers from 1 to +Inf: bounds must be finite"},
+		{"numbers huge span",
+			ship(blocks.Reporter(blocks.Numbers(blocks.Num(1), blocks.Num(1e18)))), nil,
+			"list of 1e+18 elements exceeds the engine limit of 2147483648"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -58,6 +58,40 @@ func PinnedScripts() []Pinned {
 			blocks.RingOf(blocks.ListOf(blocks.Empty(), blocks.Num(1))),
 			sumReduceRing(),
 			blocks.Split(blocks.Txt(""), blocks.Txt(" "))))},
+		// Columnar-list edges (PR 10): numbers-from and split now build
+		// column-backed lists, and a non-conforming mutation upgrades them
+		// to boxed mid-script. Pin both the upgrade and the
+		// mutate-during-iteration shape so every soak covers them.
+		{"columnar-upgrade-mutation", blocks.NewScript(
+			blocks.DeclareLocal("l"),
+			blocks.SetVar("l", blocks.Numbers(blocks.Num(1), blocks.Num(40))),
+			blocks.ReplaceInList(blocks.Num(7), blocks.Var("l"), blocks.Txt("seven")),
+			blocks.AddToList(blocks.Num(41), blocks.Var("l")),
+			blocks.InsertInList(blocks.Txt("head"), blocks.Num(1), blocks.Var("l")),
+			blocks.DeleteFromList(blocks.Num(2), blocks.Var("l")),
+			blocks.Report(blocks.Join(
+				blocks.LengthOf(blocks.Var("l")),
+				blocks.ItemOf(blocks.Num(7), blocks.Var("l")),
+				blocks.ListContains(blocks.Var("l"), blocks.Txt("seven")))))},
+		{"columnar-mutate-mid-iteration", blocks.NewScript(
+			blocks.DeclareLocal("l"),
+			blocks.DeclareLocal("s"),
+			blocks.SetVar("l", blocks.Numbers(blocks.Num(1), blocks.Num(5))),
+			blocks.SetVar("s", blocks.Txt("")),
+			blocks.ForEach("x", blocks.Var("l"), blocks.Body(
+				blocks.If(blocks.Equals(blocks.Var("x"), blocks.Num(2)),
+					blocks.Body(blocks.ReplaceInList(
+						blocks.Num(4), blocks.Var("l"), blocks.Txt("four")))),
+				blocks.SetVar("s", blocks.Join(
+					blocks.Var("s"), blocks.Var("x"), blocks.Txt("."))))),
+			blocks.Report(blocks.Var("s")))},
+		{"columnar-hof-chain", rep(blocks.Combine(
+			blocks.Reporter(blocks.Keep(
+				blocks.RingOf(blocks.GreaterThan(blocks.Empty(), blocks.Num(10))),
+				blocks.Reporter(blocks.Map(
+					blocks.RingOf(blocks.Product(blocks.Empty(), blocks.Empty())),
+					blocks.Numbers(blocks.Num(1), blocks.Num(40)))))),
+			sumRing()))},
 	}
 }
 

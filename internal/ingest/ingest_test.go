@@ -1,0 +1,94 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLines(t *testing.T) {
+	l, err := Lines(strings.NewReader("alpha\nbeta\n\ngamma"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Columnar() || l.Len() != 4 {
+		t.Fatalf("columnar=%v len=%d", l.Columnar(), l.Len())
+	}
+	ss, ok := l.StringsView()
+	if !ok || ss[0] != "alpha" || ss[2] != "" || ss[3] != "gamma" {
+		t.Fatalf("StringsView = %v, %v", ss, ok)
+	}
+	empty, err := Lines(strings.NewReader(""))
+	if err != nil || empty.Len() != 0 || !empty.Columnar() {
+		t.Fatalf("empty input: %v len=%d columnar=%v", err, empty.Len(), empty.Columnar())
+	}
+}
+
+func TestFloats(t *testing.T) {
+	l, err := Floats(strings.NewReader("1\n2.5\n\n-3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ok := l.FloatsView()
+	if !ok || len(xs) != 3 || xs[1] != 2.5 || xs[2] != -3 {
+		t.Fatalf("FloatsView = %v, %v", xs, ok)
+	}
+	_, err = Floats(strings.NewReader("1\nInfinity\n"))
+	want := `line 2: expecting a number but getting text "Infinity"`
+	if err == nil || err.Error() != want {
+		t.Fatalf("error = %v, want %q", err, want)
+	}
+}
+
+const tempsCSV = `station,year,day,temp_f
+USW1,1990,1,55.50
+USW1,1990,2,54.25
+USW2,1990,1,60.00
+`
+
+func TestCSVColumnNumeric(t *testing.T) {
+	l, err := CSVColumn(strings.NewReader(tempsCSV), "temp_f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ok := l.FloatsView()
+	if !ok || len(xs) != 3 || xs[0] != 55.5 || xs[2] != 60 {
+		t.Fatalf("FloatsView = %v, %v", xs, ok)
+	}
+}
+
+func TestCSVColumnText(t *testing.T) {
+	l, err := CSVColumn(strings.NewReader(tempsCSV), "station")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, ok := l.StringsView()
+	if !ok || len(ss) != 3 || ss[0] != "USW1" || ss[2] != "USW2" {
+		t.Fatalf("StringsView = %v, %v", ss, ok)
+	}
+}
+
+func TestCSVColumnByIndex(t *testing.T) {
+	l, err := CSVColumn(strings.NewReader(tempsCSV), "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.FloatsView(); !ok || l.Len() != 3 {
+		t.Fatalf("column by index: columnar=%v len=%d", ok, l.Len())
+	}
+}
+
+func TestCSVColumnErrors(t *testing.T) {
+	_, err := CSVColumn(strings.NewReader(tempsCSV), "nope")
+	if err == nil || !strings.Contains(err.Error(), `CSV has no column "nope"`) {
+		t.Fatalf("missing column error = %v", err)
+	}
+	_, err = CSVColumn(strings.NewReader("a,b\n1,2\n3\n"), "b")
+	want := "line 3: no column 2 in 1-field record"
+	if err == nil || err.Error() != want {
+		t.Fatalf("ragged record error = %v, want %q", err, want)
+	}
+	_, err = CSVColumn(strings.NewReader(""), "x")
+	if err == nil || !strings.Contains(err.Error(), "read CSV header") {
+		t.Fatalf("empty file error = %v", err)
+	}
+}

@@ -2,7 +2,10 @@ package interp
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
+
+	"repro/internal/value"
 )
 
 // Value-size governance for hosted execution. A beginner's project handed
@@ -37,6 +40,35 @@ func checkListLen(n int) error {
 		return fmt.Errorf("list of %d elements exceeds the service cap of %d", n, cap)
 	}
 	return nil
+}
+
+// maxNumbersSpan is the hard ceiling on the length of a "numbers from _
+// to _" result, enforced even when no service cap is installed. It exists
+// because the length guard must run before any allocation: a span that
+// does not fit in an int (for example `numbers from 1 to 1e18`) used to be
+// truncated by the int conversion, sail past the cap check, and allocate
+// until the process died.
+const maxNumbersSpan = 1 << 31
+
+// CheckNumbersBounds validates the operands of "numbers from _ to _"
+// before any list is built, in float space so no overflow can hide a bad
+// bound. Every tier (tree walker, bytecode VM, compiled kernels) calls it
+// so the error wording is identical everywhere. Non-finite bounds — which
+// value.ToNumber can no longer produce from text, but arithmetic like 1/0
+// still can — are rejected outright; finite spans are checked against the
+// engine ceiling and then the installed service cap.
+func CheckNumbersBounds(from, to float64) error {
+	if math.IsInf(from, 0) || math.IsNaN(from) ||
+		math.IsInf(to, 0) || math.IsNaN(to) {
+		return fmt.Errorf("numbers from %s to %s: bounds must be finite",
+			value.Number(from), value.Number(to))
+	}
+	span := math.Abs(to-from) + 1
+	if span > maxNumbersSpan {
+		return fmt.Errorf("list of %s elements exceeds the engine limit of %d",
+			value.Number(span), int64(maxNumbersSpan))
+	}
+	return checkListLen(int(span))
 }
 
 // checkTextLen admits a text about to reach n bytes.

@@ -1,0 +1,116 @@
+package interp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/blocks"
+	"repro/internal/value"
+)
+
+// TestNumbersRejectsNonNumericText is the regression test for the OOM bug:
+// `numbers from 1 to "Infinity"` used to parse "Infinity" to +Inf, convert
+// the span to a negative int that sailed past the length cap, and allocate
+// until the process died. ToNumber now rejects the non-finite spellings, so
+// the block errors out before any allocation on every tier.
+func TestNumbersRejectsNonNumericText(t *testing.T) {
+	cases := []struct {
+		name string
+		b    *blocks.Block
+		want string
+	}{
+		{"infinity", blocks.Numbers(blocks.Num(1), blocks.Txt("Infinity")),
+			`reportNumbers: expecting a number but getting text "Infinity"`},
+		{"neg-infinity", blocks.Numbers(blocks.Txt("-Infinity"), blocks.Num(1)),
+			`reportNumbers: expecting a number but getting text "-Infinity"`},
+		{"inf", blocks.Numbers(blocks.Num(1), blocks.Txt("inf")),
+			`reportNumbers: expecting a number but getting text "inf"`},
+		{"nan", blocks.Numbers(blocks.Num(1), blocks.Txt("NaN")),
+			`reportNumbers: expecting a number but getting text "NaN"`},
+		{"hex-float", blocks.Numbers(blocks.Num(1), blocks.Txt("0x1p30")),
+			`reportNumbers: expecting a number but getting text "0x1p30"`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := newTestMachine()
+			_, err := m.EvalReporter(c.b)
+			if err == nil {
+				t.Fatalf("%s should error", c.b.Describe())
+			}
+			if got := err.Error(); got != c.want {
+				t.Fatalf("error = %q, want %q", got, c.want)
+			}
+		})
+	}
+}
+
+// TestNumbersRejectsNonFiniteBounds covers the second hole: arithmetic can
+// still produce a non-finite bound (1e308 * 10) even though text cannot.
+func TestNumbersRejectsNonFiniteBounds(t *testing.T) {
+	m := newTestMachine()
+	b := blocks.Numbers(blocks.Num(1), blocks.Product(blocks.Num(1e308), blocks.Num(10)))
+	_, err := m.EvalReporter(b)
+	want := "reportNumbers: numbers from 1 to +Inf: bounds must be finite"
+	if err == nil || err.Error() != want {
+		t.Fatalf("error = %v, want %q", err, want)
+	}
+}
+
+func TestCheckNumbersBounds(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name     string
+		from, to float64
+		want     string // "" = ok
+	}{
+		{"ok", 1, 100, ""},
+		{"ok-descending", 100, 1, ""},
+		{"inf-to", 1, inf, "numbers from 1 to +Inf: bounds must be finite"},
+		{"neg-inf-from", -inf, 1, "numbers from -Inf to 1: bounds must be finite"},
+		{"nan-from", math.NaN(), 1, "numbers from NaN to 1: bounds must be finite"},
+		{"huge-span", 1, 1e18, "list of 1e+18 elements exceeds the engine limit of 2147483648"},
+		{"at-engine-limit", 1, float64(maxNumbersSpan) + 2,
+			"list of 2147483650 elements exceeds the engine limit of 2147483648"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := CheckNumbersBounds(c.from, c.to)
+			switch {
+			case c.want == "" && err != nil:
+				t.Fatalf("unexpected error: %v", err)
+			case c.want != "" && (err == nil || err.Error() != c.want):
+				t.Fatalf("error = %v, want %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestCheckNumbersBoundsServiceCap(t *testing.T) {
+	SetValueCaps(1000, 0)
+	defer SetValueCaps(0, 0)
+	err := CheckNumbersBounds(1, 5000)
+	want := "list of 5000 elements exceeds the service cap of 1000"
+	if err == nil || err.Error() != want {
+		t.Fatalf("error = %v, want %q", err, want)
+	}
+	if err := CheckNumbersBounds(1, 1000); err != nil {
+		t.Fatalf("in-cap span rejected: %v", err)
+	}
+}
+
+// TestNumbersProducesColumnarList pins the tentpole behavior: the numbers
+// reporter builds a columnar list, visible through the raw float view.
+func TestNumbersProducesColumnarList(t *testing.T) {
+	v := evalR(t, blocks.Numbers(blocks.Num(1), blocks.Num(100)))
+	l, ok := v.(*value.List)
+	if !ok {
+		t.Fatalf("numbers returned %T", v)
+	}
+	if !l.Columnar() || l.Len() != 100 {
+		t.Fatalf("columnar=%v len=%d", l.Columnar(), l.Len())
+	}
+	xs, ok := l.FloatsView()
+	if !ok || xs[0] != 1 || xs[99] != 100 {
+		t.Fatalf("FloatsView = %v, %v", xs[:2], ok)
+	}
+}

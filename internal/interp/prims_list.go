@@ -3,7 +3,6 @@ package interp
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"repro/internal/blocks"
 	"repro/internal/value"
@@ -46,7 +45,7 @@ func primNumbers(p *Process, ctx *Context) (value.Value, Control, error) {
 	if from > to {
 		step = -1
 	}
-	if err := checkListLen(int(math.Abs(float64(to-from))) + 1); err != nil {
+	if err := CheckNumbersBounds(float64(from), float64(to)); err != nil {
 		return nil, Done, err
 	}
 	return value.Range(float64(from), float64(to), step), Done, nil

@@ -1,0 +1,357 @@
+package mapreduce
+
+// Columnar fast path: when the input list carries a raw []float64 or
+// []string column (see value.List) and both kernels have registered
+// column-native variants, the whole pipeline runs over flat arrays — no
+// per-item boxing, no per-pair KVP slices, no per-group value lists. The
+// observable contract (key order, error wording, panic containment,
+// telemetry shape) is pin-identical to the generic Run; the registry is
+// the assertion that a column kernel computes exactly what its boxed
+// counterpart computes, which holds for every stock mapper/reducer
+// registered below.
+
+import (
+	"fmt"
+	"reflect"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/value"
+	"repro/internal/workers"
+)
+
+// FloatMapper is the columnar form of a one-in-one-out Mapper over a
+// numeric column: it maps one float to one (key, value) pair.
+type FloatMapper func(x float64) (key string, val float64, err error)
+
+// StringMapper is the columnar form of a one-in-one-out Mapper over a text
+// column, for mappers whose emitted values are numeric (word→1 counting,
+// parse-and-convert pipelines).
+type StringMapper func(s string) (key string, val float64, err error)
+
+// FloatReducer is the columnar form of a Reducer whose group values are
+// all numeric. vals is a read-only view carved from one backing array.
+type FloatReducer func(key string, vals []float64) (value.Value, error)
+
+var (
+	floatMappers  = map[uintptr]FloatMapper{}
+	stringMappers = map[uintptr]StringMapper{}
+	floatReducers = map[uintptr]FloatReducer{}
+)
+
+// fnPtr keys the registries by code pointer, which is unique per top-level
+// function — the shape every stock kernel has. Closures from one factory
+// share a code pointer, so they must not be registered.
+func fnPtr(fn any) uintptr { return reflect.ValueOf(fn).Pointer() }
+
+// RegisterFloatMapper declares fm as the columnar equivalent of m. The
+// caller asserts exact behavioral equivalence (keys, values, errors).
+// Registration is init-time only; the registries are read concurrently
+// without locking afterwards.
+func RegisterFloatMapper(m Mapper, fm FloatMapper) { floatMappers[fnPtr(m)] = fm }
+
+// RegisterStringMapper declares sm as the columnar equivalent of m over
+// text columns, under the same equivalence contract.
+func RegisterStringMapper(m Mapper, sm StringMapper) { stringMappers[fnPtr(m)] = sm }
+
+// RegisterFloatReducer declares fr as the columnar equivalent of r, under
+// the same equivalence contract.
+func RegisterFloatReducer(r Reducer, fr FloatReducer) { floatReducers[fnPtr(r)] = fr }
+
+func init() {
+	RegisterFloatMapper(Identity, func(x float64) (string, float64, error) {
+		return value.Number(x).String(), x, nil
+	})
+	RegisterFloatMapper(SingleKey, func(x float64) (string, float64, error) {
+		return "", x, nil
+	})
+	RegisterFloatMapper(WordCount, func(x float64) (string, float64, error) {
+		return value.Number(x).String(), 1, nil
+	})
+	RegisterFloatMapper(FahrenheitToCelsius, func(x float64) (string, float64, error) {
+		return "", (5 * (x - 32)) / 9, nil
+	})
+	RegisterStringMapper(WordCount, func(s string) (string, float64, error) {
+		return s, 1, nil
+	})
+	RegisterStringMapper(FahrenheitToCelsius, func(s string) (string, float64, error) {
+		n, err := value.ParseNumber(s)
+		if err != nil {
+			return "", 0, err
+		}
+		return "", (5 * (float64(n) - 32)) / 9, nil
+	})
+	RegisterFloatReducer(SumReduce, func(key string, vals []float64) (value.Value, error) {
+		// Accumulate in emission order, exactly as the boxed SumReduce
+		// folds value.Number addition.
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		return value.Number(sum), nil
+	})
+	RegisterFloatReducer(CountReduce, func(key string, vals []float64) (value.Value, error) {
+		return value.NumInt(len(vals)), nil
+	})
+	RegisterFloatReducer(AvgReduce, func(key string, vals []float64) (value.Value, error) {
+		if len(vals) == 0 {
+			return value.Number(0), nil
+		}
+		if len(vals) > 4096 {
+			var sum float64
+			for _, f := range vals {
+				sum += f
+			}
+			return value.Number(sum / float64(len(vals))), nil
+		}
+		return value.Number(recAvg(vals)), nil
+	})
+	RegisterFloatReducer(IdentityReduce, func(key string, vals []float64) (value.Value, error) {
+		if len(vals) == 1 {
+			return value.Num(vals[0]), nil
+		}
+		return value.FromFloats(vals), nil
+	})
+}
+
+// columnRun is a planned columnar pipeline: a mapper over column index
+// plus a column reducer.
+type columnRun struct {
+	n    int
+	mapf func(i int) (string, float64, error)
+	fr   FloatReducer
+}
+
+// planColumnRun reports whether input, m, and r can run the columnar
+// pipeline: the input must carry a column and both kernels must have
+// registered column variants for that column's type.
+func planColumnRun(input *value.List, m Mapper, r Reducer) (columnRun, bool) {
+	fr, ok := floatReducers[fnPtr(r)]
+	if !ok {
+		return columnRun{}, false
+	}
+	if xs, isNum := input.FloatsView(); isNum {
+		fm, ok := floatMappers[fnPtr(m)]
+		if !ok {
+			return columnRun{}, false
+		}
+		return columnRun{
+			n:    len(xs),
+			mapf: func(i int) (string, float64, error) { return fm(xs[i]) },
+			fr:   fr,
+		}, true
+	}
+	if ss, isStr := input.StringsView(); isStr {
+		sm, ok := stringMappers[fnPtr(m)]
+		if !ok {
+			return columnRun{}, false
+		}
+		return columnRun{
+			n:    len(ss),
+			mapf: func(i int) (string, float64, error) { return sm(ss[i]) },
+			fr:   fr,
+		}, true
+	}
+	return columnRun{}, false
+}
+
+// colGroup is one shuffle bucket of the columnar pipeline; its values live
+// in a shared backing array at [off, off+n).
+type colGroup struct {
+	key          string
+	n, off, fill int
+}
+
+// run executes the columnar pipeline with the same phase structure,
+// telemetry, and error discipline as the generic Run.
+func (c columnRun) run(w int, cfg Config) (Result, error) {
+	tracing := obs.Enabled()
+	var tStart, tMapDone, tShuffleDone time.Time
+	if tracing {
+		obs.MRRuns.Inc()
+		tStart = time.Now()
+	}
+	keys := make([]string, c.n)
+	vals := make([]float64, c.n)
+	if err := c.mapColumn(w, keys, vals); err != nil {
+		return nil, err
+	}
+	if tracing {
+		tMapDone = time.Now()
+		obs.MRPhaseSeconds.With("map").Observe(tMapDone.Sub(tStart).Seconds())
+	}
+	groups, backing := shuffleColumns(keys, vals)
+	if tracing {
+		tShuffleDone = time.Now()
+		obs.MRPhaseSeconds.With("shuffle").Observe(tShuffleDone.Sub(tMapDone).Seconds())
+		if len(groups) > 0 && c.n > 0 {
+			maxLen := 0
+			for _, g := range groups {
+				if g.n > maxLen {
+					maxLen = g.n
+				}
+			}
+			obs.MRBucketSkew.Observe(float64(maxLen) * float64(len(groups)) / float64(c.n))
+		}
+	}
+	out := make(Result, len(groups))
+	err := runPhase(len(groups), w, func(i int) error {
+		g := groups[i]
+		v, rerr := safeColReduce(c.fr, g.key, backing[g.off:g.off+g.n:g.off+g.n])
+		if rerr != nil {
+			return fmt.Errorf("reduce key %q: %w", g.key, rerr)
+		}
+		if v == nil {
+			v = value.TheNothing
+		}
+		out[i] = KVP{Key: g.key, Val: value.CloneValue(v)}
+		return nil
+	})
+	if err != nil {
+		out = nil
+	}
+	if tracing {
+		end := time.Now()
+		obs.MRPhaseSeconds.With("reduce").Observe(end.Sub(tShuffleDone).Seconds())
+		status := "ok"
+		if err != nil {
+			status = "error"
+		}
+		obs.RecordSpan(obs.Span{
+			ID:    cfg.Label,
+			Kind:  "mapReduce",
+			Start: tStart,
+			Dur:   end.Sub(tStart),
+			Attrs: []obs.Attr{
+				obs.AttrInt("items", int64(c.n)),
+				obs.AttrInt("pairs", int64(c.n)),
+				obs.AttrInt("keys", int64(len(groups))),
+				obs.AttrInt("workers", int64(w)),
+				{Key: "status", Val: status},
+			},
+		})
+	}
+	return out, err
+}
+
+// mapColumn fills keys[i], vals[i] = mapf(i) across w executors, chunked
+// like runPhase. Panic containment is per chunk (one deferred recover per
+// claim instead of per item), with the in-flight index pinned so the error
+// text matches the generic phase exactly.
+func (c columnRun) mapColumn(w int, keys []string, vals []float64) error {
+	n := c.n
+	runChunk := func(lo, hi int) (err error) {
+		cur := lo
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("map item %d: %w", cur+1, fmt.Errorf("mapper panic: %v", r))
+			}
+		}()
+		for ; cur < hi; cur++ {
+			k, v, merr := c.mapf(cur)
+			if merr != nil {
+				return fmt.Errorf("map item %d: %w", cur+1, merr)
+			}
+			keys[cur], vals[cur] = k, v
+		}
+		return nil
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		return runChunk(0, n)
+	}
+	grain := phaseGrain(n, w)
+	errs := make([]error, w)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	pool := workers.SharedPool()
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		worker := k
+		pool.Submit(func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				if err := runChunk(lo, hi); err != nil {
+					errs[worker] = err
+					return
+				}
+			}
+		})
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shuffleColumns groups the emitted pairs by key — same semantics as
+// groupByKey (values in emission order, distinct keys sorted) — laying
+// every group's values out in one float backing array.
+func shuffleColumns(keys []string, vals []float64) ([]colGroup, []float64) {
+	var groups []colGroup
+	gidx := make([]int32, len(keys))
+	idx := make(map[string]int, 8)
+	// last memoizes the previous pair's group: single-key and run-keyed
+	// workloads pay one map lookup per run instead of one per pair.
+	last := -1
+	for i, k := range keys {
+		g := last
+		if g < 0 || groups[g].key != k {
+			var ok bool
+			g, ok = idx[k]
+			if !ok {
+				g = len(groups)
+				idx[k] = g
+				groups = append(groups, colGroup{key: k})
+			}
+			last = g
+		}
+		groups[g].n++
+		gidx[i] = int32(g)
+	}
+	// Sort the distinct keys, then renumber the per-pair group indices
+	// through the permutation before the scatter pass.
+	perm := make([]int32, len(groups))
+	slices.SortFunc(groups, func(a, b colGroup) int { return strings.Compare(a.key, b.key) })
+	for sorted, g := range groups {
+		perm[idx[g.key]] = int32(sorted)
+	}
+	off := 0
+	for j := range groups {
+		groups[j].off = off
+		off += groups[j].n
+	}
+	backing := make([]float64, len(vals))
+	for i, v := range vals {
+		g := &groups[perm[gidx[i]]]
+		backing[g.off+g.fill] = v
+		g.fill++
+	}
+	return groups, backing
+}
+
+func safeColReduce(fr FloatReducer, key string, vals []float64) (v value.Value, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("reducer panic: %v", rec)
+		}
+	}()
+	return fr(key, vals)
+}

@@ -1,0 +1,97 @@
+package mapreduce
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// boxedCopy rebuilds a columnar list as a plain boxed list with identical
+// contents, so the same run can be driven down the generic pipeline.
+func boxedCopy(l *value.List) *value.List {
+	return value.NewList(l.Items()...)
+}
+
+// TestColumnarFastPathParity runs every registered (mapper, reducer)
+// kernel pair over a column-backed input and over a boxed copy of the same
+// data; the columnar plan engages only for the former, and the results
+// must agree pair for pair.
+func TestColumnarFastPathParity(t *testing.T) {
+	nums := value.FromFloats([]float64{32, 212, 122, 32, -40, 98.6})
+	words := value.FromStrings(strings.Fields("the quick fox the lazy dog the end"))
+	cases := []struct {
+		name  string
+		input *value.List
+		m     Mapper
+		r     Reducer
+	}{
+		{"wordcount-strings", words, WordCount, SumReduce},
+		{"wordcount-floats", nums, WordCount, SumReduce},
+		{"climate", nums, FahrenheitToCelsius, AvgReduce},
+		{"identity", nums, Identity, IdentityReduce},
+		{"singlekey-count", nums, SingleKey, CountReduce},
+		{"singlekey-sum", nums, SingleKey, SumReduce},
+		{"identity-avg", nums, Identity, AvgReduce},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, ok := planColumnRun(c.input, c.m, c.r); !ok {
+				t.Fatal("columnar plan did not engage for a registered kernel pair")
+			}
+			for _, w := range []int{1, 4} {
+				fast, err := Run(c.input, c.m, c.r, Config{Workers: w})
+				if err != nil {
+					t.Fatal(err)
+				}
+				slow, err := Run(boxedCopy(c.input), c.m, c.r, Config{Workers: w})
+				if err != nil {
+					t.Fatal(err)
+				}
+				fs, ss := fast.Strings(), slow.Strings()
+				if len(fs) != len(ss) {
+					t.Fatalf("w=%d: columnar %v vs boxed %v", w, fs, ss)
+				}
+				for i := range fs {
+					if fs[i] != ss[i] {
+						t.Fatalf("w=%d row %d: columnar %q vs boxed %q", w, i, fs[i], ss[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestColumnarPlanRefusals pins when the fast path must NOT engage: boxed
+// input, unregistered kernels, and a column kind the mapper has no kernel
+// for all fall back to the generic pipeline.
+func TestColumnarPlanRefusals(t *testing.T) {
+	nums := value.FromFloats([]float64{1, 2, 3})
+	if _, ok := planColumnRun(value.NewList(value.Number(1)), WordCount, SumReduce); ok {
+		t.Error("plan engaged for a boxed input")
+	}
+	closure := func(item value.Value) ([]KVP, error) { return Identity(item) }
+	if _, ok := planColumnRun(nums, closure, SumReduce); ok {
+		t.Error("plan engaged for an unregistered mapper")
+	}
+	if _, ok := planColumnRun(nums, WordCount, func(k string, vs *value.List) (value.Value, error) {
+		return SumReduce(k, vs)
+	}); ok {
+		t.Error("plan engaged for an unregistered reducer")
+	}
+}
+
+// TestColumnarErrorParity pins failure wording across the two pipelines: a
+// text column with a non-numeric cell must fail FahrenheitToCelsius with
+// the generic path's exact error string.
+func TestColumnarErrorParity(t *testing.T) {
+	bad := value.FromStrings([]string{"32", "hot", "212"})
+	_, fastErr := Run(bad, FahrenheitToCelsius, AvgReduce, Config{Workers: 2})
+	_, slowErr := Run(boxedCopy(bad), FahrenheitToCelsius, AvgReduce, Config{Workers: 2})
+	if fastErr == nil || slowErr == nil {
+		t.Fatalf("expected errors, got %v / %v", fastErr, slowErr)
+	}
+	if fastErr.Error() != slowErr.Error() {
+		t.Fatalf("error wording diverged:\n  columnar: %s\n  boxed:    %s", fastErr, slowErr)
+	}
+}

@@ -98,6 +98,11 @@ func Run(input *value.List, m Mapper, r Reducer, cfg Config) (Result, error) {
 	if w <= 0 {
 		w = workers.DefaultWorkers()
 	}
+	// Columnar fast path: a column-backed input with column-native
+	// kernels runs the whole pipeline over flat arrays (see columnar.go).
+	if plan, ok := planColumnRun(input, m, r); ok {
+		return plan.run(w, cfg)
+	}
 	// Phase telemetry: one atomic load up front; everything else only
 	// runs (and only allocates) while the observability switch is on.
 	tracing := obs.Enabled()
@@ -172,6 +177,12 @@ func Run(input *value.List, m Mapper, r Reducer, cfg Config) (Result, error) {
 // RunSeq records no telemetry; callers fall back to Run when the
 // observability switch is on so spans and phase metrics stay complete.
 func RunSeq(input *value.List, mcall func(args []value.Value) (string, value.Value, error), rcall func(args []value.Value) (value.Value, error)) (out Result, err error) {
+	// Items() on a column-backed input materializes the memoized boxed
+	// view once — the same one-boxing-per-element cost a boxed list paid
+	// at construction — and CloneValue's scalar elision keeps the per-call
+	// clone free. Boxing per iteration instead (closures over the raw
+	// column) measures strictly worse here: the kernels take []Value args,
+	// so every element gets boxed either way, and the view is boxed once.
 	items := input.Items()
 	n := len(items)
 	// One recover for the whole run replaces the per-call defer of

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"strconv"
 
+	"repro/internal/ingest"
 	"repro/internal/value"
 )
 
@@ -125,24 +126,33 @@ func Generate(cfg Config) *Dataset {
 }
 
 // TempsF returns every reading's Fahrenheit temperature as a Snap! list —
-// the input list of the Figure 13 mapReduce block.
+// the input list of the Figure 13 mapReduce block. The list is columnar
+// (one flat []float64), so the mapReduce engine's columnar kernels run
+// over it without boxing a Value per reading.
 func (d *Dataset) TempsF() *value.List {
-	out := value.NewListCap(len(d.Readings))
-	for _, r := range d.Readings {
-		out.Add(value.Number(r.TempF))
+	xs := make([]float64, len(d.Readings))
+	for i, r := range d.Readings {
+		xs[i] = r.TempF
 	}
-	return out
+	return value.AdoptFloats(xs)
 }
 
-// TempsFForYear filters one year's readings.
+// TempsFForYear filters one year's readings into a columnar list.
 func (d *Dataset) TempsFForYear(year int) *value.List {
-	out := value.NewList()
+	var xs []float64
 	for _, r := range d.Readings {
 		if r.Year == year {
-			out.Add(value.Number(r.TempF))
+			xs = append(xs, r.TempF)
 		}
 	}
-	return out
+	return value.AdoptFloats(xs)
+}
+
+// TempsFCSV streams just the temp_f column of a readings CSV (the WriteCSV
+// format) into a columnar list, without materializing a Dataset — the
+// direct file-to-mapReduce path of §6.3.
+func TempsFCSV(r io.Reader) (*value.List, error) {
+	return ingest.CSVColumn(r, "temp_f")
 }
 
 // Years lists the distinct years present, ascending.

@@ -81,6 +81,33 @@ func TestTempsLists(t *testing.T) {
 	if ds.TempsFForYear(1900).Len() != 0 {
 		t.Error("absent year should be empty")
 	}
+	if !all.Columnar() || !year.Columnar() {
+		t.Error("temperature lists should be columnar")
+	}
+}
+
+func TestTempsFCSVStreams(t *testing.T) {
+	ds := Generate(smallConfig())
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	temps, err := TempsFCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ok := temps.FloatsView()
+	if !ok {
+		t.Fatal("streamed temp_f column is not numeric-columnar")
+	}
+	if len(xs) != len(ds.Readings) {
+		t.Fatalf("streamed %d temps, want %d", len(xs), len(ds.Readings))
+	}
+	for i, r := range ds.Readings {
+		if math.Abs(xs[i]-r.TempF) > 0.01 { // 2-decimal CSV rounding
+			t.Fatalf("row %d temp differs: %g vs %g", i, xs[i], r.TempF)
+		}
+	}
 }
 
 func TestCSVRoundTrip(t *testing.T) {

@@ -56,6 +56,17 @@ var (
 		"reason", CompileReasons...)
 )
 
+// The value layer's columnar lists (internal/value). Lists count the
+// homogeneous lists built with a struct-of-arrays column backing; upgrades
+// count the columnar lists that fell back to the boxed representation when
+// a mutation introduced a non-conforming element.
+var (
+	ListColumnarLists = Default.NewCounter("engine_list_columnar_lists_total",
+		"Homogeneous lists constructed with a columnar (struct-of-arrays) backing.")
+	ListColumnarUpgrades = Default.NewCounter("engine_list_columnar_upgrades_total",
+		"Columnar lists upgraded to the boxed representation by a non-conforming mutation.")
+)
+
 // The MapReduce engine (internal/mapreduce).
 var (
 	MRRuns = Default.NewCounter("engine_mr_runs_total",

@@ -125,15 +125,17 @@ func (r *reader) constValue(s sexpr) (value.Value, error) {
 		if !ok || head.text != "list" {
 			return nil, r.error(x.at, "globals take constants or (list ...) initial values")
 		}
-		out := value.NewList()
+		items := make([]value.Value, 0, len(x.items)-1)
 		for _, item := range x.items[1:] {
 			v, err := r.constValue(item)
 			if err != nil {
 				return nil, err
 			}
-			out.Add(v)
+			items = append(items, v)
 		}
-		return out, nil
+		// AdoptSlice turns a long homogeneous literal (a data-file-sized
+		// numeric global) into a columnar list in the shared AST.
+		return value.AdoptSlice(items), nil
 	}
 	return nil, r.error(s.pos(), "bad constant")
 }

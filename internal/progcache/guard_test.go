@@ -74,3 +74,68 @@ func TestCachedProjectImmutableAcrossSessions(t *testing.T) {
 		t.Fatalf("cached project's global list grew to %d items; sessions wrote through the shared AST", got)
 	}
 }
+
+// columnarSrc declares a global list literal long enough (32 numbers) that
+// the parser builds it with a columnar backing in the shared AST. Each
+// session appends text to its copy — the mutation that upgrades a columnar
+// list to boxed — and reads an item, which materializes the shared list's
+// memoized boxed view concurrently with the other 15 sessions.
+const columnarSrc = `
+	(project "columnar-mutator"
+	  (global g (list 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+	                  17 18 19 20 21 22 23 24 25 26 27 28 29 30 31 32))
+	  (sprite "S"
+	    (when green-flag (do
+	      (add "extra" g)
+	      (say (join (length g) " " (item 1 g)))))))`
+
+// TestCachedColumnarListImmutableAcrossSessions is the PR 5 shared-AST
+// guard re-run against a column-backed literal: 16 sessions each trigger
+// the column->boxed upgrade on their clone while reading the shared list.
+// The cached list must stay columnar, unchanged, and race-free (-race).
+func TestCachedColumnarListImmutableAcrossSessions(t *testing.T) {
+	project, err := parse.Project(columnarSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, isList := project.Globals["g"].(*value.List)
+	if !isList || orig.Len() != 32 {
+		t.Fatalf("global g = %v, want a 32-item list", project.Globals["g"])
+	}
+	if !orig.Columnar() {
+		t.Fatal("32-number literal did not parse to a columnar list")
+	}
+
+	mgr := runtime.NewManager(runtime.Config{MaxConcurrent: 16, MaxQueue: 16})
+	const sessions = 16
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := mgr.Run(context.Background(), project, runtime.Limits{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			res, done := s.Result()
+			if !done || res.Status != runtime.StatusOK {
+				t.Errorf("session = %+v, want done", res)
+				return
+			}
+			// Reads of the shared literal race only on the atomic view.
+			_ = orig.Items()
+			if got := orig.MustItem(32).String(); got != "32" {
+				t.Errorf("shared item 32 = %s", got)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := orig.Len(); got != 32 {
+		t.Fatalf("cached columnar list grew to %d items", got)
+	}
+	if !orig.Columnar() {
+		t.Fatal("cached list lost its columnar backing; a session upgraded the shared AST copy")
+	}
+}

@@ -1,0 +1,349 @@
+package value
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRangeTable(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name           string
+		from, to, step float64
+		want           string
+	}{
+		{"ascending", 1, 5, 1, "[1 2 3 4 5]"},
+		{"descending", 5, 1, -1, "[5 4 3 2 1]"},
+		{"step-zero-defaults-to-one", 1, 3, 0, "[1 2 3]"},
+		{"from-equals-to", 7, 7, 1, "[7]"},
+		{"empty-ascending", 5, 1, 1, "[]"},
+		{"fractional-step", 0, 1, 0.5, "[0 0.5 1]"},
+		{"nan-from", math.NaN(), 5, 1, "[]"},
+		{"nan-to", 1, math.NaN(), 1, "[]"},
+		{"inf-to", 1, inf, 1, "[]"},
+		{"neg-inf-from", -inf, 5, 1, "[]"},
+		{"inf-step", 1, 5, inf, "[]"},
+		{"nan-step", 1, 5, math.NaN(), "[]"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			l := Range(c.from, c.to, c.step)
+			if got := l.String(); got != c.want {
+				t.Fatalf("Range(%v, %v, %v) = %s, want %s", c.from, c.to, c.step, got, c.want)
+			}
+			if !l.Columnar() {
+				t.Fatal("Range result is not columnar")
+			}
+		})
+	}
+}
+
+func TestColumnarConstructors(t *testing.T) {
+	fl := FromFloats([]float64{1.5, 2, 3})
+	if !fl.Columnar() || fl.String() != "[1.5 2 3]" {
+		t.Fatalf("FromFloats = %s (columnar=%v)", fl, fl.Columnar())
+	}
+	sl := FromStrings([]string{"a", "b"})
+	if !sl.Columnar() || sl.String() != "[a b]" {
+		t.Fatalf("FromStrings = %s (columnar=%v)", sl, sl.Columnar())
+	}
+	il := FromInts([]int{4, 5, 6})
+	if !il.Columnar() || il.String() != "[4 5 6]" {
+		t.Fatalf("FromInts = %s (columnar=%v)", il, il.Columnar())
+	}
+	// FromFloats copies its argument; AdoptFloats takes ownership.
+	src := []float64{1, 2}
+	cp := FromFloats(src)
+	src[0] = 99
+	if cp.String() != "[1 2]" {
+		t.Fatalf("FromFloats aliased its argument: %s", cp)
+	}
+	if v := AdoptFloats(nil); v.Len() != 0 || !v.Columnar() {
+		t.Fatalf("AdoptFloats(nil) = %s (columnar=%v)", v, v.Columnar())
+	}
+	if v := AdoptStrings(nil); v.Len() != 0 || !v.Columnar() {
+		t.Fatalf("AdoptStrings(nil) = %s (columnar=%v)", v, v.Columnar())
+	}
+}
+
+func TestAdoptSliceSniffsColumns(t *testing.T) {
+	long := make([]Value, adoptColumnMin)
+	for i := range long {
+		long[i] = Number(float64(i))
+	}
+	if l := AdoptSlice(long); !l.Columnar() {
+		t.Fatal("long homogeneous numeric slice did not columnarize")
+	}
+	short := make([]Value, adoptColumnMin-1)
+	for i := range short {
+		short[i] = Number(float64(i))
+	}
+	if l := AdoptSlice(short); l.Columnar() {
+		t.Fatal("short slice columnarized; want boxed below the threshold")
+	}
+	mixed := make([]Value, adoptColumnMin)
+	for i := range mixed {
+		mixed[i] = Number(float64(i))
+	}
+	mixed[adoptColumnMin-1] = Text("x")
+	if l := AdoptSlice(mixed); l.Columnar() {
+		t.Fatal("mixed slice columnarized")
+	}
+	texts := make([]Value, adoptColumnMin)
+	for i := range texts {
+		texts[i] = Text("w")
+	}
+	if l := AdoptSlice(texts); !l.Columnar() {
+		t.Fatal("long homogeneous text slice did not columnarize")
+	}
+}
+
+func TestColumnarMutationInPlace(t *testing.T) {
+	l := Range(1, 5, 1)
+	if err := l.SetItem(2, Number(20)); err != nil {
+		t.Fatal(err)
+	}
+	l.Add(Number(6))
+	if err := l.InsertAt(1, Number(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.DeleteAt(4); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Columnar() {
+		t.Fatal("conforming mutations should keep the column backing")
+	}
+	if got := l.String(); got != "[0 1 20 4 5 6]" {
+		t.Fatalf("after mutations: %s", got)
+	}
+	l.Clear()
+	if l.Len() != 0 || !l.Columnar() {
+		t.Fatalf("Clear: len=%d columnar=%v", l.Len(), l.Columnar())
+	}
+}
+
+func TestColumnarUpgradeOnNonConforming(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(l *List) error
+		want   string
+	}{
+		{"set-text", func(l *List) error { return l.SetItem(2, Text("x")) }, "[1 x 3]"},
+		{"add-bool", func(l *List) error { l.Add(Bool(true)); return nil }, "[1 2 3 true]"},
+		{"insert-list", func(l *List) error { return l.InsertAt(1, NewList(Number(9))) }, "[[9] 1 2 3]"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			l := Range(1, 3, 1)
+			if err := c.mutate(l); err != nil {
+				t.Fatal(err)
+			}
+			if l.Columnar() {
+				t.Fatal("non-conforming mutation should upgrade to boxed")
+			}
+			if got := l.String(); got != c.want {
+				t.Fatalf("after upgrade: %s, want %s", got, c.want)
+			}
+		})
+	}
+}
+
+func TestColumnarItemsMemoized(t *testing.T) {
+	l := Range(1, 10, 1)
+	a, b := l.Items(), l.Items()
+	if len(a) != 10 || &a[0] != &b[0] {
+		t.Fatal("Items() view not memoized across pure reads")
+	}
+	l.Add(Number(11))
+	c := l.Items()
+	if len(c) != 11 || c[10].String() != "11" {
+		t.Fatalf("Items() after mutation = %v", c)
+	}
+	// The earlier snapshot is stale but internally consistent.
+	if len(a) != 10 {
+		t.Fatal("old snapshot changed length")
+	}
+}
+
+func TestColumnarMutateDuringIteration(t *testing.T) {
+	// MustItem reads the live representation, so mutations made while
+	// iterating by index are visible — including a mid-iteration upgrade.
+	l := Range(1, 4, 1)
+	var got []string
+	for i := 1; i <= l.Len(); i++ {
+		if i == 2 {
+			if err := l.SetItem(3, Text("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got = append(got, l.MustItem(i).String())
+	}
+	if s := strings.Join(got, " "); s != "1 2 x 4" {
+		t.Fatalf("iteration saw %q, want %q", s, "1 2 x 4")
+	}
+	if l.Columnar() {
+		t.Fatal("upgrade did not happen")
+	}
+}
+
+func TestColumnarCloneAndEqual(t *testing.T) {
+	l := Range(1, 40, 1)
+	c := l.Clone().(*List)
+	if !c.Columnar() || !Equal(l, c) {
+		t.Fatalf("clone: columnar=%v equal=%v", c.Columnar(), Equal(l, c))
+	}
+	if err := c.SetItem(1, Number(99)); err != nil {
+		t.Fatal(err)
+	}
+	if l.MustItem(1).String() != "1" {
+		t.Fatal("clone shares the column with the original")
+	}
+	// A boxed list with the same contents compares equal across
+	// representations, including numeric text against numbers.
+	boxed := NewList()
+	for i := 1; i <= 40; i++ {
+		boxed.Add(Text(fmt.Sprintf("%d", i)))
+	}
+	if !Equal(l, boxed) {
+		t.Fatal("columnar [1..40] != boxed [\"1\"..\"40\"]")
+	}
+	boxed.Add(Text("41"))
+	if Equal(l, boxed) {
+		t.Fatal("lists of different length compare equal")
+	}
+}
+
+func TestCycleSafetyAfterUpgrade(t *testing.T) {
+	l := Range(1, 3, 1)
+	l.Add(l) // non-conforming: upgrades, then creates a cycle
+	if l.Columnar() {
+		t.Fatal("self-append should have upgraded")
+	}
+	if got := l.String(); got != "[1 2 3 [...]]" {
+		t.Fatalf("cyclic render = %s", got)
+	}
+	c := l.Clone().(*List)
+	if c.MustItem(4) != Value(c) {
+		t.Fatal("clone did not preserve the cycle onto itself")
+	}
+	if !Equal(l, c) {
+		t.Fatal("cyclic list != its clone")
+	}
+}
+
+func TestColumnarContainsIndexOf(t *testing.T) {
+	l := FromFloats([]float64{1, 2.5, 3, math.NaN()})
+	if i := l.IndexOf(Number(2.5)); i != 2 {
+		t.Fatalf("IndexOf(2.5) = %d", i)
+	}
+	if i := l.IndexOf(Text("3")); i != 3 {
+		t.Fatalf("IndexOf(\"3\") = %d (numeric text should match)", i)
+	}
+	// NaN never equals NaN numerically, but its display string does.
+	if l.Contains(Number(math.NaN())) {
+		t.Fatal("NaN compared numerically equal")
+	}
+	if i := l.IndexOf(Text("NaN")); i != 4 {
+		t.Fatalf("IndexOf(\"NaN\") = %d (string fallback should match)", i)
+	}
+	s := FromStrings([]string{"a", "B", "3"})
+	if i := s.IndexOf(Text("b")); i != 2 {
+		t.Fatalf("case-insensitive IndexOf = %d", i)
+	}
+	if i := s.IndexOf(Number(3)); i != 3 {
+		t.Fatalf("IndexOf(3) over text column = %d", i)
+	}
+}
+
+func TestColumnarFloatsStrings(t *testing.T) {
+	l := FromStrings([]string{"1", " 2 ", "x"})
+	_, err := l.Floats()
+	if err == nil || err.Error() != `item 3: expecting a number but getting text "x"` {
+		t.Fatalf("Floats error = %v", err)
+	}
+	n := FromFloats([]float64{1, 2.5})
+	fs, err := n.Floats()
+	if err != nil || len(fs) != 2 || fs[1] != 2.5 {
+		t.Fatalf("Floats = %v, %v", fs, err)
+	}
+	fs[0] = 99 // returned slice is a private copy
+	if n.MustItem(1).String() != "1" {
+		t.Fatal("Floats aliased the column")
+	}
+	if got := n.Strings(); got[1] != "2.5" {
+		t.Fatalf("Strings = %v", got)
+	}
+	ss := l.Strings()
+	ss[0] = "mut"
+	if l.MustItem(1).String() != "1" {
+		t.Fatal("Strings aliased the column")
+	}
+}
+
+func TestColumnarSliceAppend(t *testing.T) {
+	l := Range(1, 10, 1)
+	s, err := l.Slice(3, 5)
+	if err != nil || s.String() != "[3 4 5]" || !s.Columnar() {
+		t.Fatalf("Slice = %s columnar=%v err=%v", s, s.Columnar(), err)
+	}
+	s.Append(Range(6, 7, 1))
+	if s.String() != "[3 4 5 6 7]" || !s.Columnar() {
+		t.Fatalf("Append same-column = %s columnar=%v", s, s.Columnar())
+	}
+	s.Append(FromStrings([]string{"x"}))
+	if s.String() != "[3 4 5 6 7 x]" || s.Columnar() {
+		t.Fatalf("Append mixed = %s columnar=%v", s, s.Columnar())
+	}
+	// Self-append, both representations.
+	n := Range(1, 2, 1)
+	n.Append(n)
+	if n.String() != "[1 2 1 2]" {
+		t.Fatalf("columnar self-append = %s", n)
+	}
+}
+
+// TestColumnarConcurrentReads is the -race guard for the shared-literal
+// scenario: cached projects share one parsed columnar list across
+// sessions, and concurrent readers may all demand the memoized boxed view
+// at once. Every read path must stay write-free (the view is published
+// through an atomic pointer), so this test passes under -race.
+func TestColumnarConcurrentReads(t *testing.T) {
+	l := Range(1, 2048, 1)
+	want := l.String()
+	other := Range(1, 2048, 1)
+	const readers = 16
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			view := l.Items()
+			if len(view) != 2048 {
+				t.Errorf("view length %d", len(view))
+			}
+			if got := l.MustItem(seed + 1).String(); got == "" {
+				t.Error("empty item")
+			}
+			if !Equal(l, other) {
+				t.Error("Equal diverged")
+			}
+			if got := l.String(); got != want {
+				t.Error("String diverged")
+			}
+			if _, err := l.Floats(); err != nil {
+				t.Error(err)
+			}
+			c := l.Clone().(*List)
+			if err := c.SetItem(1, Text("private")); err != nil {
+				t.Error(err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	if !l.Columnar() || l.Len() != 2048 || l.String() != want {
+		t.Fatalf("shared list changed: columnar=%v len=%d", l.Columnar(), l.Len())
+	}
+}

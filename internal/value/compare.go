@@ -37,8 +37,32 @@ func equalWith(a, b Value, seen map[listPair]bool) bool {
 		if seen[listPair{la, lb}] {
 			return true
 		}
-		for i := range la.items {
-			ia, ib := la.items[i], lb.items[i]
+		// Matching columns compare without boxing. Float equality is
+		// exactly the numeric branch below (NaN != NaN included); equal
+		// strings are always Equal (numerically when both parse,
+		// case-insensitively otherwise), so only unequal strings fall
+		// through to the per-item comparison.
+		if la.nums != nil && lb.nums != nil {
+			for i := range la.nums {
+				if la.nums[i] != lb.nums[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if la.strs != nil && lb.strs != nil {
+			for i := range la.strs {
+				if la.strs[i] == lb.strs[i] {
+					continue
+				}
+				if !equalWith(Str(la.strs[i]), Str(lb.strs[i]), seen) {
+					return false
+				}
+			}
+			return true
+		}
+		for i, n := 0, la.Len(); i < n; i++ {
+			ia, ib := la.at(i), lb.at(i)
 			_, aSub := ia.(*List)
 			_, bSub := ib.(*List)
 			if aSub && bSub {

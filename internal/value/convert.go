@@ -2,9 +2,19 @@ package value
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
+
+// hasHexPrefix reports whether s (optionally signed) is a hexadecimal
+// literal, which ParseFloat accepts but Snap! does not.
+func hasHexPrefix(s string) bool {
+	if len(s) > 0 && (s[0] == '+' || s[0] == '-') {
+		s = s[1:]
+	}
+	return len(s) >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')
+}
 
 // ToNumber coerces a value to a Number following Snap!'s (JavaScript's)
 // loose rules: numbers pass through, booleans become 0/1, numeric text
@@ -21,20 +31,31 @@ func ToNumber(v Value) (Number, error) {
 		}
 		return 0, nil
 	case Text:
-		s := strings.TrimSpace(string(x))
-		if s == "" {
-			return 0, nil
-		}
-		f, err := strconv.ParseFloat(s, 64)
-		if err != nil {
-			return 0, fmt.Errorf("expecting a number but getting text %q", s)
-		}
-		return Number(f), nil
+		return ParseNumber(string(x))
 	case Nothing:
 		return 0, nil
 	default:
 		return 0, fmt.Errorf("expecting a number but getting a %s", v.Kind())
 	}
+}
+
+// ParseNumber parses text as a Snap! number: ToNumber's Text case without
+// the boxing, for engine fast paths iterating raw string columns.
+// strconv.ParseFloat is looser than Snap!'s number syntax: it accepts
+// "Inf"/"Infinity"/"NaN" (any case) and hexadecimal floats like "0x1p4".
+// Snap! treats all of those as plain text — and a non-finite bound
+// reaching a list builder is how a request used to OOM the process — so
+// they are rejected here with the same wording every tier shares.
+func ParseNumber(s string) (Number, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsInf(f, 0) || math.IsNaN(f) || hasHexPrefix(s) {
+		return 0, fmt.Errorf("expecting a number but getting text %q", s)
+	}
+	return Number(f), nil
 }
 
 // ToBool coerces a value to a Bool. Snap! accepts booleans and the texts

@@ -18,6 +18,9 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Kind discriminates the dynamic type of a Value.
@@ -163,9 +166,65 @@ func (o *Opaque) Clone() Value { return o }
 // variables may hold the same list, and mutation through one is visible
 // through the other — exactly like Snap! (and unlike Scratch, which has no
 // first-class lists at all).
+//
+// Representation. A list is either boxed (items, a []Value — the general
+// case) or columnar (nums or strs, a raw []float64 or []string column for
+// homogeneous numeric/text lists — the struct-of-arrays backing that lets
+// the compiled kernels and the MapReduce engine iterate contiguous arrays
+// instead of chasing one heap box per element). Exactly one backing is
+// authoritative: nums, else strs, else items. Columnar lists box elements
+// lazily through the scalar interner on Item/MustItem, and memoize a full
+// boxed view for Items(); any mutation that fits the column (storing a
+// Number into a numeric column) updates the column in place, while a
+// non-conforming mutation upgrades the list to the boxed representation
+// first, so program-visible semantics are identical in every tier.
 type List struct {
 	items []Value
+	nums  []float64
+	strs  []string
+	// boxed memoizes the []Value view of a column so repeated Items()
+	// iteration of the same list boxes each element once, not per call.
+	// It is dropped on every mutation. The atomic pointer makes
+	// concurrent read-only materialization safe: cached projects share
+	// parsed list literals across sessions, and two sessions may demand
+	// the boxed view of the same literal at the same time.
+	boxed atomic.Pointer[[]Value]
 }
+
+// countColumnar records a columnar list construction in the engine metrics.
+func countColumnar() {
+	if obs.Enabled() {
+		obs.ListColumnarLists.Inc()
+	}
+}
+
+// adoptFloats wraps xs as a numeric-column list, taking ownership of xs.
+func adoptFloats(xs []float64) *List {
+	if xs == nil {
+		xs = []float64{}
+	}
+	countColumnar()
+	return &List{nums: xs}
+}
+
+// adoptStrings wraps ss as a text-column list, taking ownership of ss.
+func adoptStrings(ss []string) *List {
+	if ss == nil {
+		ss = []string{}
+	}
+	countColumnar()
+	return &List{strs: ss}
+}
+
+// AdoptFloats wraps an existing float slice as a numeric-column list
+// without copying. The list takes ownership: the caller must not retain or
+// reuse the slice afterwards. Streaming ingestion uses it to hand a parsed
+// column straight to the engine.
+func AdoptFloats(xs []float64) *List { return adoptFloats(xs) }
+
+// AdoptStrings wraps an existing string slice as a text-column list
+// without copying; the list takes ownership of the slice.
+func AdoptStrings(ss []string) *List { return adoptStrings(ss) }
 
 // NewList builds a list holding the given items. The slice is copied, the
 // items are not (reference semantics).
@@ -178,60 +237,160 @@ func NewList(items ...Value) *List {
 // NewListCap builds an empty list with capacity for n items.
 func NewListCap(n int) *List { return &List{items: make([]Value, 0, n)} }
 
+// adoptColumnMin is the minimum length at which AdoptSlice pays the
+// homogeneity scan; short lists stay boxed, where the column bookkeeping
+// would cost more than it saves.
+const adoptColumnMin = 32
+
 // AdoptSlice wraps an existing slice as a List without copying. The list
 // takes ownership: the caller must not retain or reuse the slice (or any
 // aliasing sub-slice) afterwards. Engine code uses it to carve many small
-// result lists out of one backing allocation.
-func AdoptSlice(items []Value) *List { return &List{items: items} }
+// result lists out of one backing allocation. Long homogeneous slices are
+// converted to a column (the adopted slice is then discarded).
+func AdoptSlice(items []Value) *List {
+	if len(items) >= adoptColumnMin {
+		if l := sniffColumn(items); l != nil {
+			return l
+		}
+	}
+	return &List{items: items}
+}
 
-// FromFloats builds a list of Numbers.
+// sniffColumn converts a homogeneous all-Number or all-Text slice to a
+// columnar list, or returns nil. It bails on the first non-conforming
+// element, so the common heterogeneous case costs one type assertion.
+func sniffColumn(items []Value) *List {
+	switch items[0].(type) {
+	case Number:
+		xs := make([]float64, len(items))
+		for i, it := range items {
+			n, ok := it.(Number)
+			if !ok {
+				return nil
+			}
+			xs[i] = float64(n)
+		}
+		return adoptFloats(xs)
+	case Text:
+		ss := make([]string, len(items))
+		for i, it := range items {
+			s, ok := it.(Text)
+			if !ok {
+				return nil
+			}
+			ss[i] = string(s)
+		}
+		return adoptStrings(ss)
+	}
+	return nil
+}
+
+// FromFloats builds a numeric-column list of Numbers.
 func FromFloats(xs []float64) *List {
-	l := &List{items: make([]Value, len(xs))}
-	for i, x := range xs {
-		l.items[i] = Num(x)
-	}
-	return l
+	return adoptFloats(append([]float64(nil), xs...))
 }
 
-// FromStrings builds a list of Texts.
+// FromStrings builds a text-column list of Texts.
 func FromStrings(ss []string) *List {
-	l := &List{items: make([]Value, len(ss))}
-	for i, s := range ss {
-		l.items[i] = Str(s)
-	}
-	return l
+	return adoptStrings(append([]string(nil), ss...))
 }
 
-// FromInts builds a list of Numbers from ints.
+// FromInts builds a numeric-column list of Numbers from ints.
 func FromInts(xs []int) *List {
-	l := &List{items: make([]Value, len(xs))}
+	col := make([]float64, len(xs))
 	for i, x := range xs {
-		l.items[i] = NumInt(x)
+		col[i] = float64(x)
 	}
-	return l
+	return adoptFloats(col)
 }
 
 // Range builds the list (from, from+step, ..., to) inclusive, Snap!'s
-// "numbers from _ to _" reporter generalized with a step.
+// "numbers from _ to _" reporter generalized with a step. Non-finite
+// bounds or step yield an empty list; the interpreter tiers reject them
+// with an error before calling Range (see interp.CheckNumbersBounds), so
+// the empty list is only observable from host Go code.
 func Range(from, to, step float64) *List {
 	if step == 0 {
 		step = 1
 	}
-	l := &List{}
+	if !isFinite(from) || !isFinite(to) || !isFinite(step) {
+		return adoptFloats(nil)
+	}
+	var xs []float64
+	if n := math.Abs(to-from)/math.Abs(step) + 1; n < 1<<20 {
+		xs = make([]float64, 0, int(n))
+	}
 	if step > 0 {
 		for x := from; x <= to; x += step {
-			l.items = append(l.items, Num(x))
+			xs = append(xs, x)
 		}
 	} else {
 		for x := from; x >= to; x += step {
-			l.items = append(l.items, Num(x))
+			xs = append(xs, x)
 		}
 	}
-	return l
+	return adoptFloats(xs)
 }
+
+// isFinite reports whether f is neither an infinity nor NaN.
+func isFinite(f float64) bool { return !math.IsInf(f, 0) && !math.IsNaN(f) }
 
 // Kind implements Value.
 func (*List) Kind() Kind { return KindList }
+
+// Columnar reports whether the list currently has a column backing.
+func (l *List) Columnar() bool { return l.nums != nil || l.strs != nil }
+
+// FloatsView returns the raw numeric column and true when the list is
+// number-columnar. The slice is the live backing: callers must treat it as
+// read-only and must not hold it across mutations of the list. Engine fast
+// paths use it to iterate without boxing.
+func (l *List) FloatsView() ([]float64, bool) { return l.nums, l.nums != nil }
+
+// StringsView returns the raw text column and true when the list is
+// text-columnar, under the same read-only contract as FloatsView.
+func (l *List) StringsView() ([]string, bool) { return l.strs, l.strs != nil }
+
+// at returns the 0-based element, boxing columnar elements through the
+// interner. Boxed elements may be nil (an empty slot); columnar ones never
+// are.
+func (l *List) at(i int) Value {
+	if l.nums != nil {
+		return Num(l.nums[i])
+	}
+	if l.strs != nil {
+		return Str(l.strs[i])
+	}
+	return l.items[i]
+}
+
+// view materializes (and memoizes) the boxed []Value view of a column.
+// Pure read: safe for concurrent callers; a lost race materializes twice
+// and each caller gets a consistent snapshot.
+func (l *List) view() []Value {
+	if p := l.boxed.Load(); p != nil {
+		return *p
+	}
+	n := l.Len()
+	vs := make([]Value, n)
+	for i := range vs {
+		vs[i] = l.at(i)
+	}
+	l.boxed.Store(&vs)
+	return vs
+}
+
+// upgrade switches a columnar list to the boxed representation, reusing
+// the memoized view as the mutable backing when one exists. Only mutation
+// paths call it, so the single-writer assumption of List mutation holds.
+func (l *List) upgrade() {
+	vs := l.view()
+	l.items, l.nums, l.strs = vs, nil, nil
+	l.boxed.Store(nil)
+	if obs.Enabled() {
+		obs.ListColumnarUpgrades.Inc()
+	}
+}
 
 // String renders the list the way a Snap! watcher does: items separated by
 // spaces inside brackets; nested lists nest. Programs can legally build
@@ -246,9 +405,32 @@ func (l *List) String() string {
 
 // render writes l to b. path holds the lists currently being rendered on
 // this branch; it stays nil (no allocation) until the first nested list.
+// Columns hold only scalars, so they render directly.
 func (l *List) render(b *strings.Builder, path map[*List]bool) {
 	if path[l] {
 		b.WriteString("[...]")
+		return
+	}
+	if l.nums != nil {
+		b.WriteByte('[')
+		for i, x := range l.nums {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(Number(x).String())
+		}
+		b.WriteByte(']')
+		return
+	}
+	if l.strs != nil {
+		b.WriteByte('[')
+		for i, s := range l.strs {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(s)
+		}
+		b.WriteByte(']')
 		return
 	}
 	b.WriteByte('[')
@@ -279,13 +461,28 @@ func (l *List) render(b *strings.Builder, path map[*List]bool) {
 // copied, which preserves the share-nothing semantics while skipping the
 // re-boxing allocation per scalar element. Like the structured clone it is
 // named for, cycles and aliasing among nested lists are preserved: the
-// clone of a list that contains itself contains its own clone.
+// clone of a list that contains itself contains its own clone. Columnar
+// lists clone by copying the column — no per-element work at all.
 func (l *List) Clone() Value { return l.cloneWith(nil) }
 
 // cloneWith maps already-cloned lists to their clones; it stays nil (no
 // allocation) until the first nested list.
 func (l *List) cloneWith(memo map[*List]*List) Value {
 	if c, ok := memo[l]; ok {
+		return c
+	}
+	if l.nums != nil {
+		c := adoptFloats(append([]float64(nil), l.nums...))
+		if memo != nil {
+			memo[l] = c
+		}
+		return c
+	}
+	if l.strs != nil {
+		c := adoptStrings(append([]string(nil), l.strs...))
+		if memo != nil {
+			memo[l] = c
+		}
 		return c
 	}
 	c := &List{items: make([]Value, len(l.items))}
@@ -307,15 +504,24 @@ func (l *List) cloneWith(memo map[*List]*List) Value {
 }
 
 // Len reports the number of items.
-func (l *List) Len() int { return len(l.items) }
+func (l *List) Len() int {
+	if l.nums != nil {
+		return len(l.nums)
+	}
+	if l.strs != nil {
+		return len(l.strs)
+	}
+	return len(l.items)
+}
 
 // Item returns the 1-based item i, matching Snap!'s 1-based "item _ of _".
 // It returns an error for out-of-range indices, like Snap!'s red error halo.
 func (l *List) Item(i int) (Value, error) {
-	if i < 1 || i > len(l.items) {
-		return nil, fmt.Errorf("list index %d out of range [1..%d]", i, len(l.items))
+	n := l.Len()
+	if i < 1 || i > n {
+		return nil, fmt.Errorf("list index %d out of range [1..%d]", i, n)
 	}
-	v := l.items[i-1]
+	v := l.at(i - 1)
 	if v == nil {
 		return Nothing{}, nil
 	}
@@ -332,23 +538,77 @@ func (l *List) MustItem(i int) Value {
 	return v
 }
 
-// SetItem replaces the 1-based item i.
+// SetItem replaces the 1-based item i. Storing a conforming scalar into a
+// column writes the column in place; anything else upgrades to boxed first.
 func (l *List) SetItem(i int, v Value) error {
-	if i < 1 || i > len(l.items) {
-		return fmt.Errorf("list index %d out of range [1..%d]", i, len(l.items))
+	n := l.Len()
+	if i < 1 || i > n {
+		return fmt.Errorf("list index %d out of range [1..%d]", i, n)
+	}
+	if l.nums != nil {
+		if x, ok := v.(Number); ok {
+			l.nums[i-1] = float64(x)
+			l.boxed.Store(nil)
+			return nil
+		}
+		l.upgrade()
+	} else if l.strs != nil {
+		if s, ok := v.(Text); ok {
+			l.strs[i-1] = string(s)
+			l.boxed.Store(nil)
+			return nil
+		}
+		l.upgrade()
 	}
 	l.items[i-1] = v
 	return nil
 }
 
 // Add appends v to the end of the list (Snap!'s "add _ to _").
-func (l *List) Add(v Value) { l.items = append(l.items, v) }
+func (l *List) Add(v Value) {
+	if l.nums != nil {
+		if x, ok := v.(Number); ok {
+			l.nums = append(l.nums, float64(x))
+			l.boxed.Store(nil)
+			return
+		}
+		l.upgrade()
+	} else if l.strs != nil {
+		if s, ok := v.(Text); ok {
+			l.strs = append(l.strs, string(s))
+			l.boxed.Store(nil)
+			return
+		}
+		l.upgrade()
+	}
+	l.items = append(l.items, v)
+}
 
 // InsertAt inserts v so it becomes the 1-based item i. i may be Len()+1,
 // which appends.
 func (l *List) InsertAt(i int, v Value) error {
-	if i < 1 || i > len(l.items)+1 {
-		return fmt.Errorf("list insert index %d out of range [1..%d]", i, len(l.items)+1)
+	n := l.Len()
+	if i < 1 || i > n+1 {
+		return fmt.Errorf("list insert index %d out of range [1..%d]", i, n+1)
+	}
+	if l.nums != nil {
+		if x, ok := v.(Number); ok {
+			l.nums = append(l.nums, 0)
+			copy(l.nums[i:], l.nums[i-1:])
+			l.nums[i-1] = float64(x)
+			l.boxed.Store(nil)
+			return nil
+		}
+		l.upgrade()
+	} else if l.strs != nil {
+		if s, ok := v.(Text); ok {
+			l.strs = append(l.strs, "")
+			copy(l.strs[i:], l.strs[i-1:])
+			l.strs[i-1] = string(s)
+			l.boxed.Store(nil)
+			return nil
+		}
+		l.upgrade()
 	}
 	l.items = append(l.items, nil)
 	copy(l.items[i:], l.items[i-1:])
@@ -358,29 +618,73 @@ func (l *List) InsertAt(i int, v Value) error {
 
 // DeleteAt removes the 1-based item i.
 func (l *List) DeleteAt(i int) error {
-	if i < 1 || i > len(l.items) {
-		return fmt.Errorf("list delete index %d out of range [1..%d]", i, len(l.items))
+	n := l.Len()
+	if i < 1 || i > n {
+		return fmt.Errorf("list delete index %d out of range [1..%d]", i, n)
 	}
-	copy(l.items[i-1:], l.items[i:])
-	l.items = l.items[:len(l.items)-1]
+	switch {
+	case l.nums != nil:
+		copy(l.nums[i-1:], l.nums[i:])
+		l.nums = l.nums[:n-1]
+		l.boxed.Store(nil)
+	case l.strs != nil:
+		copy(l.strs[i-1:], l.strs[i:])
+		l.strs = l.strs[:n-1]
+		l.boxed.Store(nil)
+	default:
+		copy(l.items[i-1:], l.items[i:])
+		l.items = l.items[:n-1]
+	}
 	return nil
 }
 
-// Clear removes all items.
-func (l *List) Clear() { l.items = l.items[:0] }
-
-// Contains reports whether the list contains an item equal (per Equal) to v.
-func (l *List) Contains(v Value) bool {
-	for _, it := range l.items {
-		if Equal(it, v) {
-			return true
-		}
+// Clear removes all items, keeping the current representation.
+func (l *List) Clear() {
+	switch {
+	case l.nums != nil:
+		l.nums = l.nums[:0]
+		l.boxed.Store(nil)
+	case l.strs != nil:
+		l.strs = l.strs[:0]
+		l.boxed.Store(nil)
+	default:
+		l.items = l.items[:0]
 	}
-	return false
 }
 
+// Contains reports whether the list contains an item equal (per Equal) to v.
+func (l *List) Contains(v Value) bool { return l.IndexOf(v) != 0 }
+
 // IndexOf returns the 1-based index of the first item equal to v, or 0.
+// Numeric columns compare in float space when v coerces to a number — the
+// exact comparison Equal would perform — and fall back to boxed Equal
+// otherwise.
 func (l *List) IndexOf(v Value) int {
+	if l.nums != nil {
+		if n, err := ToNumber(v); err == nil {
+			f := float64(n)
+			for i, x := range l.nums {
+				if x == f {
+					return i + 1
+				}
+			}
+			return 0
+		}
+		for i := range l.nums {
+			if Equal(Num(l.nums[i]), v) {
+				return i + 1
+			}
+		}
+		return 0
+	}
+	if l.strs != nil {
+		for i := range l.strs {
+			if Equal(Str(l.strs[i]), v) {
+				return i + 1
+			}
+		}
+		return 0
+	}
 	for i, it := range l.items {
 		if Equal(it, v) {
 			return i + 1
@@ -389,25 +693,54 @@ func (l *List) IndexOf(v Value) int {
 	return 0
 }
 
-// Items returns the backing slice. Callers must treat it as read-only; it
-// is exposed for iteration without per-item bounds checks.
-func (l *List) Items() []Value { return l.items }
+// Items returns the boxed view of the list for iteration without per-item
+// bounds checks. Callers must treat it as read-only: for boxed lists it is
+// the live backing slice (writes through it would corrupt shared cached
+// data), and for columnar lists it is a memoized snapshot that mutation
+// invalidates, so it must also not be held across mutations.
+func (l *List) Items() []Value {
+	if l.nums == nil && l.strs == nil {
+		return l.items
+	}
+	return l.view()
+}
 
-// Append appends all items of other (by reference) to l.
+// Append appends all items of other (by reference) to l. Matching columns
+// concatenate in column space.
 func (l *List) Append(other *List) {
-	l.items = append(l.items, other.items...)
+	switch {
+	case l.nums != nil && other.nums != nil:
+		l.nums = append(l.nums, other.nums...)
+		l.boxed.Store(nil)
+	case l.strs != nil && other.strs != nil:
+		l.strs = append(l.strs, other.strs...)
+		l.boxed.Store(nil)
+	default:
+		if l.Columnar() {
+			l.upgrade()
+		}
+		l.items = append(l.items, other.Items()...)
+	}
 }
 
 // Slice returns a new list holding items from..to inclusive, 1-based.
+// Slicing a columnar list yields a columnar list with a copied column.
 func (l *List) Slice(from, to int) (*List, error) {
+	n := l.Len()
 	if from < 1 {
 		from = 1
 	}
-	if to > len(l.items) {
-		to = len(l.items)
+	if to > n {
+		to = n
 	}
 	if from > to {
 		return NewList(), nil
+	}
+	switch {
+	case l.nums != nil:
+		return adoptFloats(append([]float64(nil), l.nums[from-1:to]...)), nil
+	case l.strs != nil:
+		return adoptStrings(append([]string(nil), l.strs[from-1:to]...)), nil
 	}
 	out := &List{items: make([]Value, to-from+1)}
 	copy(out.items, l.items[from-1:to])
@@ -415,7 +748,22 @@ func (l *List) Slice(from, to int) (*List, error) {
 }
 
 // Floats converts a list of numbers (or numeric text) to a float slice.
+// The returned slice is freshly allocated and owned by the caller.
 func (l *List) Floats() ([]float64, error) {
+	if l.nums != nil {
+		return append([]float64(nil), l.nums...), nil
+	}
+	if l.strs != nil {
+		out := make([]float64, len(l.strs))
+		for i, s := range l.strs {
+			n, err := ToNumber(Text(s))
+			if err != nil {
+				return nil, fmt.Errorf("item %d: %w", i+1, err)
+			}
+			out[i] = float64(n)
+		}
+		return out, nil
+	}
 	out := make([]float64, len(l.items))
 	for i, it := range l.items {
 		n, err := ToNumber(it)
@@ -427,8 +775,19 @@ func (l *List) Floats() ([]float64, error) {
 	return out, nil
 }
 
-// Strings converts every item to its display string.
+// Strings converts every item to its display string. The returned slice is
+// freshly allocated and owned by the caller.
 func (l *List) Strings() []string {
+	if l.strs != nil {
+		return append([]string(nil), l.strs...)
+	}
+	if l.nums != nil {
+		out := make([]string, len(l.nums))
+		for i, x := range l.nums {
+			out[i] = Number(x).String()
+		}
+		return out
+	}
 	out := make([]string, len(l.items))
 	for i, it := range l.items {
 		if it == nil {

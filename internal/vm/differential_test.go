@@ -179,6 +179,32 @@ func TestDifferentialCorpus(t *testing.T) {
 			blocks.Forward(blocks.Num(5)),
 			blocks.ChangeVar("x", blocks.Num(41)),
 			blocks.Report(blocks.Var("x")))},
+		{"columnar-upgrade", blocks.NewScript(
+			// numbers-from now builds a columnar list; replacing an item
+			// with text upgrades it to boxed mid-script, and every list
+			// primitive must observe the same contents on both tiers.
+			blocks.DeclareLocal("l"),
+			blocks.SetVar("l", blocks.Numbers(blocks.Num(1), blocks.Num(40))),
+			blocks.ReplaceInList(blocks.Num(10), blocks.Var("l"), blocks.Txt("ten")),
+			blocks.AddToList(blocks.Txt("tail"), blocks.Var("l")),
+			blocks.Report(blocks.Join(
+				blocks.LengthOf(blocks.Var("l")),
+				blocks.ItemOf(blocks.Num(10), blocks.Var("l")),
+				blocks.ItemOf(blocks.Num(41), blocks.Var("l")),
+				blocks.ListContains(blocks.Var("l"), blocks.Txt("ten")))))},
+		{"columnar-mutate-mid-foreach", blocks.NewScript(
+			// Mutating the list being iterated — including the column→boxed
+			// upgrade happening mid-iteration — must behave identically.
+			blocks.DeclareLocal("l"),
+			blocks.DeclareLocal("s"),
+			blocks.SetVar("l", blocks.Numbers(blocks.Num(1), blocks.Num(6))),
+			blocks.SetVar("s", blocks.Txt("")),
+			blocks.ForEach("x", blocks.Var("l"), blocks.Body(
+				blocks.If(blocks.Equals(blocks.Var("x"), blocks.Num(3)),
+					blocks.Body(blocks.ReplaceInList(
+						blocks.Num(5), blocks.Var("l"), blocks.Txt("five")))),
+				blocks.SetVar("s", blocks.Join(blocks.Var("s"), blocks.Var("x"), blocks.Txt("."))))),
+			blocks.Report(blocks.Join(blocks.Var("s"), blocks.Var("l"))))},
 		{"splice-gotoxy-loop", blocks.NewScript(
 			blocks.Repeat(blocks.Num(4), blocks.Body(
 				blocks.Forward(blocks.Num(25)),
@@ -226,6 +252,18 @@ func TestDifferentialErrors(t *testing.T) {
 			blocks.Numbers(blocks.Num(1), blocks.Num(100))))},
 		{"hof-map-nonring", rep(blocks.Map(
 			blocks.Num(1), blocks.ListOf(blocks.Num(1))))},
+		{"numbers-from-infinity", rep(blocks.Numbers(
+			// Regression: "Infinity" used to parse to +Inf, whose span
+			// truncated to a negative int and allocated until OOM. Every
+			// tier must now reject it with the same wording.
+			blocks.Num(1), blocks.Txt("Infinity")))},
+		{"numbers-overflow-bound", rep(blocks.Numbers(
+			// Arithmetic can still produce a non-finite bound even though
+			// text no longer can; the finite-bounds guard catches it.
+			blocks.Num(1),
+			blocks.Product(blocks.Num(1e308), blocks.Num(10))))},
+		{"numbers-huge-span", rep(blocks.Numbers(
+			blocks.Num(1), blocks.Num(1e18)))},
 		{"error-inside-loop", blocks.NewScript(
 			blocks.DeclareLocal("x"),
 			blocks.SetVar("x", blocks.Num(3)),

@@ -385,7 +385,7 @@ var binaryTable = []primEntry{
 		if from > to {
 			step = -1
 		}
-		if err := checkListLen(int(math.Abs(float64(to-from))) + 1); err != nil {
+		if err := interp.CheckNumbersBounds(float64(from), float64(to)); err != nil {
 			return nil, err
 		}
 		return value.Range(float64(from), float64(to), step), nil

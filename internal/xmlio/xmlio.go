@@ -463,8 +463,10 @@ func decodeValue(n node) (value.Value, error) {
 				return value.Nothing{}, nil
 			}
 			// Untyped literal (hand-written XML): numeric if it
-			// parses, text otherwise — Snap!'s own rule.
-			if f, err := strconv.ParseFloat(text, 64); err == nil {
+			// parses, text otherwise — Snap!'s own rule. ParseNumber
+			// (not bare ParseFloat) so "Infinity"/"NaN"/hex forms stay
+			// text, matching what value.ToNumber accepts at runtime.
+			if f, err := value.ParseNumber(text); err == nil {
 				return value.Number(f), nil
 			}
 			return value.Text(n.Text), nil
@@ -480,7 +482,7 @@ func decodeValue(n node) (value.Value, error) {
 		}
 		return nil, fmt.Errorf("bad bool literal %q", n.Text)
 	case "list":
-		out := value.NewList()
+		items := make([]value.Value, 0, len(n.Children))
 		for _, item := range n.Children {
 			if item.XMLName.Local != "item" || len(item.Children) != 1 {
 				return nil, fmt.Errorf("malformed <list> item")
@@ -489,9 +491,10 @@ func decodeValue(n node) (value.Value, error) {
 			if err != nil {
 				return nil, err
 			}
-			out.Add(v)
+			items = append(items, v)
 		}
-		return out, nil
+		// AdoptSlice columnarizes long homogeneous literals (data lists).
+		return value.AdoptSlice(items), nil
 	}
 	return nil, fmt.Errorf("unknown value element <%s>", n.XMLName.Local)
 }
